@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks default to laptop-friendly sizes; set ``REPRO_BENCH_SCALE``
+to ``medium``/``large`` (see ``repro.bench.harness``) for runs closer to
+the paper's 16-128 bit grid.  Generated/optimized AIGs are cached under
+``.bench_cache`` so repeated runs skip the expensive synthesis.
+"""
+
+import pytest
+
+from repro.bench.harness import bench_config
+
+
+@pytest.fixture(scope="session")
+def config():
+    return bench_config()
+
+
+def one_shot(benchmark, fn, *args, **kwargs):
+    """Run a deterministic verification exactly once under timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,100 @@
+"""Table I benchmarks: verification run times across the architecture x
+optimization grid, plus shape assertions against the paper.
+
+Paper reference (Table I):
+
+* DyPoSub verifies every unoptimized benchmark and almost every
+  optimized one;
+* none of the static SCA methods verifies boundary-destroyed optimized
+  multipliers;
+* the node-level method family ([8]/[11]) fails even on unoptimized
+  non-trivial accumulators.
+
+Run ``python -m repro.bench.table1`` for the full printed table.
+"""
+
+import pytest
+
+from conftest import one_shot
+from repro.bench.harness import benchmark_multiplier, run_method
+
+# Representative cells of the Table I grid, kept small enough for a
+# benchmark suite (the full grid is the repro.bench.table1 module).
+CELLS = [
+    ("SP-AR-RC", 4, "none"),
+    ("SP-DT-LF", 4, "none"),
+    ("SP-WT-CL", 4, "none"),
+    ("SP-BD-KS", 4, "none"),
+    ("BP-AR-RC", 4, "none"),
+    ("SP-DT-LF", 8, "none"),
+    ("SP-DT-LF", 8, "resyn3"),
+    ("SP-DT-LF", 8, "dc2"),
+    ("SP-DT-LF", 8, "map3"),
+    ("SP-AR-CK", 8, "resyn3"),
+]
+
+
+@pytest.mark.parametrize("arch,width,opt", CELLS,
+                         ids=[f"{a}-{w}x{w}-{o}" for a, w, o in CELLS])
+def test_dyposub_runtime(benchmark, config, arch, width, opt):
+    """Time DyPoSub on one Table I cell (must verify)."""
+    aig = benchmark_multiplier(arch, width, opt)
+    result = one_shot(benchmark, run_method, "dyposub", aig,
+                      budget=config["budget"], time_budget=config["time"])
+    assert result.ok, (arch, width, opt, result.status)
+
+
+STATIC_CELLS = [
+    ("SP-AR-RC", 4, "none"),
+    ("SP-DT-LF", 8, "none"),
+]
+
+
+@pytest.mark.parametrize("arch,width,opt", STATIC_CELLS,
+                         ids=[f"{a}-{w}x{w}-{o}" for a, w, o in STATIC_CELLS])
+def test_revsca_static_runtime_on_unoptimized(benchmark, config, arch,
+                                              width, opt):
+    """The strongest prior method ([13]) verifies unoptimized designs."""
+    aig = benchmark_multiplier(arch, width, opt)
+    result = one_shot(benchmark, run_method, "revsca-static", aig,
+                      budget=config["budget"], time_budget=config["time"])
+    assert result.ok
+
+
+def test_static_methods_fail_on_boundary_destroyed(benchmark, config):
+    """Table I shape: on the boundary-destroying optimization the static
+    methods blow up while DyPoSub verifies."""
+    aig = benchmark_multiplier("SP-DT-LF", 8, "map3")
+    dyposub = one_shot(benchmark, run_method, "dyposub", aig,
+                       budget=config["budget"],
+                       time_budget=max(config["time"], 120))
+    assert dyposub.ok
+    revsca = run_method("revsca-static", aig, budget=config["budget"],
+                        time_budget=config["time"])
+    assert revsca.timed_out
+    naive = run_method("naive-static", aig, budget=config["budget"],
+                       time_budget=config["time"])
+    assert naive.timed_out
+
+
+def test_naive_fails_on_nontrivial_unoptimized(benchmark, config):
+    """Table I: the [8]/[11] family already fails on unoptimized
+    tree-accumulator multipliers."""
+    aig = benchmark_multiplier("SP-DT-LF", 8, "none")
+    naive = one_shot(benchmark, run_method, "naive-static", aig,
+                     budget=config["budget"], time_budget=config["time"])
+    assert naive.timed_out
+
+
+def test_vanishing_monomial_counts_reported(benchmark, config):
+    """The Table I 'Vanishing Monomials' column: architectures with
+    converging HA outputs report removals; plain array multipliers
+    report zero (as in the paper's SP-AR rows)."""
+    array = one_shot(benchmark, run_method, "dyposub",
+                     benchmark_multiplier("SP-AR-RC", 4, "none"),
+                     budget=config["budget"], time_budget=config["time"])
+    assert array.stats["vanishing_removed"] == 0
+    mapped = run_method("dyposub", benchmark_multiplier("SP-DT-LF", 8, "map3"),
+                        budget=config["budget"],
+                        time_budget=max(config["time"], 120))
+    assert mapped.stats["vanishing_removed"] > 0

@@ -1,0 +1,67 @@
+"""Table II benchmarks: industrial (technology-mapped) multipliers.
+
+Paper reference (Table II): DyPoSub verifies every DesignWare/EPFL
+instance; the commercial tool only verifies the smallest, and all other
+SCA methods time out on all of them.
+"""
+
+import pytest
+
+from conftest import one_shot
+from repro.bench.harness import cached_aig, run_method
+from repro.industrial import designware_like_multiplier, epfl_like_multiplier
+
+
+def _designware(width):
+    return cached_aig(f"designware_{width}x{width}",
+                      lambda: designware_like_multiplier(width))
+
+
+def _epfl(width):
+    return cached_aig(f"epfl_{width}x{width}",
+                      lambda: epfl_like_multiplier(width))
+
+
+@pytest.mark.parametrize("width", [4, 5])
+def test_dyposub_on_designware_like(benchmark, config, width):
+    """Time DyPoSub across the DesignWare-like size sweep."""
+    aig = _designware(width)
+    result = one_shot(benchmark, run_method, "dyposub", aig,
+                      budget=config["budget"],
+                      time_budget=max(config["time"], 120))
+    assert result.ok, result.status
+
+
+def test_dyposub_on_epfl_like(benchmark, config):
+    aig = _epfl(6)
+    result = one_shot(benchmark, run_method, "dyposub", aig,
+                      budget=config["budget"],
+                      time_budget=max(config["time"], 180))
+    assert result.ok, result.status
+
+
+@pytest.mark.parametrize("method", ["revsca-static", "polycleaner-static",
+                                    "naive-static", "columnwise-static"])
+def test_static_methods_time_out_on_industrial(benchmark, config, method):
+    """The Table II shape: every static method fails on the mapped
+    industrial multipliers that DyPoSub verifies."""
+    aig = _designware(5)
+    result = one_shot(benchmark, run_method, method, aig,
+                      budget=config["budget"], time_budget=config["time"])
+    assert result.timed_out, (method, result.status)
+
+
+def test_runtime_grows_with_size(benchmark, config):
+    """Table II shows steep but finite growth in DyPoSub's runtime with
+    multiplier size; verify monotonicity over the sweep."""
+    def sweep():
+        seconds = []
+        for width in (4, 5):
+            result = run_method("dyposub", _designware(width),
+                                budget=config["budget"],
+                                time_budget=max(config["time"], 120))
+            assert result.ok
+            seconds.append(result.seconds)
+        return seconds
+    seconds = one_shot(benchmark, sweep)
+    assert seconds[-1] > seconds[0]

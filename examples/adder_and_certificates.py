@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Beyond multipliers: word-level adder verification and proof
+certificates.
+
+1. Builds each final-stage adder architecture standalone and verifies it
+   with the generic word-level engine (including modular carry-out
+   handling).
+2. Verifies a multiplier with certificate recording and re-checks the
+   certificate with the independent, machinery-free checker.
+
+Run:  python examples/adder_and_certificates.py
+"""
+
+from repro.aig.aig import Aig
+from repro.aig.ops import cleanup
+from repro.core import verify_adder
+from repro.core.certificate import check_certificate
+from repro.core.verifier import verify_multiplier
+from repro.genmul import generate_multiplier
+from repro.genmul.fsa import FSA_BUILDERS
+
+
+def verify_all_adders(width=6):
+    print(f"== verifying all {width}-bit final-stage adders ==")
+    for name in sorted(FSA_BUILDERS):
+        aig = Aig(f"{name}_{width}")
+        a_bits = aig.add_inputs(width, prefix="a")
+        b_bits = aig.add_inputs(width, prefix="b")
+        for bit in FSA_BUILDERS[name](aig, a_bits, b_bits):
+            aig.add_output(bit)
+        result = verify_adder(aig, width, monomial_budget=500_000)
+        print(f"  {name}: {result.status} "
+              f"({aig.num_ands} ANDs, peak {result.stats['max_poly_size']})")
+        assert result.ok
+
+
+def certificate_demo():
+    print("\n== proof certificate for a 6x6 multiplier ==")
+    aig = cleanup(generate_multiplier("SP-WT-KS", 6))
+    result = verify_multiplier(aig, record_certificate=True)
+    cert = result.stats["certificate"]
+    print(f"verification: {result.status}; certificate has "
+          f"{cert.num_steps} substitution steps")
+    check_certificate(aig, cert)
+    print("independent checker: certificate ACCEPTED "
+          "(every step matches the circuit; rule-free replay reaches "
+          "the same remainder)")
+    text = cert.to_text()
+    print("certificate excerpt:")
+    for line in text.splitlines()[:4]:
+        print("  " + (line if len(line) < 100 else line[:97] + "..."))
+
+
+def main():
+    verify_all_adders()
+    certificate_demo()
+
+
+if __name__ == "__main__":
+    main()

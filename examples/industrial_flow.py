@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""The full industrial flow of the paper's Table II, end to end.
+
+1. Generate a delay-optimized Booth-Wallace multiplier (the DesignWare
+   ``pparch`` role).
+2. Technology-map it onto a standard-cell library of up to 3-input
+   gates (the Design Compiler role) and print a cell histogram plus a
+   Verilog snippet.
+3. Decompose the gate netlist back into an AIG (the abc read-in role).
+4. Verify the mapped multiplier with DyPoSub and show that the static
+   prior art times out on the same netlist.
+
+Run:  python examples/industrial_flow.py [width]
+"""
+
+import sys
+
+from repro import verify_multiplier
+from repro.baselines import verify_revsca_static
+from repro.industrial import designware_like_netlist
+
+
+def main():
+    width = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    print(f"== synthesizing DesignWare-like {width}x{width} multiplier ==")
+    netlist = designware_like_netlist(width)
+    histogram = sorted(netlist.cell_histogram().items(),
+                       key=lambda item: -item[1])
+    print(f"mapped netlist: {netlist.num_cells} cells")
+    for cell, count in histogram[:8]:
+        print(f"  {cell:10s} x{count}")
+    verilog = netlist.to_verilog().splitlines()
+    print("\n".join(verilog[:6] + ["  ..."] + verilog[-2:]))
+
+    print("\n== converting back to AIG and verifying ==")
+    aig = netlist.to_aig()
+    print(f"AIG: {aig.num_ands} AND nodes")
+
+    result = verify_multiplier(aig, monomial_budget=200_000, time_budget=300)
+    print("DyPoSub:  ", result.summary())
+
+    static = verify_revsca_static(aig, monomial_budget=200_000,
+                                  time_budget=300)
+    print("static SCA:", static.summary())
+    if result.ok and static.timed_out:
+        print("\n=> the dynamic substitution order verifies the "
+              "technology-mapped multiplier; the static order explodes "
+              "(the paper's Table II).")
+
+
+if __name__ == "__main__":
+    main()

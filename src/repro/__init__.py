@@ -1,0 +1,47 @@
+"""DyPoSub reproduction: SCA verification of optimized and industrial
+integer multipliers (Mahzoon, Große, Scholl, Drechsler — DATE 2020).
+
+Quickstart::
+
+    from repro import generate_multiplier, verify_multiplier
+    aig = generate_multiplier("SP-DT-LF", 8)
+    result = verify_multiplier(aig)
+    assert result.ok
+
+The package is organized as
+
+* :mod:`repro.aig` — And-Inverter Graph substrate,
+* :mod:`repro.poly` — multilinear polynomial algebra,
+* :mod:`repro.genmul` — multiplier generators (GenMul/AMG equivalent),
+* :mod:`repro.opt` — logic optimization and technology mapping (abc
+  equivalent),
+* :mod:`repro.gates` — gate-level netlists over a ≤3-input cell library,
+* :mod:`repro.core` — the paper's contribution: reverse engineering,
+  vanishing-monomial removal and dynamic backward rewriting,
+* :mod:`repro.baselines` — prior-art static SCA verifiers,
+* :mod:`repro.industrial` — DesignWare/EPFL-like benchmark synthesis,
+* :mod:`repro.bench` — the Table I / Table II / Fig. 5 harness.
+"""
+
+from repro.aig import Aig, read_aag, write_aag
+from repro.core import VerificationResult, verify_multiplier
+from repro.genmul import (
+    MultiplierSpec,
+    generate_multiplier,
+    inject_visible_fault,
+    multiply_reference,
+)
+from repro.opt import dc2, optimize, resyn3, techmap
+from repro.poly import Polynomial
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aig", "read_aag", "write_aag",
+    "Polynomial",
+    "MultiplierSpec", "generate_multiplier", "multiply_reference",
+    "inject_visible_fault",
+    "optimize", "resyn3", "dc2", "techmap",
+    "verify_multiplier", "VerificationResult",
+    "__version__",
+]

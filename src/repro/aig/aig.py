@@ -1,0 +1,315 @@
+"""And-Inverter Graph (AIG) core data structure.
+
+An AIG is a DAG of two-input AND nodes whose edges may be complemented.
+It is the input representation used by DyPoSub (Section II-A of the
+paper): partial-product generators, accumulators and final-stage adders
+are all expressed as AIG nodes, and reverse engineering (atomic-block
+detection) runs on the AIG via cut enumeration.
+
+Literal encoding (same convention as the AIGER format and abc):
+
+* every variable has an index ``v >= 0``;
+* variable ``0`` is the constant FALSE;
+* a *literal* is ``2 * v + c`` where ``c = 1`` means complemented;
+* therefore literal ``0`` is constant false and literal ``1`` constant true.
+
+Variables ``1 .. num_inputs`` are the primary inputs; variables above that
+are AND nodes.  Nodes are stored in topological order: the fan-ins of an
+AND node always have smaller variable indices.  Every pass in
+:mod:`repro.opt` preserves this invariant by construction.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AigError
+
+FALSE = 0
+TRUE = 1
+
+
+def lit(var, negated=False):
+    """Build a literal from a variable index and a polarity flag."""
+    return 2 * var + (1 if negated else 0)
+
+
+def lit_var(literal):
+    """Variable index of a literal."""
+    return literal >> 1
+
+def lit_neg(literal):
+    """Complement a literal."""
+    return literal ^ 1
+
+
+def lit_is_negated(literal):
+    """True if the literal is complemented."""
+    return bool(literal & 1)
+
+
+def lit_regular(literal):
+    """The non-complemented literal of the same variable."""
+    return literal & ~1
+
+
+class Aig:
+    """A mutable AIG with structural hashing.
+
+    The class exposes both the low-level interface (``add_input``,
+    ``add_and``, ``add_output``) and convenience gate constructors
+    (``not_``, ``or_``, ``xor_``, ``mux``, ``maj``, ...) used by the
+    multiplier generators.  All constructors return literals.
+    """
+
+    def __init__(self, name=""):
+        self.name = name
+        self._inputs = []           # list of input variable indices
+        self._input_names = []
+        # AND nodes: _fanin0[v] / _fanin1[v] indexed by variable; inputs and
+        # the constant occupy the low indices with fan-ins set to -1.
+        self._fanin0 = [-1]
+        self._fanin1 = [-1]
+        self._outputs = []          # list of literals
+        self._output_names = []
+        self._strash = {}           # (lit0, lit1) -> output literal
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+
+    @property
+    def num_inputs(self):
+        return len(self._inputs)
+
+    @property
+    def num_outputs(self):
+        return len(self._outputs)
+
+    @property
+    def num_ands(self):
+        return len(self._fanin0) - 1 - len(self._inputs)
+
+    @property
+    def num_vars(self):
+        """Total number of variables including the constant."""
+        return len(self._fanin0)
+
+    @property
+    def inputs(self):
+        """Input variable indices, in declaration order."""
+        return list(self._inputs)
+
+    @property
+    def input_names(self):
+        return list(self._input_names)
+
+    @property
+    def outputs(self):
+        """Output literals, in declaration order."""
+        return list(self._outputs)
+
+    @property
+    def output_names(self):
+        return list(self._output_names)
+
+    def is_input(self, var):
+        return 1 <= var <= len(self._inputs)
+
+    def is_and(self, var):
+        return var > len(self._inputs) and var < len(self._fanin0)
+
+    def is_const(self, var):
+        return var == 0
+
+    def fanins(self, var):
+        """The two fan-in literals of an AND variable."""
+        if not self.is_and(var):
+            raise AigError(f"variable {var} is not an AND node")
+        return self._fanin0[var], self._fanin1[var]
+
+    def and_vars(self):
+        """Iterate AND variable indices in topological order."""
+        return range(len(self._inputs) + 1, len(self._fanin0))
+
+    def add_input(self, name=None):
+        """Declare a new primary input and return its (positive) literal.
+
+        Inputs must be declared before any AND node is created.
+        """
+        if self.num_ands:
+            raise AigError("inputs must be declared before AND nodes")
+        var = len(self._fanin0)
+        self._inputs.append(var)
+        self._input_names.append(name if name is not None else f"i{len(self._inputs) - 1}")
+        self._fanin0.append(-1)
+        self._fanin1.append(-1)
+        return lit(var)
+
+    def add_inputs(self, count, prefix="i"):
+        """Declare ``count`` inputs named ``prefix0 .. prefix<count-1>``."""
+        return [self.add_input(f"{prefix}{k}") for k in range(count)]
+
+    def add_output(self, literal, name=None):
+        """Declare a primary output driven by ``literal``."""
+        self._check_literal(literal)
+        self._outputs.append(literal)
+        self._output_names.append(name if name is not None else f"o{len(self._outputs) - 1}")
+
+    def set_output(self, index, literal):
+        """Replace the driver of an existing output."""
+        self._check_literal(literal)
+        self._outputs[index] = literal
+
+    def add_and(self, a, b):
+        """Create (or reuse) an AND node over two literals.
+
+        Applies the standard trivial simplifications and structural
+        hashing, so the returned literal may refer to an existing node, a
+        fan-in, or a constant.
+        """
+        self._check_literal(a)
+        self._check_literal(b)
+        if a == FALSE or b == FALSE or a == lit_neg(b):
+            return FALSE
+        if a == TRUE:
+            return b
+        if b == TRUE or a == b:
+            return a
+        if a > b:
+            a, b = b, a
+        key = (a, b)
+        cached = self._strash.get(key)
+        if cached is not None:
+            return cached
+        var = len(self._fanin0)
+        self._fanin0.append(a)
+        self._fanin1.append(b)
+        out = lit(var)
+        self._strash[key] = out
+        return out
+
+    def _check_literal(self, literal):
+        if not isinstance(literal, int) or literal < 0:
+            raise AigError(f"invalid literal {literal!r}")
+        if lit_var(literal) >= len(self._fanin0):
+            raise AigError(f"literal {literal} references unknown variable")
+
+    # ------------------------------------------------------------------
+    # Convenience gate constructors
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def not_(a):
+        """Complement a literal (free in an AIG)."""
+        return lit_neg(a)
+
+    def and_(self, a, b):
+        return self.add_and(a, b)
+
+    def nand_(self, a, b):
+        return lit_neg(self.add_and(a, b))
+
+    def or_(self, a, b):
+        return lit_neg(self.add_and(lit_neg(a), lit_neg(b)))
+
+    def nor_(self, a, b):
+        return self.add_and(lit_neg(a), lit_neg(b))
+
+    def xor_(self, a, b):
+        # a ^ b = !(!(a & !b) & !(!a & b))
+        return lit_neg(self.add_and(lit_neg(self.add_and(a, lit_neg(b))),
+                                    lit_neg(self.add_and(lit_neg(a), b))))
+
+    def xnor_(self, a, b):
+        return lit_neg(self.xor_(a, b))
+
+    def and_many(self, literals):
+        """Balanced AND over an iterable of literals."""
+        return self._tree(list(literals), self.and_, TRUE)
+
+    def or_many(self, literals):
+        """Balanced OR over an iterable of literals."""
+        return self._tree(list(literals), self.or_, FALSE)
+
+    def xor_many(self, literals):
+        """Balanced XOR over an iterable of literals."""
+        return self._tree(list(literals), self.xor_, FALSE)
+
+    @staticmethod
+    def _tree(items, op, empty):
+        if not items:
+            return empty
+        while len(items) > 1:
+            nxt = [op(items[k], items[k + 1]) for k in range(0, len(items) - 1, 2)]
+            if len(items) % 2:
+                nxt.append(items[-1])
+            items = nxt
+        return items[0]
+
+    def mux(self, sel, then_lit, else_lit):
+        """If-then-else: ``sel ? then_lit : else_lit``."""
+        return lit_neg(self.add_and(lit_neg(self.add_and(sel, then_lit)),
+                                    lit_neg(self.add_and(lit_neg(sel), else_lit))))
+
+    def maj(self, a, b, c):
+        """Majority of three literals (the carry of a full adder)."""
+        ab = self.add_and(a, b)
+        ac = self.add_and(a, c)
+        bc = self.add_and(b, c)
+        return self.or_(self.or_(ab, ac), bc)
+
+    def half_adder(self, a, b):
+        """Return ``(sum, carry)`` literals of a half adder."""
+        return self.xor_(a, b), self.add_and(a, b)
+
+    def full_adder(self, a, b, c):
+        """Return ``(sum, carry)`` literals of a full adder.
+
+        Uses the classic 2-XOR / majority-via-shared-xor structure so that
+        the reverse-engineering pass sees the canonical atomic block.
+        """
+        axb = self.xor_(a, b)
+        s = self.xor_(axb, c)
+        carry = self.or_(self.add_and(axb, c), self.add_and(a, b))
+        return s, carry
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+
+    def fanout_counts(self):
+        """Number of references to each variable (AND fan-ins + outputs)."""
+        counts = [0] * len(self._fanin0)
+        for v in self.and_vars():
+            counts[lit_var(self._fanin0[v])] += 1
+            counts[lit_var(self._fanin1[v])] += 1
+        for out in self._outputs:
+            counts[lit_var(out)] += 1
+        return counts
+
+    def levels(self):
+        """Logic depth of every variable (inputs and constant are 0)."""
+        level = [0] * len(self._fanin0)
+        for v in self.and_vars():
+            f0, f1 = self._fanin0[v], self._fanin1[v]
+            level[v] = 1 + max(level[lit_var(f0)], level[lit_var(f1)])
+        return level
+
+    def depth(self):
+        """Depth of the deepest output cone."""
+        level = self.levels()
+        if not self._outputs:
+            return 0
+        return max(level[lit_var(out)] for out in self._outputs)
+
+    def stats(self):
+        """A small summary dict used in logs and benchmark tables."""
+        return {
+            "inputs": self.num_inputs,
+            "outputs": self.num_outputs,
+            "ands": self.num_ands,
+            "depth": self.depth(),
+        }
+
+    def __repr__(self):
+        return (f"Aig(name={self.name!r}, inputs={self.num_inputs}, "
+                f"outputs={self.num_outputs}, ands={self.num_ands})")

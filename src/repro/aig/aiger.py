@@ -1,0 +1,106 @@
+"""Reading and writing combinational AIGs in the AIGER ASCII format (.aag).
+
+Only the combinational subset is supported (no latches), which is what
+multiplier verification needs.  Symbol-table entries for inputs/outputs
+and the comment section are preserved where present.
+"""
+
+from __future__ import annotations
+
+from repro.aig.aig import Aig, lit_var
+from repro.errors import AigError
+
+
+def write_aag(aig, path=None):
+    """Serialize to AIGER ASCII; returns the text, optionally writing it."""
+    lines = []
+    max_var = aig.num_vars - 1
+    lines.append(f"aag {max_var} {aig.num_inputs} 0 {aig.num_outputs} {aig.num_ands}")
+    for var in aig.inputs:
+        lines.append(str(2 * var))
+    for out in aig.outputs:
+        lines.append(str(out))
+    for v in aig.and_vars():
+        f0, f1 = aig.fanins(v)
+        lines.append(f"{2 * v} {max(f0, f1)} {min(f0, f1)}")
+    for idx, name in enumerate(aig.input_names):
+        lines.append(f"i{idx} {name}")
+    for idx, name in enumerate(aig.output_names):
+        lines.append(f"o{idx} {name}")
+    if aig.name:
+        lines.append("c")
+        lines.append(aig.name)
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        with open(path, "w", encoding="ascii") as handle:
+            handle.write(text)
+    return text
+
+
+def read_aag(source):
+    """Parse AIGER ASCII text (or read from a path-like if it exists)."""
+    text = source
+    if "\n" not in source:
+        with open(source, "r", encoding="ascii") as handle:
+            text = handle.read()
+    lines = [line.strip() for line in text.splitlines()]
+    if not lines or not lines[0].startswith("aag "):
+        raise AigError("not an AIGER ASCII file")
+    header = lines[0].split()
+    if len(header) != 6:
+        raise AigError(f"malformed header: {lines[0]!r}")
+    _, max_var, num_in, num_latch, num_out, num_and = header
+    max_var, num_in = int(max_var), int(num_in)
+    num_latch, num_out, num_and = int(num_latch), int(num_out), int(num_and)
+    if num_latch:
+        raise AigError("latches are not supported (combinational AIGs only)")
+
+    body = lines[1:]
+    input_lits = [int(body[i]) for i in range(num_in)]
+    output_lits = [int(body[num_in + i]) for i in range(num_out)]
+    and_rows = []
+    for i in range(num_and):
+        parts = body[num_in + num_out + i].split()
+        if len(parts) != 3:
+            raise AigError(f"malformed AND row: {body[num_in + num_out + i]!r}")
+        and_rows.append(tuple(int(p) for p in parts))
+
+    aig = Aig()
+    # AIGER permits arbitrary variable numbering; build a remap table from
+    # old variable to new literal (add_and may simplify structurally).
+    old2new = {0: 0}
+    for idx, in_lit in enumerate(input_lits):
+        if in_lit & 1:
+            raise AigError("complemented input definition")
+        old2new[lit_var(in_lit)] = aig.add_input()
+
+    # AND rows may come in any topological-consistent order; sort by lhs.
+    and_rows.sort(key=lambda row: row[0])
+    for lhs, rhs0, rhs1 in and_rows:
+        if lhs & 1:
+            raise AigError("complemented AND definition")
+        new0 = _remap(old2new, rhs0)
+        new1 = _remap(old2new, rhs1)
+        old2new[lit_var(lhs)] = aig.add_and(new0, new1)
+
+    for out in output_lits:
+        aig.add_output(_remap(old2new, out))
+
+    # Symbol table.
+    sym_start = num_in + num_out + num_and
+    for line in body[sym_start:]:
+        if not line or line == "c":
+            break
+        kind, _, name = line.partition(" ")
+        if kind.startswith("i") and kind[1:].isdigit():
+            aig._input_names[int(kind[1:])] = name
+        elif kind.startswith("o") and kind[1:].isdigit():
+            aig._output_names[int(kind[1:])] = name
+    return aig
+
+
+def _remap(old2new, literal):
+    var = literal >> 1
+    if var not in old2new:
+        raise AigError(f"literal {literal} references undefined variable")
+    return old2new[var] ^ (literal & 1)

@@ -1,0 +1,74 @@
+"""k-feasible cut enumeration.
+
+Cut enumeration is the engine behind both reverse engineering of atomic
+blocks (Section II-A of the paper: "Based on cut enumeration, atomic
+blocks can be identified very fast") and the cut-based optimization and
+technology-mapping passes.
+
+A *cut* of node ``v`` is a set of variables (leaves) such that every path
+from the inputs to ``v`` crosses a leaf.  We enumerate all cuts with at
+most ``k`` leaves bottom-up, pruning dominated cuts and keeping at most
+``limit`` cuts per node.
+"""
+
+from __future__ import annotations
+
+from repro.aig.aig import lit_var
+
+
+def enumerate_cuts(aig, k=4, limit=12, include_trivial=True):
+    """Enumerate k-feasible cuts for every variable.
+
+    Returns ``{var: [cut, ...]}`` where each cut is a sorted tuple of leaf
+    variables.  The trivial cut ``(var,)`` is included first when
+    ``include_trivial`` is set.  Constant and input variables only get
+    their trivial cut.
+    """
+    cuts = {0: [()]}
+    for var in aig.inputs:
+        cuts[var] = [(var,)]
+    for v in aig.and_vars():
+        f0, f1 = aig.fanins(v)
+        v0, v1 = lit_var(f0), lit_var(f1)
+        merged = []
+        seen = set()
+        for c0 in cuts[v0]:
+            for c1 in cuts[v1]:
+                union = _merge(c0, c1, k)
+                if union is None or union in seen:
+                    continue
+                seen.add(union)
+                merged.append(union)
+        merged = _prune_dominated(merged)
+        merged.sort(key=len)
+        merged = merged[: limit - 1 if include_trivial else limit]
+        node_cuts = [(v,)] if include_trivial else []
+        node_cuts.extend(merged)
+        cuts[v] = node_cuts
+    return cuts
+
+
+def _merge(cut_a, cut_b, k):
+    union = sorted(set(cut_a) | set(cut_b))
+    if len(union) > k:
+        return None
+    return tuple(union)
+
+
+def _prune_dominated(cut_list):
+    """Drop cuts that are supersets of another cut in the list."""
+    cut_list = sorted(cut_list, key=len)
+    kept = []
+    kept_sets = []
+    for cut in cut_list:
+        cut_set = set(cut)
+        if any(smaller <= cut_set for smaller in kept_sets):
+            continue
+        kept.append(cut)
+        kept_sets.append(cut_set)
+    return kept
+
+
+def nontrivial_cuts(cuts, var):
+    """All enumerated cuts of ``var`` except the trivial one."""
+    return [cut for cut in cuts.get(var, []) if cut != (var,)]

@@ -1,0 +1,156 @@
+"""Structural operations on AIGs: cleanup, cones, fanout maps, copying."""
+
+from __future__ import annotations
+
+from repro.aig.aig import Aig, lit_var, lit_is_negated, FALSE
+from repro.errors import AigError
+
+
+def reachable_vars(aig, roots=None):
+    """Set of variables reachable from ``roots`` (default: the outputs)."""
+    if roots is None:
+        roots = [lit_var(out) for out in aig.outputs]
+    seen = set()
+    stack = [v for v in roots if v > 0]
+    while stack:
+        v = stack.pop()
+        if v in seen:
+            continue
+        seen.add(v)
+        if aig.is_and(v):
+            f0, f1 = aig.fanins(v)
+            stack.append(lit_var(f0))
+            stack.append(lit_var(f1))
+    return seen
+
+
+def cleanup(aig):
+    """Return a compacted copy containing only nodes reachable from outputs.
+
+    Inputs are always kept (the interface must not change).  This is the
+    ``dce`` building block used by every optimization script.
+    """
+    keep = reachable_vars(aig)
+    new = Aig(aig.name)
+    # old variable -> new literal (the image of the old positive literal);
+    # add_and may simplify, so the image can be complemented or constant.
+    old2new = {0: 0}
+    for var, name in zip(aig.inputs, aig.input_names):
+        old2new[var] = new.add_input(name)
+    for v in aig.and_vars():
+        if v not in keep:
+            continue
+        f0, f1 = aig.fanins(v)
+        old2new[v] = new.add_and(_map_lit(old2new, f0), _map_lit(old2new, f1))
+    for out, name in zip(aig.outputs, aig.output_names):
+        new.add_output(_map_lit(old2new, out), name)
+    return new
+
+
+def _map_lit(old2new, literal):
+    return old2new[lit_var(literal)] ^ (literal & 1)
+
+
+def copy_aig(aig):
+    """Deep copy (also canonicalizes via structural hashing)."""
+    return cleanup(aig)
+
+
+def fanout_map(aig):
+    """Map each variable to the list of AND variables that consume it.
+
+    Primary outputs are recorded under the key ``"po"`` in a second map:
+    returns ``(consumers, po_refs)`` where ``po_refs[v]`` is the number of
+    outputs driven by variable ``v``.
+    """
+    consumers = {v: [] for v in range(aig.num_vars)}
+    for v in aig.and_vars():
+        f0, f1 = aig.fanins(v)
+        consumers[lit_var(f0)].append(v)
+        consumers[lit_var(f1)].append(v)
+    po_refs = {v: 0 for v in range(aig.num_vars)}
+    for out in aig.outputs:
+        po_refs[lit_var(out)] += 1
+    return consumers, po_refs
+
+
+def cone_vars(aig, root, leaves):
+    """Variables strictly inside the cone of ``root`` bounded by ``leaves``.
+
+    Returns the set of AND variables on paths from ``root`` down to (but
+    not including) the leaf variables.  ``root`` itself is included when it
+    is an AND node.
+    """
+    leaves = set(leaves)
+    cone = set()
+    stack = [root]
+    while stack:
+        v = stack.pop()
+        if v in cone or v in leaves or not aig.is_and(v):
+            continue
+        cone.add(v)
+        f0, f1 = aig.fanins(v)
+        stack.append(lit_var(f0))
+        stack.append(lit_var(f1))
+    return cone
+
+
+def transitive_fanin_support(aig, root):
+    """Primary-input variables in the transitive fan-in of ``root``."""
+    support = set()
+    seen = set()
+    stack = [root]
+    while stack:
+        v = stack.pop()
+        if v in seen:
+            continue
+        seen.add(v)
+        if aig.is_input(v):
+            support.add(v)
+        elif aig.is_and(v):
+            f0, f1 = aig.fanins(v)
+            stack.append(lit_var(f0))
+            stack.append(lit_var(f1))
+    return support
+
+
+def mffc(aig, root, fanouts=None, po_refs=None):
+    """Maximum fanout-free cone of ``root``: AND vars whose every path to
+    an output passes through ``root``.
+
+    Computed by simulated reference-count dereferencing.
+    """
+    if fanouts is None or po_refs is None:
+        fanouts, po_refs = fanout_map(aig)
+    refs = {v: len(fanouts[v]) + po_refs[v] for v in range(aig.num_vars)}
+    cone = set()
+    stack = [root]
+    while stack:
+        v = stack.pop()
+        if not aig.is_and(v) or v in cone:
+            continue
+        cone.add(v)
+        for f in aig.fanins(v):
+            w = lit_var(f)
+            refs[w] -= 1
+            if refs[w] == 0:
+                stack.append(w)
+    return cone
+
+
+def check_acyclic(aig):
+    """Validate the topological-order invariant; raises on violation."""
+    for v in aig.and_vars():
+        f0, f1 = aig.fanins(v)
+        if lit_var(f0) >= v or lit_var(f1) >= v:
+            raise AigError(f"node {v} breaks the topological-order invariant")
+    return True
+
+
+def structural_signature(aig):
+    """A hashable signature of the structure (for regression tests)."""
+    return (
+        aig.num_inputs,
+        tuple(aig.fanins(v) for v in aig.and_vars()),
+        tuple(aig.outputs),
+    )

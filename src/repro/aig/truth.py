@@ -1,0 +1,123 @@
+"""Truth-table computation for small cones and standard function tables.
+
+Truth tables are plain integers with ``2**k`` significant bits; bit ``m``
+is the function value for the input minterm ``m`` (leaf 0 is the least
+significant input of the minterm index).
+"""
+
+from __future__ import annotations
+
+from repro.aig.aig import lit_var, lit_is_negated
+from repro.errors import AigError
+
+
+def var_pattern(position, num_vars):
+    """Truth table of input variable ``position`` among ``num_vars``."""
+    width = 1 << num_vars
+    block = 1 << position
+    pattern = 0
+    bit = block
+    chunk = (1 << block) - 1
+    while bit < width:
+        pattern |= chunk << bit
+        bit += 2 * block
+    return pattern
+
+
+def tt_mask(num_vars):
+    return (1 << (1 << num_vars)) - 1
+
+
+def cone_truth_table(aig, root_var, leaves):
+    """Truth table of ``root_var`` as a function of the ordered ``leaves``.
+
+    Every path from the root must terminate at a leaf (or the constant);
+    otherwise an :class:`AigError` is raised.
+    """
+    k = len(leaves)
+    mask = tt_mask(k)
+    values = {0: 0}
+    for pos, leaf in enumerate(leaves):
+        values[leaf] = var_pattern(pos, k)
+    order = _cone_topo(aig, root_var, set(leaves))
+    for v in order:
+        f0, f1 = aig.fanins(v)
+        a = values[lit_var(f0)]
+        if lit_is_negated(f0):
+            a ^= mask
+        b = values[lit_var(f1)]
+        if lit_is_negated(f1):
+            b ^= mask
+        values[v] = a & b
+    return values[root_var] & mask
+
+
+def _cone_topo(aig, root, leaves):
+    """AND vars of the cone in topological order (root last)."""
+    order = []
+    seen = set(leaves)
+    seen.add(0)
+
+    stack = [(root, False)]
+    while stack:
+        v, expanded = stack.pop()
+        if v in seen:
+            continue
+        if not aig.is_and(v):
+            raise AigError(f"cone of {root} escapes the given leaves at {v}")
+        if expanded:
+            seen.add(v)
+            order.append(v)
+            continue
+        stack.append((v, True))
+        f0, f1 = aig.fanins(v)
+        stack.append((lit_var(f0), False))
+        stack.append((lit_var(f1), False))
+    return order
+
+
+# ----------------------------------------------------------------------
+# Canonical tables for atomic-block matching (Section IV of the paper)
+# ----------------------------------------------------------------------
+
+AND2 = 0b1000          # x & y over (y x)
+XOR2 = 0b0110
+XNOR2 = 0b1001
+NAND2 = 0b0111
+OR2 = 0b1110
+NOR2 = 0b0001
+
+XOR3 = 0b10010110      # parity of three inputs
+XNOR3 = 0b01101001
+MAJ3 = 0b11101000      # majority (full-adder carry)
+MIN3 = 0b00010111      # complement of majority
+
+
+def negate_tt(tt, num_vars):
+    return tt ^ tt_mask(num_vars)
+
+
+def tt_support(tt, num_vars):
+    """Positions of variables the function actually depends on."""
+    support = []
+    for pos in range(num_vars):
+        if _cofactor(tt, pos, num_vars, 1) != _cofactor(tt, pos, num_vars, 0):
+            support.append(pos)
+    return support
+
+
+def _cofactor(tt, pos, num_vars, value):
+    """Cofactor truth table (still over ``num_vars`` inputs)."""
+    pattern = var_pattern(pos, num_vars)
+    mask = tt_mask(num_vars)
+    block = 1 << pos
+    if value:
+        kept = tt & pattern
+        return (kept | (kept >> block)) & mask
+    kept = tt & (pattern ^ mask)
+    return (kept | (kept << block)) & mask
+
+
+def cofactor(tt, pos, num_vars, value):
+    """Public wrapper of the cofactor computation."""
+    return _cofactor(tt, pos, num_vars, value)

@@ -1,0 +1,17 @@
+"""Reimplementations of the prior-art SCA method families the paper
+compares against (Table I/II run-time columns)."""
+
+from repro.baselines.columnwise import verify_column_wise
+from repro.baselines.naive import verify_naive_static
+from repro.baselines.polycleaner import verify_polycleaner_static
+from repro.baselines.revsca import verify_revsca_static
+
+BASELINES = {
+    "naive-static": verify_naive_static,              # [5]/[11] family
+    "polycleaner-static": verify_polycleaner_static,  # [10]
+    "revsca-static": verify_revsca_static,            # [13]
+    "columnwise-static": verify_column_wise,          # [8]/[16]
+}
+
+__all__ = ["verify_naive_static", "verify_polycleaner_static",
+           "verify_revsca_static", "verify_column_wise", "BASELINES"]

@@ -1,0 +1,81 @@
+"""Shared machinery for the prior-art baseline verifiers.
+
+Each baseline mirrors one *method family* from the paper's comparison
+(Table I/II, columns [5], [6], [8], [10], [11], [13]): all of them use a
+**static** reverse-topological substitution order and differ in how much
+structure they recover before rewriting.  Budgets stand in for the
+paper's 24 h time-out: a baseline that exceeds its monomial or wall-clock
+budget reports ``status="timeout"``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.aig.ops import cleanup
+from repro.core.cones import build_components
+from repro.core.counterexample import counterexample_for
+from repro.core.result import VerificationResult
+from repro.core.rewriting import RewritingEngine
+from repro.core.spec import multiplier_specification
+from repro.errors import BudgetExceeded
+
+
+def run_static_verification(aig, width_a, width_b, components, vanishing,
+                            method_name, monomial_budget, time_budget,
+                            signed=False, record_trace=False,
+                            want_counterexample=False):
+    """Run the shared static engine over prepared components."""
+    start = time.monotonic()
+    spec = multiplier_specification(aig, width_a, width_b, signed=signed)
+    engine = RewritingEngine(spec, components, vanishing,
+                             monomial_budget=monomial_budget,
+                             time_budget=time_budget,
+                             record_trace=record_trace)
+    stats = {
+        "nodes": aig.num_ands,
+        "components": len(components),
+        "atomic_blocks": sum(1 for c in components if c.is_atomic),
+    }
+    try:
+        remainder = engine.run_static()
+    except BudgetExceeded as exc:
+        stats.update(_engine_stats(engine))
+        stats["budget_kind"] = exc.kind
+        return VerificationResult(status="timeout", method=method_name,
+                                  seconds=time.monotonic() - start,
+                                  stats=stats, trace=engine.trace)
+    stats.update(_engine_stats(engine))
+    seconds = time.monotonic() - start
+    if remainder.is_zero():
+        return VerificationResult(status="correct", method=method_name,
+                                  remainder=remainder, seconds=seconds,
+                                  stats=stats, trace=engine.trace)
+    counterexample = None
+    if want_counterexample:
+        counterexample, a_value, b_value = counterexample_for(
+            aig, remainder, width_a)
+        stats["counterexample_a"] = a_value
+        stats["counterexample_b"] = b_value
+    return VerificationResult(status="buggy", method=method_name,
+                              remainder=remainder, seconds=seconds,
+                              counterexample=counterexample,
+                              stats=stats, trace=engine.trace)
+
+
+def _engine_stats(engine):
+    return {
+        "steps": engine.steps,
+        "max_poly_size": engine.max_size,
+        "vanishing_removed": engine.vanishing.total_removed,
+        "compact_hits": engine.compact_hits,
+        "compact_misses": engine.compact_misses,
+    }
+
+
+def prepare(aig):
+    """Cleanup and infer operand widths (square multipliers)."""
+    aig = cleanup(aig)
+    width_a = aig.num_inputs // 2
+    width_b = aig.num_inputs - width_a
+    return aig, width_a, width_b

@@ -1,0 +1,42 @@
+"""Node-level static backward rewriting — the [8]/[11] method family.
+
+No reverse engineering, no cone grouping, no vanishing-monomial removal:
+every AND node is its own single-output component, substituted in
+reverse topological order with its eq. (1) polynomial.  This is the
+plain algebraic approach of Ritirc et al.; it handles clean ripple-carry
+designs but explodes on non-trivial accumulators — exactly the behaviour
+Table I reports for those columns.
+"""
+
+from __future__ import annotations
+
+from repro.core.components import cone_component
+from repro.core.gatepoly import node_tail_polynomial
+from repro.core.vanishing import VanishingRuleSet
+from repro.aig.aig import lit_var
+from repro.baselines.common import prepare, run_static_verification
+
+
+def node_level_components(aig):
+    """One component per AND node (eq. (1) tail as its polynomial)."""
+    components = []
+    for index, v in enumerate(aig.and_vars()):
+        f0, f1 = aig.fanins(v)
+        inputs = sorted({lit_var(f0), lit_var(f1)} - {0})
+        components.append(cone_component(
+            index, "FFC", v, inputs, node_tail_polynomial(aig, v), {v}))
+    return components
+
+
+def verify_naive_static(aig, width_a=None, width_b=None, signed=False,
+                        monomial_budget=100_000, time_budget=None,
+                        record_trace=False):
+    """Verify with the node-level static method ([8]/[11]-style)."""
+    aig, inferred_a, inferred_b = prepare(aig)
+    width_a = width_a if width_a is not None else inferred_a
+    width_b = width_b if width_b is not None else inferred_b
+    components = node_level_components(aig)
+    return run_static_verification(
+        aig, width_a, width_b, components, VanishingRuleSet(),
+        method_name="naive-static", monomial_budget=monomial_budget,
+        time_budget=time_budget, signed=signed, record_trace=record_trace)

@@ -1,0 +1,33 @@
+"""Cone-level static rewriting with vanishing removal — the [10] family
+(PolyCleaner).
+
+PolyCleaner detects converging gate cones and removes vanishing
+monomials locally before a static global backward rewriting, but does
+*not* use atomic blocks as substitution units (no compact word-level
+relations).  We model it by running the cone partition with an empty
+block list while still compiling the HA-implied vanishing rules from the
+detected blocks.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import prepare, run_static_verification
+from repro.core.atomic import detect_atomic_blocks
+from repro.core.cones import build_components
+from repro.core.vanishing import rules_from_blocks
+
+
+def verify_polycleaner_static(aig, width_a=None, width_b=None, signed=False,
+                              monomial_budget=100_000, time_budget=None,
+                              record_trace=False):
+    """Verify with the PolyCleaner-style method ([10])."""
+    aig, inferred_a, inferred_b = prepare(aig)
+    width_a = width_a if width_a is not None else inferred_a
+    width_b = width_b if width_b is not None else inferred_b
+    blocks = detect_atomic_blocks(aig)
+    vanishing = rules_from_blocks(blocks, extended=False)
+    components, vanishing = build_components(aig, [], vanishing=vanishing)
+    return run_static_verification(
+        aig, width_a, width_b, components, vanishing,
+        method_name="polycleaner-static", monomial_budget=monomial_budget,
+        time_budget=time_budget, signed=signed, record_trace=record_trace)

@@ -1,0 +1,15 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from repro.bench.harness import (
+    METHODS,
+    bench_config,
+    benchmark_multiplier,
+    cached_aig,
+    run_method,
+    runtime_cell,
+)
+from repro.bench.render import render_table, render_trace_plot
+
+__all__ = ["bench_config", "benchmark_multiplier", "cached_aig",
+           "run_method", "runtime_cell", "METHODS",
+           "render_table", "render_trace_plot"]

@@ -1,0 +1,77 @@
+"""Fig. 5 — ``SP_i`` size per backward-rewriting step.
+
+Regenerates the paper's Fig. 5: the number of monomials in the
+intermediate specification polynomial at every rewriting step for the
+``SP o DT o LF`` multiplier, (a) unoptimized, (b) dc2, (c) resyn3 —
+each with the static ordering (black line in the paper) and the dynamic
+ordering (red line).  The paper's headline observation must hold: on
+optimized netlists the static order produces peaks orders of magnitude
+above the dynamic order.
+
+Run with ``python -m repro.bench.fig5``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.harness import (
+    bench_config,
+    benchmark_multiplier,
+    run_method,
+)
+from repro.bench.render import render_table, render_trace_plot
+
+ARCHITECTURE = "SP-DT-LF"
+VARIANTS = ("none", "dc2", "resyn3", "map3")
+
+
+def trace_case(optimization, width=None, config=None):
+    """Collect static and dynamic SP_i traces for one Fig. 5 panel."""
+    config = config or bench_config()
+    width = width or config["fig5_size"]
+    aig = benchmark_multiplier(ARCHITECTURE, width, optimization)
+    traces = {}
+    peaks = {}
+    status = {}
+    for method, label in (("dyposub", "dynamic"), ("revsca-static", "static")):
+        result = run_method(method, aig, budget=config["budget"],
+                            time_budget=config["time"], record_trace=True)
+        traces[label] = result.trace
+        peaks[label] = result.stats.get("max_poly_size", 0)
+        status[label] = result.status
+    return {"aig": aig, "traces": traces, "peaks": peaks, "status": status,
+            "width": width, "optimization": optimization}
+
+
+def main(argv=None):
+    config = bench_config()
+    width = config["fig5_size"]
+    print(f"# Fig. 5 reproduction: {ARCHITECTURE} {width}x{width} "
+          f"(scale={config['scale']})", flush=True)
+    summary = []
+    for optimization in VARIANTS:
+        print(f"  tracing {optimization}...", file=sys.stderr, flush=True)
+        case = trace_case(optimization, config=config)
+        label = "-" if optimization == "none" else optimization
+        print()
+        print(render_trace_plot(
+            case["traces"],
+            title=f"Fig.5 ({label}): SP_i size per step "
+                  f"[static={case['status']['static']}, "
+                  f"dynamic={case['status']['dynamic']}]"))
+        ratio = (case["peaks"]["static"] / case["peaks"]["dynamic"]
+                 if case["peaks"]["dynamic"] else float("inf"))
+        summary.append([label, case["peaks"]["dynamic"],
+                        case["peaks"]["static"], f"{ratio:.1f}x",
+                        case["status"]["dynamic"], case["status"]["static"]])
+    print()
+    print(render_table(
+        ["Optimiz.", "Peak(dynamic)", "Peak(static)", "Ratio",
+         "Dynamic", "Static"],
+        summary, title="Fig. 5 peak summary"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,108 @@
+"""ASCII rendering for benchmark tables and SP_i-size plots."""
+
+from __future__ import annotations
+
+
+def render_table(headers, rows, title=None):
+    """Monospace table with right-aligned numeric columns.
+
+    Rows longer or shorter than the header list are padded/truncated so
+    a column-count mismatch degrades gracefully instead of raising.
+    """
+    columns = len(headers)
+    cells = []
+    for row in rows:
+        formatted = [_fmt(c) for c in row[:columns]]
+        formatted += [""] * (columns - len(formatted))
+        cells.append(formatted)
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    numeric = [all(_is_numeric(row[k]) for row in cells if row[k] != "")
+               for k in range(columns)] if cells else [False] * columns
+
+    def line(row):
+        parts = []
+        for k, cell in enumerate(row):
+            parts.append(cell.rjust(widths[k]) if numeric[k]
+                         else cell.ljust(widths[k]))
+        return "  ".join(parts).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def _is_numeric(text):
+    if not text or text in ("-", "TO", "n/a"):
+        return text in ("-", "TO", "n/a")
+    try:
+        float(text.replace(",", ""))
+        return True
+    except ValueError:
+        return False
+
+
+def render_trace_plot(traces, height=18, width=72, log_scale=True,
+                      title=None):
+    """Plot SP_i-size traces (the paper's Fig. 5) as ASCII art.
+
+    ``traces`` maps label -> list of sizes per rewriting step.  Uses a
+    log y-axis by default because static and dynamic orders differ by
+    orders of magnitude.
+    """
+    import math
+
+    symbols = "*o+x#@"
+    all_points = [v for trace in traces.values() for v in trace if v > 0]
+    if not all_points:
+        return "(no data)"
+    max_steps = max(len(t) for t in traces.values())
+    top = max(all_points)
+    bottom = min(all_points)
+    if log_scale:
+        scale = lambda v: math.log10(max(v, 1))
+        top_s, bottom_s = scale(top), scale(max(bottom, 1))
+    else:
+        scale = float
+        top_s, bottom_s = float(top), float(bottom)
+    if top_s == bottom_s:
+        top_s += 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, trace) in enumerate(sorted(traces.items())):
+        symbol = symbols[index % len(symbols)]
+        for step, value in enumerate(trace):
+            col = int(step * (width - 1) / max(max_steps - 1, 1))
+            row = int((scale(max(value, 1)) - bottom_s)
+                      * (height - 1) / (top_s - bottom_s))
+            row = min(max(row, 0), height - 1)
+            grid[height - 1 - row][col] = symbol
+
+    lines = []
+    if title:
+        lines.append(title)
+    axis = "size" + (" (log10)" if log_scale else "")
+    lines.append(f"{axis}: {bottom} .. {top}")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" steps: 0 .. {max_steps}")
+    for index, label in enumerate(sorted(traces)):
+        lines.append(f"   {symbols[index % len(symbols)]} = {label}")
+    return "\n".join(lines)

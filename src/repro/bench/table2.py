@@ -1,0 +1,87 @@
+"""Table II — verification of industrial multipliers.
+
+Regenerates the paper's Table II: DesignWare-like technology-mapped
+Booth-Wallace multipliers across sizes, plus one EPFL-like heavily
+optimized instance; columns are AIG nodes and per-method run times.
+
+Run with ``python -m repro.bench.table2``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.harness import (
+    bench_config,
+    cached_aig,
+    run_method,
+    runtime_cell,
+)
+from repro.bench.render import render_table
+from repro.bench.table1 import BASELINE_COLUMNS
+from repro.industrial import designware_like_multiplier, epfl_like_multiplier
+
+
+def table2_cases(config=None):
+    config = config or bench_config()
+    cases = [("DesignWare-like", width) for width in config["industrial_sizes"]]
+    cases.append(("EPFL-like", config["epfl_size"]))
+    return cases
+
+
+def industrial_aig(source, width):
+    if source == "DesignWare-like":
+        return cached_aig(f"designware_{width}x{width}",
+                          lambda: designware_like_multiplier(width))
+    if source == "EPFL-like":
+        return cached_aig(f"epfl_{width}x{width}",
+                          lambda: epfl_like_multiplier(width))
+    raise ValueError(f"unknown industrial source {source!r}")
+
+
+def run_case(source, width, config=None, methods=None):
+    config = config or bench_config()
+    aig = industrial_aig(source, width)
+    methods = methods or ("dyposub",) + tuple(m for m, _ in BASELINE_COLUMNS)
+    results = {}
+    for method in methods:
+        results[method] = run_method(method, aig,
+                                     budget=config["budget"],
+                                     time_budget=config["time"])
+    return {"aig": aig, "results": results}
+
+
+def build_rows(config=None, progress=None):
+    config = config or bench_config()
+    rows = []
+    for source, width in table2_cases(config):
+        if progress:
+            progress(f"{source} {width}x{width}")
+        case = run_case(source, width, config)
+        ours = case["results"]["dyposub"]
+        row = [source, f"{width}x{width}", case["aig"].num_ands,
+               runtime_cell(ours), "n/a"]
+        for method, _tag in BASELINE_COLUMNS:
+            row.append(runtime_cell(case["results"][method]))
+        rows.append(row)
+    return rows
+
+
+HEADERS = ["Source", "Size", "Nodes", "Ours(s)", "Com.",
+           "[13](s)", "[10](s)", "[5]/[11](s)", "[8]/[16](s)"]
+
+
+def main(argv=None):
+    config = bench_config()
+    print(f"# Table II reproduction (scale={config['scale']}, "
+          f"budget={config['budget']} monomials, "
+          f"time={config['time']:.0f}s per case)", flush=True)
+    rows = build_rows(config, progress=lambda s: print(f"  running {s}...",
+                                                       file=sys.stderr,
+                                                       flush=True))
+    print(render_table(HEADERS, rows, title="Table II: industrial multipliers"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

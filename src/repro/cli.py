@@ -1,0 +1,134 @@
+"""Command-line interface: generate, optimize and verify multipliers.
+
+Mirrors the way the original DyPoSub tool is driven (AIG in, verdict
+out) while also exposing this package's generators and optimizers::
+
+    python -m repro generate SP-DT-LF 16 -o mult.aag
+    python -m repro optimize mult.aag --script resyn3 -o mult_opt.aag
+    python -m repro verify mult_opt.aag --width-a 16
+    python -m repro verify mult.aag --method static --budget 100000
+    python -m repro inject mult.aag --kind gate-type -o buggy.aag
+    python -m repro stats mult.aag
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.aig.aiger import read_aag, write_aag
+from repro.core.verifier import verify_multiplier
+from repro.genmul.faults import FAULT_KINDS, inject_visible_fault
+from repro.genmul.multiplier import generate_multiplier
+from repro.opt.scripts import OPTIMIZATIONS, optimize
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DyPoSub reproduction: SCA verification of integer "
+                    "multipliers")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a multiplier AIG")
+    gen.add_argument("architecture", help="e.g. SP-DT-LF")
+    gen.add_argument("width", type=int)
+    gen.add_argument("--width-b", type=int, default=None)
+    gen.add_argument("-o", "--output", default=None,
+                     help="AIGER output path (default: stdout)")
+
+    opt = sub.add_parser("optimize", help="run an optimization script")
+    opt.add_argument("input", help="AIGER input path")
+    opt.add_argument("--script", default="resyn3",
+                     choices=sorted(OPTIMIZATIONS))
+    opt.add_argument("-o", "--output", default=None)
+
+    ver = sub.add_parser("verify", help="formally verify a multiplier AIG")
+    ver.add_argument("input", help="AIGER input path")
+    ver.add_argument("--width-a", type=int, default=None,
+                     help="operand-A width (default: half the inputs)")
+    ver.add_argument("--signed", action="store_true")
+    ver.add_argument("--method", default="dyposub",
+                     choices=["dyposub", "static"])
+    ver.add_argument("--budget", type=int, default=None,
+                     help="monomial budget (stand-in for the paper's TO)")
+    ver.add_argument("--time-budget", type=float, default=None,
+                     help="wall-clock budget in seconds")
+    ver.add_argument("--threshold", type=float, default=0.1,
+                     help="Algorithm 2 initial growth threshold")
+
+    inj = sub.add_parser("inject", help="inject a fault (for testing)")
+    inj.add_argument("input")
+    inj.add_argument("--kind", default="gate-type", choices=FAULT_KINDS)
+    inj.add_argument("--seed", type=int, default=0)
+    inj.add_argument("-o", "--output", default=None)
+
+    sta = sub.add_parser("stats", help="print AIG statistics")
+    sta.add_argument("input")
+    return parser
+
+
+def _emit(aig, output):
+    text = write_aag(aig)
+    if output:
+        with open(output, "w", encoding="ascii") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.command == "generate":
+        aig = generate_multiplier(args.architecture, args.width,
+                                  args.width_b)
+        _emit(aig, args.output)
+        print(f"# {aig.name}: {aig.num_ands} AND nodes", file=sys.stderr)
+        return 0
+    if args.command == "optimize":
+        aig = read_aag(args.input)
+        before = aig.num_ands
+        optimized = optimize(aig, args.script)
+        _emit(optimized, args.output)
+        print(f"# {args.script}: {before} -> {optimized.num_ands} AND nodes",
+              file=sys.stderr)
+        return 0
+    if args.command == "verify":
+        aig = read_aag(args.input)
+        kwargs = {}
+        if args.budget is not None:
+            kwargs["monomial_budget"] = args.budget
+        result = verify_multiplier(
+            aig, width_a=args.width_a, signed=args.signed,
+            method=args.method, time_budget=args.time_budget,
+            initial_threshold=args.threshold, **kwargs)
+        print(result.summary())
+        if result.status == "buggy":
+            a = result.stats.get("counterexample_a")
+            b = result.stats.get("counterexample_b")
+            print(f"counterexample: a={a} b={b}")
+            return 1
+        if result.timed_out:
+            return 2
+        return 0
+    if args.command == "inject":
+        aig = read_aag(args.input)
+        buggy = inject_visible_fault(aig, kind=args.kind, seed=args.seed)
+        _emit(buggy, args.output)
+        return 0
+    if args.command == "stats":
+        aig = read_aag(args.input)
+        for key, value in aig.stats().items():
+            print(f"{key}: {value}")
+        from repro.core.atomic import detect_atomic_blocks
+
+        blocks = detect_atomic_blocks(aig)
+        fa = sum(1 for blk in blocks if blk.kind == "FA")
+        print(f"full_adders: {fa}")
+        print(f"half_adders: {len(blocks) - fa}")
+        return 0
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""The paper's contribution: SCA verification with dynamic backward
+rewriting (DyPoSub)."""
+
+from repro.core.atomic import AtomicBlock, detect_atomic_blocks, ha_pairs
+from repro.core.components import (
+    Component,
+    atomic_block_component,
+    cone_component,
+)
+from repro.core.cones import build_components
+from repro.core.counterexample import counterexample_for, find_nonzero_assignment
+from repro.core.dynamic import dynamic_backward_rewriting
+from repro.core.gatepoly import (
+    cone_polynomial,
+    literal_polynomial,
+    node_tail_polynomial,
+)
+from repro.core.result import VerificationResult
+from repro.core.rewriting import RewritingEngine
+from repro.core.spec import (
+    adder_specification,
+    multiplier_specification,
+    operand_word_polynomial,
+    output_word_polynomial,
+)
+from repro.core.vanishing import VanishingRuleSet, rules_from_blocks
+from repro.core.verifier import verify_multiplier
+from repro.core.wordlevel import (
+    is_boolean_valued,
+    reduce_specification,
+    verify_adder,
+)
+
+__all__ = [
+    "AtomicBlock", "detect_atomic_blocks", "ha_pairs",
+    "Component", "atomic_block_component", "cone_component",
+    "build_components",
+    "counterexample_for", "find_nonzero_assignment",
+    "dynamic_backward_rewriting",
+    "cone_polynomial", "literal_polynomial", "node_tail_polynomial",
+    "VerificationResult", "RewritingEngine",
+    "multiplier_specification", "adder_specification",
+    "operand_word_polynomial", "output_word_polynomial",
+    "VanishingRuleSet", "rules_from_blocks",
+    "verify_multiplier",
+    "reduce_specification", "verify_adder", "is_boolean_valued",
+]

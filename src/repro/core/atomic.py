@@ -1,0 +1,211 @@
+"""Reverse engineering: atomic-block identification (Algorithm 1, line 2).
+
+Half adders and full adders are located by cut enumeration: a pair of
+nodes sharing the same 2-cut (3-cut) whose cone functions are AND and
+XOR (majority and 3-input parity) — under *any* input/output polarity —
+forms an HA (FA).  Polarity awareness matters: in a real netlist the
+carry chain routes complemented literals, so a full-adder carry often
+computes ``MAJ(!x, y, z)`` rather than ``MAJ(x, y, z)``.  The word-level
+relation simply absorbs the flips:
+
+    2*C + S = X' + Y' + Z',      X' = x or (1 - x) per input polarity.
+
+This is the cut-matching approach of RevSCA [13]; the paper relies on it
+and shows that optimization *destroys* some of these boundaries, which
+is what the tests and benchmarks measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.aig.cuts import enumerate_cuts
+from repro.aig.ops import cone_vars, fanout_map
+from repro.aig.truth import (
+    AND2,
+    MAJ3,
+    XNOR2,
+    XNOR3,
+    XOR2,
+    XOR3,
+    cofactor,
+    tt_mask,
+)
+
+
+def _polarity_table(base_tt, num_vars):
+    """Map every input/output-flip variant of ``base_tt`` to a
+    ``(input_negations, output_negated)`` tuple."""
+    table = {}
+    mask = tt_mask(num_vars)
+    for flips in range(1 << num_vars):
+        tt = base_tt
+        for pos in range(num_vars):
+            if (flips >> pos) & 1:
+                c0 = cofactor(tt, pos, num_vars, 0)
+                c1 = cofactor(tt, pos, num_vars, 1)
+                from repro.aig.truth import var_pattern
+                pattern = var_pattern(pos, num_vars)
+                tt = (c1 & ~pattern & mask) | (c0 & pattern)
+        polarity = tuple(bool((flips >> pos) & 1) for pos in range(num_vars))
+        table.setdefault(tt & mask, (polarity, False))
+        table.setdefault((tt ^ mask) & mask, (polarity, True))
+    return table
+
+
+_CARRY2_TABLE = _polarity_table(AND2, 2)
+_CARRY3_TABLE = _polarity_table(MAJ3, 3)
+_SUM2 = {XOR2: False, XNOR2: True}
+_SUM3 = {XOR3: False, XNOR3: True}
+
+
+@dataclass
+class AtomicBlock:
+    """A detected half or full adder.
+
+    ``carry_negated``/``sum_negated`` mean the AIG *variable* computes
+    the complement of the true carry/sum.  ``input_negations`` records
+    per-input polarity: the word-level relation runs over
+    ``X' = (1 - x)`` for negated inputs.  ``internal`` contains all AND
+    variables of the block including the two output roots.
+    """
+
+    kind: str                   # "HA" or "FA"
+    inputs: tuple               # cut leaf variables
+    input_negations: tuple
+    carry_var: int
+    carry_negated: bool
+    sum_var: int
+    sum_negated: bool
+    internal: frozenset = field(default_factory=frozenset)
+
+    @property
+    def output_vars(self):
+        return (self.carry_var, self.sum_var)
+
+    def describe(self):
+        c = ("!" if self.carry_negated else "") + f"v{self.carry_var}"
+        s = ("!" if self.sum_negated else "") + f"v{self.sum_var}"
+        ins = ",".join(("!" if neg else "") + f"v{v}"
+                       for v, neg in zip(self.inputs, self.input_negations))
+        return f"{self.kind}({ins} -> C={c}, S={s})"
+
+
+def detect_atomic_blocks(aig, cuts=None, max_cuts=24):
+    """Find a maximal non-overlapping set of HA/FA blocks.
+
+    Returns the chosen blocks (full adders preferred over half adders,
+    then earlier roots first).  Two blocks never share an AND node; a
+    block's strictly-internal nodes must not be referenced from outside
+    the block, and both outputs must be used outside it (otherwise the
+    "block" is just an XOR cone with an incidental AND inside).
+    """
+    from repro.aig.truth import cone_truth_table
+
+    if cuts is None:
+        cuts = enumerate_cuts(aig, k=3, limit=max_cuts)
+    fanouts, po_refs = fanout_map(aig)
+
+    # Classify every (node, cut) pair by role.
+    by_cut = {}
+    for v in aig.and_vars():
+        for cut in cuts.get(v, ()):
+            if cut == (v,) or len(cut) < 2:
+                continue
+            tt = cone_truth_table(aig, v, cut)
+            if len(cut) == 2:
+                carry_hit = _CARRY2_TABLE.get(tt)
+                sum_hit = _SUM2.get(tt)
+            else:
+                carry_hit = _CARRY3_TABLE.get(tt)
+                sum_hit = _SUM3.get(tt)
+            if carry_hit is not None:
+                by_cut.setdefault(cut, {}).setdefault("carry", []).append(
+                    (v, carry_hit))
+            if sum_hit is not None:
+                by_cut.setdefault(cut, {}).setdefault("sum", []).append(
+                    (v, sum_hit))
+
+    # Collect block candidates: carry fixes the input polarity; the sum
+    # output polarity is the observed parity polarity corrected by the
+    # parity of the input flips.
+    candidates = []
+    for cut, roles in by_cut.items():
+        for carry_var, (polarity, carry_neg) in roles.get("carry", []):
+            flip_parity = sum(polarity) % 2 == 1
+            for sum_var, tt_neg in roles.get("sum", []):
+                if carry_var == sum_var:
+                    continue
+                sum_neg = tt_neg != flip_parity
+                kind = "HA" if len(cut) == 2 else "FA"
+                candidates.append(_make_block(
+                    aig, kind, cut, polarity,
+                    carry_var, carry_neg, sum_var, sum_neg))
+
+    # Validate and select greedily: FAs first.
+    valid = [blk for blk in candidates
+             if _internals_contained(aig, blk, fanouts, po_refs)
+             and _outputs_used_externally(blk, fanouts, po_refs)]
+    valid.sort(key=lambda blk: (blk.kind != "FA", max(blk.output_vars),
+                                blk.carry_var, blk.sum_var))
+    chosen = []
+    claimed = set()
+    roots_used = set()
+    for blk in valid:
+        if blk.internal & claimed:
+            continue
+        if blk.carry_var in roots_used or blk.sum_var in roots_used:
+            continue
+        chosen.append(blk)
+        claimed |= blk.internal
+        roots_used.update(blk.output_vars)
+    return chosen
+
+
+def _make_block(aig, kind, cut, polarity, carry_var, carry_neg,
+                sum_var, sum_neg):
+    internal = (cone_vars(aig, carry_var, cut)
+                | cone_vars(aig, sum_var, cut))
+    return AtomicBlock(kind=kind, inputs=tuple(cut),
+                       input_negations=tuple(polarity),
+                       carry_var=carry_var, carry_negated=carry_neg,
+                       sum_var=sum_var, sum_negated=sum_neg,
+                       internal=frozenset(internal))
+
+
+def _internals_contained(aig, blk, fanouts, po_refs):
+    """Strictly-internal nodes must only be referenced inside the block."""
+    strict = blk.internal - set(blk.output_vars)
+    for v in strict:
+        if po_refs.get(v, 0):
+            return False
+        for consumer in fanouts[v]:
+            if consumer not in blk.internal:
+                return False
+    return True
+
+
+def _outputs_used_externally(blk, fanouts, po_refs):
+    """Both roots must be referenced outside the block.
+
+    Rejects *phantom* blocks: e.g. in the AOI-style XOR structure
+    ``NOR(NOR(a,b), AND(a,b))`` the inner ``AND(a,b)`` matches the carry
+    function, but when nothing outside the cone consumes it, the pair is
+    just an XOR — claiming it as a half adder would register an output
+    variable that never occurs in ``SP_i`` and spoil the compact
+    word-level substitution.
+    """
+    for root in blk.output_vars:
+        if po_refs.get(root, 0):
+            continue
+        if any(consumer not in blk.internal for consumer in fanouts[root]):
+            continue
+        return False
+    return True
+
+
+def ha_pairs(blocks):
+    """(carry_var, carry_neg, sum_var, sum_neg) for every HA — the raw
+    material of the vanishing-monomial rules."""
+    return [(blk.carry_var, blk.carry_negated, blk.sum_var, blk.sum_negated)
+            for blk in blocks if blk.kind == "HA"]

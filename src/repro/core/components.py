@@ -1,0 +1,129 @@
+"""Components: the substitution units of backward rewriting.
+
+Definition 1 of the paper: atomic blocks, converging gate cones (CGCs)
+and fanout-free cones (FFCs) are *components*.  A CGC/FFC has a single
+output; an atomic block has several (carry and sum).  Every component
+carries
+
+* per-output replacement polynomials over its input variables
+  (eq. (4)/(5)), and
+* for atomic blocks, the compact word-level relation
+  ``G(outputs) = F(inputs)`` (eq. (6)) — e.g. ``2C + S = X + Y + Z`` for
+  a full adder — through which substitution barely grows ``SP_i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.poly.polynomial import Polynomial
+
+
+@dataclass
+class Component:
+    """One substitution unit.
+
+    ``substitutions`` maps each output variable to its replacement
+    polynomial over the component's inputs.  ``compact`` is ``None`` or a
+    pair ``(g_coeffs, f_poly)`` with ``g_coeffs`` a dict
+    ``{output_var: coefficient}`` such that
+    ``sum(coeff * var) = f_poly`` holds on every consistent assignment.
+    """
+
+    index: int
+    kind: str                    # "HA" | "FA" | "CGC" | "FFC"
+    output_vars: tuple
+    input_vars: tuple
+    substitutions: dict
+    compact: object = None
+    internal: frozenset = field(default_factory=frozenset)
+
+    @property
+    def is_atomic(self):
+        return self.kind in ("HA", "FA")
+
+    def describe(self):
+        outs = ",".join(f"v{v}" for v in self.output_vars)
+        ins = ",".join(f"v{v}" for v in self.input_vars)
+        return f"{self.kind}#{self.index}({ins} -> {outs})"
+
+
+def _literal_poly(var, negated):
+    return Polynomial.literal(var, negated)
+
+
+def atomic_block_component(index, block):
+    """Build the component of a detected HA/FA.
+
+    Handles polarity on both sides: negated inputs enter the word-level
+    relation as ``X' = 1 - x`` and a negated output means the AIG
+    variable carries the complement of the true carry/sum.
+    """
+    negations = getattr(block, "input_negations", None)
+    if negations is None:
+        negations = (False,) * len(block.inputs)
+    literals = [Polynomial.literal(var, neg)
+                for var, neg in zip(block.inputs, negations)]
+    x, y = literals[0], literals[1]
+    if block.kind == "HA":
+        carry_true = x * y
+        rhs = x + y
+    else:
+        z = literals[2]
+        xy, xz, yz = x * y, x * z, y * z
+        carry_true = xy + xz + yz - 2 * (xy * z)
+        rhs = x + y + z
+
+    # Per-output replacement for the AIG variables (eq. (5)).  The sum is
+    # NOT replaced by its degree-3 parity polynomial: the block's own
+    # word-level relation gives the linear form
+    #     S = (X' + Y' [+ Z']) - 2*C
+    # in terms of the *carry variable*, which keeps the fallback
+    # substitution (when the compact pattern is absent from SP_i) from
+    # blowing up SP_i with parity products.  The engine substitutes the
+    # sum first, then eliminates the carry variable it introduced.
+    carry_sub = (1 - carry_true) if block.carry_negated else carry_true
+    carry_literal = Polynomial.literal(block.carry_var, block.carry_negated)
+    sum_linear = rhs - 2 * carry_literal
+    sum_sub = (1 - sum_linear) if block.sum_negated else sum_linear
+
+    # Compact relation 2C + S = rhs (eq. (6)), polarity folded:
+    #   C = vc or (1 - vc);  S = vs or (1 - vs)
+    g_coeffs = {}
+    f_poly = rhs
+    if block.carry_negated:
+        g_coeffs[block.carry_var] = -2
+        f_poly = f_poly - 2
+    else:
+        g_coeffs[block.carry_var] = 2
+    if block.sum_negated:
+        g_coeffs[block.sum_var] = g_coeffs.get(block.sum_var, 0) - 1
+        f_poly = f_poly - 1
+    else:
+        g_coeffs[block.sum_var] = g_coeffs.get(block.sum_var, 0) + 1
+
+    # Substitution order matters: the sum's linear form references the
+    # carry variable, so the sum must be eliminated first (the engine
+    # follows the insertion order of this mapping).
+    return Component(
+        index=index,
+        kind=block.kind,
+        output_vars=(block.carry_var, block.sum_var),
+        input_vars=tuple(block.inputs),
+        substitutions={block.sum_var: sum_sub, block.carry_var: carry_sub},
+        compact=(g_coeffs, f_poly),
+        internal=block.internal,
+    )
+
+
+def cone_component(index, kind, root_var, input_vars, poly, internal):
+    """Build a single-output component (CGC or FFC, eq. (4))."""
+    return Component(
+        index=index,
+        kind=kind,
+        output_vars=(root_var,),
+        input_vars=tuple(sorted(input_vars)),
+        substitutions={root_var: poly},
+        compact=None,
+        internal=frozenset(internal),
+    )

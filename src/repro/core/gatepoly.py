@@ -1,0 +1,58 @@
+"""AIG node polynomials — equation (1) of the paper.
+
+Every AND node ``z = l0 & l1`` (with possibly complemented fan-in
+literals) has the node polynomial ``P_N = z - tail(P_N)`` where
+
+    tail = term(l0) * term(l1),    term(x) = x,  term(!x) = 1 - x.
+
+Expanding the product reproduces the paper's five cases.  Backward
+rewriting substitutes ``z`` by ``tail`` in the intermediate specification
+polynomial.
+"""
+
+from __future__ import annotations
+
+from repro.aig.aig import lit_is_negated, lit_var
+from repro.poly.polynomial import Polynomial
+
+
+def node_tail_polynomial(aig, var):
+    """The ``tail`` polynomial of an AND variable (replacement for it)."""
+    f0, f1 = aig.fanins(var)
+    return literal_polynomial(f0) * literal_polynomial(f1)
+
+
+def literal_polynomial(literal):
+    """Polynomial of an AIG literal (``x`` or ``1 - x``).
+
+    Variable 0 is the AIG constant: literal 0 is the zero polynomial and
+    literal 1 the constant one.
+    """
+    var = lit_var(literal)
+    if var == 0:
+        return Polynomial.constant(1 if lit_is_negated(literal) else 0)
+    return Polynomial.literal(var, lit_is_negated(literal))
+
+
+def cone_polynomial(aig, root_var, leaves, vanishing=None):
+    """Local backward rewriting of a cone: express ``root_var`` as a
+    polynomial over the ``leaves``.
+
+    Substitutes the node polynomials of the cone's AND variables in
+    reverse topological order.  When a :class:`VanishingRuleSet` is
+    given, its rules are applied after every step (this is the "local
+    removal of vanishing monomials inside converging gate cones" of
+    [10]/[13]); removal counts accumulate in the rule set.
+    """
+    from repro.aig.ops import cone_vars
+
+    leaves = set(leaves)
+    poly = Polynomial.variable(root_var)
+    internal = cone_vars(aig, root_var, leaves)
+    for v in sorted(internal, reverse=True):
+        if not poly.contains_var(v):
+            continue
+        poly = poly.substitute(v, node_tail_polynomial(aig, v))
+        if vanishing is not None:
+            poly = vanishing.apply(poly)
+    return poly

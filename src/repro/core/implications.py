@@ -1,0 +1,136 @@
+"""Conflict-derived vanishing rules: carry operators and beyond.
+
+The paper lists "carry operators" (the ``(G, P)`` nodes of parallel-
+prefix adders, after Zimmermann [18]) among the atomic blocks whose
+word-level behaviour SCA verifiers must exploit.  Their key algebraic
+property is ``G * P = 0`` on every prefix span: a group cannot generate
+a carry *and* propagate one.  Unlike the half-adder product rule this is
+not a local truth-table fact — it follows inductively from the leaf
+relations ``g_i * p_i = 0`` through the prefix combine structure.
+
+This module derives such product-zero (*conflict*) pairs by a bounded
+fixpoint over the AIG.  ``Z[lit]`` collects literals that can never be
+true together with ``lit``:
+
+* an AND node ``w = la & lb`` conflicts with ``!la``/``!lb`` and
+  inherits every conflict of its conjuncts;
+* the complement ``!w = !la | !lb`` conflicts with whatever conflicts
+  with *both* branches (disjunction elimination);
+* detected half adders seed the semantic conflicts ``C # S``;
+* the relation is kept symmetric, and iteration continues to a fixpoint
+  (bounded passes, capped set sizes — dropping conflicts is sound).
+
+Every derived pair among the component-output/input variables becomes a
+vanishing rule via :class:`repro.core.vanishing.VanishingRuleSet` — for
+Kogge-Stone / Brent-Kung / carry-lookahead multipliers these are exactly
+the ``G * P`` rules that keep backward rewriting from exploding.
+"""
+
+from __future__ import annotations
+
+from repro.aig.aig import lit_is_negated, lit_var
+
+
+def _lit(var, negated):
+    return 2 * var + (1 if negated else 0)
+
+
+def derive_zero_pairs(aig, blocks, interesting_vars, cap=128,
+                      max_passes=4):
+    """Derive product-zero pairs among the interesting variables.
+
+    Returns a set of ``((u, pu), (v, pv))`` tuples (u < v) meaning
+    ``(u xor pu) * (v xor pv) = 0`` on every consistent assignment.
+    ``cap`` bounds the conflict-set size per literal and ``max_passes``
+    the fixpoint iterations (both truncations are sound).
+    """
+    interesting = set(interesting_vars)
+    conflicts = {}
+
+    def conf(literal):
+        return conflicts.get(literal, _EMPTY)
+
+    def add_conflict(a, b):
+        changed = False
+        set_a = conflicts.setdefault(a, set())
+        if b not in set_a and len(set_a) < cap:
+            set_a.add(b)
+            changed = True
+        set_b = conflicts.setdefault(b, set())
+        if a not in set_b and len(set_b) < cap:
+            set_b.add(a)
+            changed = True
+        return changed
+
+    for blk in blocks:
+        if blk.kind != "HA":
+            continue
+        add_conflict(_lit(blk.carry_var, blk.carry_negated),
+                     _lit(blk.sum_var, blk.sum_negated))
+
+    and_nodes = [(v,) + aig.fanins(v) for v in aig.and_vars()]
+    for _sweep in range(max_passes):
+        changed = False
+        for v, f0, f1 in and_nodes:
+            w_pos = 2 * v
+            w_neg = w_pos + 1
+            # w = f0 & f1: conflicts with the branch complements and
+            # with everything a conjunct conflicts with
+            for target in (f0 ^ 1, f1 ^ 1):
+                if add_conflict(w_pos, target):
+                    changed = True
+            for target in tuple(conf(f0)) + tuple(conf(f1)):
+                if target >> 1 != v and add_conflict(w_pos, target):
+                    changed = True
+            # !w = !f0 | !f1: disjunction elimination
+            both = conf(f0 ^ 1) & conf(f1 ^ 1)
+            for target in both:
+                if target >> 1 != v and add_conflict(w_neg, target):
+                    changed = True
+        if not changed:
+            break
+
+    pairs = set()
+    for literal, partners in conflicts.items():
+        u = lit_var(literal)
+        if u not in interesting:
+            continue
+        pu = 1 if lit_is_negated(literal) else 0
+        for partner in partners:
+            v = lit_var(partner)
+            if v == u or v not in interesting:
+                continue
+            pv = 1 if lit_is_negated(partner) else 0
+            key = (((u, pu), (v, pv)) if u < v else ((v, pv), (u, pu)))
+            pairs.add(key)
+    return pairs
+
+
+_EMPTY = frozenset()
+
+
+def add_implication_rules(rules, aig, blocks, components, cap=128):
+    """Derive zero pairs among component outputs/inputs and register
+    them as vanishing rules.
+
+    Skips pairs the rule set already covers (duplicates would only cost
+    time, not correctness).  Returns the number of rules added.
+    """
+    interesting = set(aig.inputs)
+    for comp in components:
+        interesting.update(comp.output_vars)
+    existing = set()
+    for var, partner_list in rules._by_var.items():
+        for partner, _terms in partner_list:
+            existing.add(frozenset((var, partner)))
+    added = 0
+    for (u, pu), (v, pv) in sorted(derive_zero_pairs(aig, blocks,
+                                                     interesting, cap=cap)):
+        if frozenset((u, v)) in existing:
+            continue
+        # register via the HA-product machinery: it implements exactly
+        # the four polarity cases of a product-zero pair
+        rules.add_ha_product_rule(u, bool(pu), v, bool(pv))
+        existing.add(frozenset((u, v)))
+        added += 1
+    return added

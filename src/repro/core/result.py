@@ -1,0 +1,48 @@
+"""Verification results and statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of one verification run.
+
+    ``status`` is one of
+
+    * ``"correct"`` — the remainder is zero (Algorithm 1 returns TRUE);
+    * ``"buggy"`` — the remainder is non-zero; ``counterexample`` (when
+      requested) maps input variables to bits witnessing the bug;
+    * ``"timeout"`` — the monomial or wall-clock budget tripped, the
+      reproduction's analogue of the paper's 24 h TO entries.
+    """
+
+    status: str
+    method: str
+    remainder: object = None
+    counterexample: dict = None
+    seconds: float = 0.0
+    stats: dict = field(default_factory=dict)
+    trace: list = field(default_factory=list)
+
+    @property
+    def ok(self):
+        return self.status == "correct"
+
+    @property
+    def timed_out(self):
+        return self.status == "timeout"
+
+    def summary(self):
+        """One-line human-readable summary for logs and examples."""
+        core = f"{self.method}: {self.status} in {self.seconds:.2f}s"
+        if self.stats:
+            extras = []
+            for key in ("nodes", "components", "atomic_blocks",
+                        "vanishing_removed", "max_poly_size", "steps"):
+                if key in self.stats:
+                    extras.append(f"{key}={self.stats[key]}")
+            if extras:
+                core += " (" + ", ".join(extras) + ")"
+        return core

@@ -1,0 +1,284 @@
+"""Global backward rewriting over components.
+
+The engine tracks the component DAG and enforces the paper's
+substitution rule 2: a component may be substituted only after every
+component consuming one of its outputs has been substituted (so each
+component is substituted exactly once).
+
+Two orders are built on top of the shared machinery:
+
+* :meth:`RewritingEngine.run_static` — the fixed reverse-topological
+  order used by all prior SCA verifiers;
+* :func:`repro.core.dynamic.dynamic_backward_rewriting` — the paper's
+  Algorithm 2 (occurrence-sorted candidates, growth threshold,
+  backtracking).
+
+Substituting an atomic block first attempts the compact word-level
+relation ``G(outs) = F(ins)`` (rule 1); when ``SP_i`` does not contain
+``G`` in the required form, it falls back to per-output substitution.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import BudgetExceeded, VerificationError
+from repro.poly.polynomial import Polynomial
+
+
+class AttemptTooLarge(Exception):
+    """Internal: a substitution attempt exceeded the hard monomial cap.
+
+    Raised *during* polynomial construction so that a runaway attempt is
+    abandoned early instead of materializing millions of monomials; the
+    dynamic engine treats it as an infinitely-growing candidate, the
+    static engine as budget exhaustion.
+    """
+
+
+class RewritingEngine:
+    """Shared state of one backward-rewriting run."""
+
+    def __init__(self, spec, components, vanishing, monomial_budget=None,
+                 time_budget=None, record_trace=False,
+                 record_certificate=False):
+        self.vanishing = vanishing
+        self.spec = spec
+        self.sp = vanishing.apply(spec)
+        self.record_certificate = record_certificate
+        self.certificate_steps = [] if record_certificate else None
+        self.components = {comp.index: comp for comp in components}
+        self.monomial_budget = monomial_budget
+        # A substitution attempt is abandoned once it exceeds this many
+        # monomials (runaway attempts would otherwise stall the run
+        # before the budgets can trip).
+        self.hard_cap = 4 * monomial_budget if monomial_budget else None
+        self.time_budget = time_budget
+        self.record_trace = record_trace
+        self.trace = []
+        self.steps = 0
+        self.compact_hits = 0
+        self.compact_misses = 0
+        self.max_size = len(self.sp)
+        self._deadline = (time.monotonic() + time_budget
+                          if time_budget else None)
+
+        # Component DAG: producer -> consumers.
+        var_owner = {}
+        for comp in components:
+            for var in comp.output_vars:
+                if var in var_owner:
+                    raise VerificationError(
+                        f"variable v{var} produced by two components")
+                var_owner[var] = comp.index
+        self._var_owner = var_owner
+        self._producers_of = {}
+        consumers = {comp.index: set() for comp in components}
+        for comp in components:
+            producer_ids = set()
+            for var in comp.input_vars:
+                owner = var_owner.get(var)
+                if owner is not None and owner != comp.index:
+                    producer_ids.add(owner)
+            self._producers_of[comp.index] = producer_ids
+            for producer in producer_ids:
+                consumers[producer].add(comp.index)
+        self._pending_consumers = {idx: len(cons)
+                                   for idx, cons in consumers.items()}
+        self._done = set()
+        self._candidates = {idx for idx, count in self._pending_consumers.items()
+                            if count == 0}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def remaining(self):
+        return len(self.components) - len(self._done)
+
+    def candidates(self):
+        """Eligible components (rule 2), as a sorted list of indices."""
+        return sorted(self._candidates)
+
+    def finished(self):
+        return not self._candidates and self.remaining == 0
+
+    def occurrence_counts(self):
+        """Occurrences of every candidate's outputs in ``SP_i``
+        (Algorithm 2, lines 4-5) in a single scan."""
+        counts = self.sp.occurrence_counts()
+        result = {}
+        for idx in self._candidates:
+            comp = self.components[idx]
+            result[idx] = sum(counts.get(var, 0) for var in comp.output_vars)
+        return result
+
+    # ------------------------------------------------------------------
+    # Substitution
+    # ------------------------------------------------------------------
+
+    def attempt(self, index):
+        """Compute the ``SP_i`` that substituting component ``index``
+        would produce, without committing."""
+        comp = self.components[index]
+        if index not in self._candidates:
+            raise VerificationError(f"component {index} is not a candidate")
+        new_sp = None
+        if comp.compact is not None:
+            new_sp = self._try_compact(comp)
+            if new_sp is None:
+                self.compact_misses += 1
+            else:
+                self.compact_hits += 1
+        if new_sp is None:
+            new_sp = self.sp
+            # Follow the insertion order of the substitution map: atomic
+            # blocks eliminate the sum (whose linear form references the
+            # carry variable) before the carry.
+            for var, replacement in comp.substitutions.items():
+                new_sp = self._substitute_normalized(new_sp, var, replacement)
+        return new_sp
+
+    def _substitute_normalized(self, sp, var, replacement):
+        """Substitute ``var`` and normalize only the freshly created
+        monomials against the vanishing rules.
+
+        ``SP_i`` is kept rule-normalized as an invariant (established on
+        the initial specification polynomial), so untouched monomials are
+        copied through without re-checking — this is what makes vanishing
+        removal cheap enough to run after *every* substitution.
+        """
+        rules = self.vanishing
+        rep_terms = replacement._terms
+        out = {}
+        touched = []
+        for mono, coeff in sp._terms.items():
+            if var in mono:
+                touched.append((mono, coeff))
+            else:
+                out[mono] = coeff
+        if not touched:
+            return sp
+        cap = self.hard_cap
+        for mono, coeff in touched:
+            rest = mono - {var}
+            for rep_mono, rep_coeff in rep_terms.items():
+                rules.reduce_into(out, rest | rep_mono, coeff * rep_coeff)
+            if cap is not None and len(out) > cap:
+                raise AttemptTooLarge(len(out))
+        return Polynomial({m: c for m, c in out.items() if c}, _trusted=True)
+
+    def commit(self, index, new_sp):
+        """Install the result of :meth:`attempt` and retire the component."""
+        if self.record_certificate:
+            comp = self.components[index]
+            for var, replacement in comp.substitutions.items():
+                self.certificate_steps.append((var, replacement))
+        self.sp = new_sp
+        self.steps += 1
+        size = len(new_sp)
+        if size > self.max_size:
+            self.max_size = size
+        if self.record_trace:
+            self.trace.append(size)
+        self._candidates.discard(index)
+        self._done.add(index)
+        for producer in self._producers_of[index]:
+            self._pending_consumers[producer] -= 1
+            if self._pending_consumers[producer] == 0 and producer not in self._done:
+                self._candidates.add(producer)
+        self._check_budget()
+
+    def substitute(self, index):
+        """Attempt + commit in one step (static rewriting)."""
+        try:
+            new_sp = self.attempt(index)
+        except AttemptTooLarge as exc:
+            raise BudgetExceeded(
+                f"substitution attempt exceeded the hard cap "
+                f"({exc.args[0]} monomials)", kind="monomials",
+                steps_done=self.steps, max_size=self.max_size) from None
+        # Budget guard also applies to the uncommitted polynomial.
+        if self.monomial_budget is not None and len(new_sp) > self.monomial_budget:
+            self.max_size = max(self.max_size, len(new_sp))
+            raise BudgetExceeded(
+                f"SP_i reached {len(new_sp)} monomials (budget "
+                f"{self.monomial_budget})", kind="monomials",
+                steps_done=self.steps, max_size=self.max_size)
+        self.commit(index, new_sp)
+
+    def _try_compact(self, comp):
+        """Rule 1: substitute through ``G(outs) = F(ins)`` when ``SP_i``
+        contains ``G`` exactly; returns None when the pattern is absent."""
+        g_coeffs, f_poly = comp.compact
+        (var_a, coeff_a), (var_b, coeff_b) = sorted(g_coeffs.items())
+        part_a = {}
+        part_b = {}
+        rest = {}
+        for mono, coeff in self.sp.terms():
+            in_a = var_a in mono
+            in_b = var_b in mono
+            if in_a and in_b:
+                return None
+            if in_a:
+                part_a[mono - {var_a}] = coeff
+            elif in_b:
+                part_b[mono - {var_b}] = coeff
+            else:
+                rest[mono] = coeff
+        if not part_a and not part_b:
+            return self.sp  # outputs do not occur; substitution is a no-op
+        if set(part_a) != set(part_b):
+            return None
+        q_terms = {}
+        for mono, coeff in part_a.items():
+            quotient, remainder_c = divmod(coeff, coeff_a)
+            if remainder_c:
+                return None
+            if part_b[mono] != coeff_b * quotient:
+                return None
+            q_terms[mono] = quotient
+        # rest is already rule-normalized (SP_i invariant); only the
+        # fresh Q*F products need normalization.
+        out = dict(rest)
+        for q_mono, q_coeff in q_terms.items():
+            for f_mono, f_coeff in f_poly._terms.items():
+                self.vanishing.reduce_into(out, q_mono | f_mono,
+                                           q_coeff * f_coeff)
+        return Polynomial({m: c for m, c in out.items() if c}, _trusted=True)
+
+    def _check_budget(self):
+        if self.monomial_budget is not None and len(self.sp) > self.monomial_budget:
+            raise BudgetExceeded(
+                f"SP_i reached {len(self.sp)} monomials (budget "
+                f"{self.monomial_budget})", kind="monomials",
+                steps_done=self.steps, max_size=self.max_size)
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            raise BudgetExceeded(
+                f"time budget of {self.time_budget}s exhausted",
+                kind="time", steps_done=self.steps, max_size=self.max_size)
+
+    def check_time(self):
+        """Public wall-clock check for use inside candidate loops."""
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            raise BudgetExceeded(
+                f"time budget of {self.time_budget}s exhausted",
+                kind="time", steps_done=self.steps, max_size=self.max_size)
+
+    # ------------------------------------------------------------------
+    # Static order (the state of the art before the paper)
+    # ------------------------------------------------------------------
+
+    def run_static(self):
+        """Backward rewriting in reverse topological order: among the
+        eligible candidates, always the one whose deepest output variable
+        is largest (i.e. closest to the primary outputs).  Returns the
+        remainder polynomial."""
+        while not self.finished():
+            if not self._candidates:
+                raise VerificationError("component DAG has a dependency cycle")
+            index = max(self._candidates,
+                        key=lambda idx: (max(self.components[idx].output_vars), idx))
+            self.substitute(index)
+        return self.sp

@@ -1,0 +1,88 @@
+"""Specification polynomials (Section II-B of the paper).
+
+The specification polynomial ``SP`` encodes the multiplier's intended
+function over its input and output *bits*:
+
+    SP = sum_k 2**k * Z_k  -  (sum_i 2**i * A_i) * (sum_j 2**j * B_j)
+
+for an unsigned ``n x m`` multiplier (signed operands use two's-
+complement weights, ``-2**(n-1)`` on the top bit).  The circuit is
+correct iff every signal assignment consistent with the AIG evaluates
+``SP`` to zero — equivalently, iff backward rewriting reduces ``SP`` to
+the zero remainder.
+
+Output literals may be complemented in the AIG; the complement is folded
+in here via ``Z_k = 1 - z_k``, so the rewriting engine only ever deals
+with positive node variables.
+"""
+
+from __future__ import annotations
+
+from repro.aig.aig import lit_is_negated, lit_var
+from repro.errors import VerificationError
+from repro.poly.polynomial import Polynomial
+
+
+def operand_word_polynomial(variables, signed=False):
+    """Word-level polynomial of an operand: ``sum 2**i * v_i`` with a
+    negative weight on the sign bit when ``signed``."""
+    terms = []
+    top = len(variables) - 1
+    for i, var in enumerate(variables):
+        weight = 1 << i
+        if signed and i == top:
+            weight = -weight
+        terms.append((weight, (var,)))
+    return Polynomial.from_terms(terms)
+
+
+def output_word_polynomial(aig, signed=False):
+    """Word-level polynomial of the output vector, complements folded."""
+    from repro.core.gatepoly import literal_polynomial
+
+    total = Polynomial.zero()
+    top = aig.num_outputs - 1
+    for k, out in enumerate(aig.outputs):
+        weight = 1 << k
+        if signed and k == top:
+            weight = -weight
+        total = total + literal_polynomial(out) * weight
+    return total
+
+
+def multiplier_specification(aig, width_a, width_b=None, signed=False):
+    """The specification polynomial of a multiplier AIG.
+
+    Inputs are assumed to be declared operand A first (LSB first) then
+    operand B — the layout produced by
+    :func:`repro.genmul.generate_multiplier`.
+    """
+    if width_b is None:
+        width_b = aig.num_inputs - width_a
+    if width_a < 1 or width_b < 1 or width_a + width_b != aig.num_inputs:
+        raise VerificationError(
+            f"operand widths {width_a}+{width_b} do not match "
+            f"{aig.num_inputs} inputs")
+    if aig.num_outputs < width_a + width_b:
+        raise VerificationError(
+            f"multiplier must expose all {width_a + width_b} product bits; "
+            f"AIG has {aig.num_outputs}")
+    inputs = aig.inputs
+    a_word = operand_word_polynomial(inputs[:width_a], signed)
+    b_word = operand_word_polynomial(inputs[width_a:], signed)
+    return output_word_polynomial(aig, signed) - a_word * b_word
+
+
+def adder_specification(aig, width_a, width_b=None, signed=False):
+    """Specification polynomial of an adder (useful for unit tests and
+    for verifying final-stage adders in isolation)."""
+    if width_b is None:
+        width_b = aig.num_inputs - width_a
+    inputs = aig.inputs
+    a_word = operand_word_polynomial(inputs[:width_a], signed)
+    b_word = operand_word_polynomial(inputs[width_a:width_a + width_b], signed)
+    modulus = 1 << aig.num_outputs
+    # Adders are verified modulo 2**outputs; the wrap-around term is the
+    # carry out, which the generated adders discard.  We verify exact
+    # equality only when the output width can hold the full sum.
+    return output_word_polynomial(aig, signed) - (a_word + b_word)

@@ -1,0 +1,267 @@
+"""Vanishing-monomial removal and block-implied rewrite rules
+(Algorithm 1, line 7).
+
+For a half adder with true outputs ``C = X'*Y'`` and ``S = X' + Y' -
+2*X'*Y'`` the product ``C*S`` is identically zero on every consistent
+assignment — monomials containing both outputs are *vanishing monomials*
+([10]).  Beyond the classic HA rule this module compiles the whole family
+of block-implied pair identities used by the RevSCA line of tools [13]:
+
+* HA product:     ``C * S = 0``
+* HA absorption:  ``C * X' = C``       (the carry implies its inputs)
+* FA product:     ``C * S = X'*Y'*Z'`` (both set only when all three are)
+* FA absorption:  ``C * X'*Y' = X'*Y'`` (two set inputs imply the carry)
+
+Each identity is compiled to a *pair rule*: a pair of variables that,
+when both occur in a monomial, is replaced by a short polynomial.  Output
+and input polarities are folded in at compilation time, so application is
+a single pass over the monomials regardless of how many rules exist.
+
+Removing vanishing monomials *early* — inside cone polynomials and after
+every global substitution — is what keeps backward rewriting from
+exploding on non-trivial multipliers.
+"""
+
+from __future__ import annotations
+
+from repro.poly.polynomial import Polynomial
+
+_MAX_REWRITE_DEPTH = 24
+
+
+class VanishingRuleSet:
+    """Compiled pair rules with removal counters.
+
+    A rule for the pair ``(a, b)`` is a list of ``(coeff, extra_vars)``
+    terms: every monomial ``m ⊇ {a, b}`` is replaced by
+    ``sum(coeff * (m - {a, b}) | extra_vars)``.  The empty list deletes
+    the monomial (the classic vanishing case).
+    """
+
+    _MEMO_LIMIT = 300_000
+
+    def __init__(self, pairs=()):
+        # var -> list of (partner_var, terms)
+        self._by_var = {}
+        self._trigger_set = frozenset()
+        self._count = 0
+        # normal-form cache: monomial -> tuple of (monomial, coeff-factor)
+        # plus its removal counters; monomials recur heavily across the
+        # dynamic engine's attempts, so caching pays for itself quickly
+        self._memo = {}
+        self.removed = 0
+        self.rewritten = 0
+        for carry_var, carry_neg, sum_var, sum_neg in pairs:
+            self.add_ha_product_rule(carry_var, carry_neg, sum_var, sum_neg)
+
+    @property
+    def trigger_set(self):
+        """Variables that can trigger a rule (for fast monomial checks)."""
+        return self._trigger_set
+
+    def __len__(self):
+        return self._count
+
+    # ------------------------------------------------------------------
+    # Rule compilation
+    # ------------------------------------------------------------------
+
+    def add_rule(self, var_a, var_b, terms):
+        """Register ``var_a * var_b = sum(coeff * extra_vars)`` (with the
+        pair removed from the monomial before the extras are added)."""
+        if var_a == var_b:
+            raise ValueError("pair rules need two distinct variables")
+        terms = [(coeff, frozenset(extra)) for coeff, extra in terms if coeff]
+        for coeff, extra in terms:
+            if {var_a, var_b} <= extra:
+                raise ValueError("rule right-hand side reproduces its trigger")
+        self._by_var.setdefault(var_a, []).append((var_b, terms))
+        self._trigger_set = self._trigger_set | {var_a}
+        self._memo.clear()
+        self._count += 1
+
+    def add_ha_product_rule(self, carry_var, carry_neg, sum_var, sum_neg):
+        """``C_true * S_true = 0`` with polarities folded into var terms."""
+        # vc*vs expressed through C,S: vc = C or 1-C, vs = S or 1-S.
+        # Using C*S = 0:
+        #   (+,+): vc*vs = 0
+        #   (+,-): vc*vs = C(1-S) = C = vc
+        #   (-,+): vc*vs = S = vs
+        #   (-,-): vc*vs = 1 - C - S = vc + vs - 1
+        if not carry_neg and not sum_neg:
+            terms = []
+        elif not carry_neg and sum_neg:
+            terms = [(1, {carry_var})]
+        elif carry_neg and not sum_neg:
+            terms = [(1, {sum_var})]
+        else:
+            terms = [(1, {carry_var}), (1, {sum_var}), (-1, ())]
+        self.add_rule(carry_var, sum_var, terms)
+
+    def add_fa_product_rule(self, carry_var, carry_neg, sum_var, sum_neg,
+                            input_literal_terms):
+        """``C_true * S_true = X'*Y'*Z'`` for a full adder.
+
+        ``input_literal_terms`` is the expansion of the input-literal
+        product as ``(coeff, var-set)`` pairs (input polarities already
+        folded in by the caller).
+        """
+        product = list(input_literal_terms)
+        if not carry_neg and not sum_neg:
+            terms = product
+        elif not carry_neg and sum_neg:
+            # vc*vs = C - C*S = vc - P
+            terms = [(1, {carry_var})] + [(-c, m) for c, m in product]
+        elif carry_neg and not sum_neg:
+            terms = [(1, {sum_var})] + [(-c, m) for c, m in product]
+        else:
+            terms = ([(1, {carry_var}), (1, {sum_var}), (-1, ())]
+                     + list(product))
+        self.add_rule(carry_var, sum_var, terms)
+
+    def add_carry_absorption_rule(self, carry_var, carry_neg,
+                                  input_var, input_neg):
+        """``C_true * X' = C_true``: an *HA* carry implies its inputs
+        (``C = X'*Y'``; not valid for majority carries).
+
+        Only the polarity combinations that yield a *shrinking* or
+        vanishing rewrite are registered; the expanding combinations are
+        skipped (they would trade one monomial for three).
+        """
+        if not carry_neg and not input_neg:
+            # vc*x = C*X' = C = vc  ->  drop x
+            self.add_rule(carry_var, input_var, [(1, {carry_var})])
+        elif not carry_neg and input_neg:
+            # vc*x = C*(1-X') = C - C = 0
+            self.add_rule(carry_var, input_var, [])
+        # negated-carry combinations expand; intentionally skipped
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+
+    def _violated(self, mono):
+        hits = mono & self._trigger_set
+        if not hits:
+            return None
+        for var in hits:
+            for partner, terms in self._by_var[var]:
+                if partner in mono:
+                    return var, partner, terms
+        return None
+
+    def apply(self, poly):
+        """Normalize a polynomial against all rules (single pass)."""
+        if not self._count or not poly:
+            return poly
+        if all(self._violated(m) is None for m in poly._terms):
+            return poly
+        out = {}
+        for mono, coeff in poly.terms():
+            self.reduce_into(out, mono, coeff)
+        return Polynomial({m: c for m, c in out.items() if c}, _trusted=True)
+
+    def reduce_into(self, out, mono, coeff, depth=0):
+        """Accumulate the normal form of ``coeff * mono`` into ``out``.
+
+        Public so the rewriting engine can normalize freshly created
+        monomials during substitution without re-scanning ``SP_i``.
+        Normal forms are memoized per monomial.
+        """
+        if not (mono & self._trigger_set):
+            out[mono] = out.get(mono, 0) + coeff
+            return
+        cached = self._memo.get(mono)
+        if cached is None:
+            local = {}
+            removed_before = self.removed
+            rewritten_before = self.rewritten
+            self._reduce_monomial(mono, 1, local, depth)
+            cached = (tuple(local.items()),
+                      self.removed - removed_before,
+                      self.rewritten - rewritten_before)
+            if len(self._memo) < self._MEMO_LIMIT:
+                self._memo[mono] = cached
+            # counters for the defining computation were already applied
+            terms, _removed, _rewritten = cached
+            for result_mono, factor in terms:
+                value = out.get(result_mono, 0) + coeff * factor
+                if value:
+                    out[result_mono] = value
+                else:
+                    out.pop(result_mono, None)
+            return
+        terms, removed, rewritten = cached
+        self.removed += removed
+        self.rewritten += rewritten
+        for result_mono, factor in terms:
+            value = out.get(result_mono, 0) + coeff * factor
+            if value:
+                out[result_mono] = value
+            else:
+                out.pop(result_mono, None)
+
+    def _reduce_monomial(self, mono, coeff, out, depth):
+        while True:
+            rule = None if depth > _MAX_REWRITE_DEPTH else self._violated(mono)
+            if rule is None:
+                out[mono] = out.get(mono, 0) + coeff
+                return
+            var_a, var_b, terms = rule
+            base = mono - {var_a, var_b}
+            if not terms:
+                self.removed += 1
+                return
+            self.rewritten += 1
+            if len(terms) == 1 and terms[0][0] == 1:
+                mono = base | terms[0][1]
+                continue
+            for term_coeff, extra in terms:
+                self._reduce_monomial(base | extra, coeff * term_coeff,
+                                      out, depth + 1)
+            return
+
+    def stats(self):
+        return {"rules": self._count,
+                "removed": self.removed,
+                "rewritten": self.rewritten}
+
+    @property
+    def total_removed(self):
+        """Total vanishing monomials eliminated (deleted + rewritten) —
+        the paper's *Vanishing Monomials* column."""
+        return self.removed + self.rewritten
+
+
+def literal_product_terms(input_vars, input_negations):
+    """Expansion of ``X'*Y'*...`` as ``(coeff, var-set)`` pairs."""
+    product = Polynomial.one()
+    for var, neg in zip(input_vars, input_negations):
+        product = product * Polynomial.literal(var, neg)
+    return [(coeff, frozenset(mono)) for mono, coeff in product.terms()]
+
+
+def rules_from_blocks(blocks, extended=True):
+    """Compile the rule set implied by a list of detected atomic blocks.
+
+    The classic HA product rule is always included; ``extended`` adds the
+    FA product rule and the carry absorption rules.
+    """
+    rules = VanishingRuleSet()
+    for blk in blocks:
+        negations = getattr(blk, "input_negations", None)
+        if negations is None:
+            negations = (False,) * len(blk.inputs)
+        if blk.kind == "HA":
+            rules.add_ha_product_rule(blk.carry_var, blk.carry_negated,
+                                      blk.sum_var, blk.sum_negated)
+            if extended:
+                for var, neg in zip(blk.inputs, negations):
+                    rules.add_carry_absorption_rule(
+                        blk.carry_var, blk.carry_negated, var, neg)
+        elif blk.kind == "FA" and extended:
+            rules.add_fa_product_rule(
+                blk.carry_var, blk.carry_negated,
+                blk.sum_var, blk.sum_negated,
+                literal_product_terms(blk.inputs, negations))
+    return rules

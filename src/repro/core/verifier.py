@@ -1,0 +1,163 @@
+"""Top-level SCA verification — Algorithm 1 of the paper.
+
+``verify_multiplier`` wires together the whole pipeline:
+
+1. build the specification polynomial (line 1),
+2. reverse-engineer atomic blocks (line 2),
+3. partition the remaining logic into converging-gate and fanout-free
+   cones and extract their polynomials (lines 3-6),
+4. compile the vanishing-monomial rules (line 7),
+5. run backward rewriting — dynamic (DyPoSub) or static (prior art) —
+   (line 8), and
+6. decide correctness from the remainder (line 9).
+
+The ``method`` argument selects the engine configuration and doubles as
+the baseline switch used by the benchmark harness (see
+:mod:`repro.baselines`).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.aig.ops import cleanup
+from repro.core.atomic import detect_atomic_blocks
+from repro.core.cones import build_components
+from repro.core.counterexample import counterexample_for
+from repro.core.dynamic import dynamic_backward_rewriting
+from repro.core.result import VerificationResult
+from repro.core.rewriting import RewritingEngine
+from repro.core.spec import multiplier_specification
+from repro.core.vanishing import VanishingRuleSet, rules_from_blocks
+from repro.errors import BudgetExceeded, VerificationError
+
+
+DEFAULT_MONOMIAL_BUDGET = 5_000_000
+
+
+def verify_multiplier(aig, width_a=None, width_b=None, signed=False,
+                      method="dyposub",
+                      monomial_budget=DEFAULT_MONOMIAL_BUDGET,
+                      time_budget=None, record_trace=False,
+                      want_counterexample=True, initial_threshold=0.1,
+                      use_atomic_blocks=True, use_vanishing=True,
+                      use_compact=True, extended_rules=True,
+                      use_implications=True, record_certificate=False):
+    """Formally verify a multiplier AIG.
+
+    ``method`` is ``"dyposub"`` (dynamic backward rewriting) or
+    ``"static"`` (the prior-art reverse-topological order on the same
+    component machinery).  The ``use_*`` switches exist for ablation
+    studies; DyPoSub is all three enabled.
+
+    ``monomial_budget`` defaults to a generous safety ceiling (buggy
+    circuits can grow pathologically because their residue never
+    cancels); pass ``None`` for a truly unbounded run or a small value
+    to emulate the paper's time-out column.
+
+    Returns a :class:`VerificationResult`; never raises on timeout —
+    budget exhaustion is reported as ``status="timeout"``.
+    """
+    start = time.monotonic()
+    if width_a is None:
+        if aig.num_inputs % 2:
+            raise VerificationError(
+                "cannot infer operand widths from an odd input count")
+        width_a = aig.num_inputs // 2
+    if width_b is None:
+        width_b = aig.num_inputs - width_a
+
+    aig = cleanup(aig)
+    spec = multiplier_specification(aig, width_a, width_b, signed=signed)
+
+    blocks = detect_atomic_blocks(aig) if (use_atomic_blocks or use_vanishing) else []
+    if use_vanishing:
+        vanishing = rules_from_blocks(blocks, extended=extended_rules)
+    else:
+        vanishing = VanishingRuleSet()
+    component_blocks = blocks if use_atomic_blocks else []
+    components, vanishing = build_components(aig, component_blocks, vanishing)
+    if not use_compact:
+        for comp in components:
+            comp.compact = None
+    implication_rules = 0
+    if use_vanishing and use_implications:
+        from repro.core.implications import add_implication_rules
+
+        implication_rules = add_implication_rules(vanishing, aig, blocks,
+                                                  components)
+
+    stats = {
+        "nodes": aig.num_ands,
+        "width_a": width_a,
+        "width_b": width_b,
+        "components": len(components),
+        "atomic_blocks": sum(1 for c in components if c.is_atomic),
+        "full_adders": sum(1 for c in components if c.kind == "FA"),
+        "half_adders": sum(1 for c in components if c.kind == "HA"),
+        "cgc": sum(1 for c in components if c.kind == "CGC"),
+        "ffc": sum(1 for c in components if c.kind == "FFC"),
+        "implication_rules": implication_rules,
+    }
+
+    engine = RewritingEngine(spec, components, vanishing,
+                             monomial_budget=monomial_budget,
+                             time_budget=time_budget,
+                             record_trace=record_trace,
+                             record_certificate=record_certificate)
+    try:
+        if method == "dyposub":
+            remainder = dynamic_backward_rewriting(
+                engine, initial_threshold=initial_threshold)
+        elif method == "static":
+            remainder = engine.run_static()
+        else:
+            raise VerificationError(
+                f"unknown method {method!r} (know 'dyposub', 'static')")
+    except BudgetExceeded as exc:
+        seconds = time.monotonic() - start
+        stats.update(_engine_stats(engine))
+        stats["budget_kind"] = exc.kind
+        return VerificationResult(status="timeout", method=method,
+                                  seconds=seconds, stats=stats,
+                                  trace=engine.trace)
+
+    seconds = time.monotonic() - start
+    stats.update(_engine_stats(engine))
+    if record_certificate:
+        from repro.core.certificate import Certificate
+
+        stats["certificate"] = Certificate(
+            spec=spec, steps=list(engine.certificate_steps),
+            remainder=remainder,
+            meta={"method": method, "nodes": aig.num_ands})
+    leftover = remainder.support() - set(aig.inputs)
+    if leftover:
+        raise VerificationError(
+            f"remainder still references internal variables {sorted(leftover)[:5]}")
+    if remainder.is_zero():
+        return VerificationResult(status="correct", method=method,
+                                  remainder=remainder, seconds=seconds,
+                                  stats=stats, trace=engine.trace)
+    counterexample = None
+    if want_counterexample:
+        counterexample, a_value, b_value = counterexample_for(
+            aig, remainder, width_a)
+        stats["counterexample_a"] = a_value
+        stats["counterexample_b"] = b_value
+    return VerificationResult(status="buggy", method=method,
+                              remainder=remainder,
+                              counterexample=counterexample,
+                              seconds=seconds, stats=stats,
+                              trace=engine.trace)
+
+
+def _engine_stats(engine):
+    return {
+        "steps": engine.steps,
+        "max_poly_size": engine.max_size,
+        "vanishing_removed": engine.vanishing.total_removed,
+        "vanishing_rules": len(engine.vanishing),
+        "compact_hits": engine.compact_hits,
+        "compact_misses": engine.compact_misses,
+    }

@@ -1,0 +1,141 @@
+"""Generic word-level reduction: rewrite any specification polynomial
+against a circuit.
+
+``verify_multiplier`` is the paper's use case, but the machinery —
+reverse engineering, vanishing rules, dynamic backward rewriting — works
+for any polynomial specification over a combinational AIG.  This module
+exposes that capability: :func:`reduce_specification` returns the unique
+multilinear remainder of a spec polynomial over the primary inputs,
+which is zero iff the specification holds on every input assignment.
+
+:func:`verify_adder` builds on it to verify final-stage adders in
+isolation, including the modular case where the carry out of the top
+bit is intentionally discarded (every adder in :mod:`repro.genmul.fsa`
+computes ``(A + B) mod 2**width``): the remainder then must equal
+``-2**W * carry(X)`` for *some* Boolean carry function, which is checked
+through the multilinear idempotence test ``q * q == q``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.aig.ops import cleanup
+from repro.core.atomic import detect_atomic_blocks
+from repro.core.cones import build_components
+from repro.core.dynamic import dynamic_backward_rewriting
+from repro.core.result import VerificationResult
+from repro.core.rewriting import RewritingEngine
+from repro.core.spec import operand_word_polynomial, output_word_polynomial
+from repro.core.vanishing import rules_from_blocks
+from repro.errors import BudgetExceeded, VerificationError
+
+
+def reduce_specification(aig, spec, method="dyposub", monomial_budget=None,
+                         time_budget=None, record_trace=False):
+    """Reduce ``spec`` by backward rewriting over ``aig``.
+
+    Returns ``(remainder, stats, trace)``.  The remainder is the unique
+    multilinear normal form of the specification modulo the circuit
+    ideal: it is the zero polynomial iff the spec evaluates to zero on
+    every consistent signal assignment.  Raises
+    :class:`~repro.errors.BudgetExceeded` when a budget trips.
+
+    The AIG is used with its *current* variable numbering (the spec
+    references it), so no cleanup is performed here; dead nodes are
+    simply never substituted.
+    """
+    unknown = spec.support() - set(range(1, aig.num_vars))
+    if unknown:
+        raise VerificationError(
+            f"specification references unknown variables {sorted(unknown)[:5]}")
+    blocks = detect_atomic_blocks(aig)
+    vanishing = rules_from_blocks(blocks)
+    components, vanishing = build_components(aig, blocks, vanishing)
+    engine = RewritingEngine(spec, components, vanishing,
+                             monomial_budget=monomial_budget,
+                             time_budget=time_budget,
+                             record_trace=record_trace)
+    if method == "dyposub":
+        remainder = dynamic_backward_rewriting(engine)
+    elif method == "static":
+        remainder = engine.run_static()
+    else:
+        raise VerificationError(f"unknown method {method!r}")
+    stats = {
+        "nodes": aig.num_ands,
+        "components": len(components),
+        "steps": engine.steps,
+        "max_poly_size": engine.max_size,
+        "vanishing_removed": vanishing.total_removed,
+    }
+    leftover = remainder.support() - set(aig.inputs)
+    if leftover:
+        raise VerificationError(
+            f"remainder references internal variables {sorted(leftover)[:5]}")
+    return remainder, stats, engine.trace
+
+
+def is_boolean_valued(poly):
+    """True iff a multilinear polynomial only takes values in {0, 1}.
+
+    A multilinear ``q`` is {0,1}-valued on the Boolean cube iff its
+    multilinear reduction satisfies ``q * q == q`` (idempotence is
+    applied automatically by the monomial product).
+    """
+    return poly * poly == poly
+
+
+def verify_adder(aig, width_a, width_b=None, modular=True, signed=False,
+                 method="dyposub", monomial_budget=None, time_budget=None):
+    """Verify that ``aig`` adds its two input words.
+
+    With ``modular=True`` (the default, matching the generated
+    final-stage adders) the outputs may discard the final carry:
+    correctness means the remainder equals ``-2**W * carry(X)`` for a
+    Boolean-valued carry polynomial.  With ``modular=False`` the sum
+    must be exact and the remainder must vanish.
+    """
+    start = time.monotonic()
+    aig = cleanup(aig)
+    if width_b is None:
+        width_b = aig.num_inputs - width_a
+    if width_a + width_b != aig.num_inputs:
+        raise VerificationError("operand widths must cover the inputs")
+    inputs = aig.inputs
+    a_word = operand_word_polynomial(inputs[:width_a], signed)
+    b_word = operand_word_polynomial(inputs[width_a:], signed)
+    spec = output_word_polynomial(aig, signed) - (a_word + b_word)
+    try:
+        remainder, stats, trace = reduce_specification(
+            aig, spec, method=method, monomial_budget=monomial_budget,
+            time_budget=time_budget)
+    except BudgetExceeded as exc:
+        return VerificationResult(status="timeout", method=method,
+                                  seconds=time.monotonic() - start,
+                                  stats={"budget_kind": exc.kind,
+                                         "max_poly_size": exc.max_size})
+    seconds = time.monotonic() - start
+    ok = remainder.is_zero()
+    if not ok and modular:
+        modulus = 1 << aig.num_outputs
+        quotient, exact = _divide_by_constant(remainder, -modulus)
+        ok = exact and is_boolean_valued(quotient)
+    status = "correct" if ok else "buggy"
+    return VerificationResult(status=status, method=method,
+                              remainder=remainder, seconds=seconds,
+                              stats=stats, trace=trace)
+
+
+def _divide_by_constant(poly, constant):
+    """Divide every coefficient by ``constant``; returns (quotient,
+    exact)."""
+    from repro.poly.polynomial import Polynomial
+
+    terms = {}
+    for mono, coeff in poly.terms():
+        quotient, rest = divmod(coeff, constant)
+        if rest:
+            return Polynomial.zero(), False
+        terms[mono] = quotient
+    return Polynomial(terms, _trusted=True), True

@@ -1,0 +1,41 @@
+"""Exception hierarchy shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class AigError(ReproError):
+    """Raised for malformed AIG structures or invalid literals."""
+
+
+class NetlistError(ReproError):
+    """Raised for malformed gate-level netlists."""
+
+
+class GeneratorError(ReproError):
+    """Raised when a multiplier generator receives invalid parameters."""
+
+
+class PolynomialError(ReproError):
+    """Raised for invalid polynomial operations."""
+
+
+class VerificationError(ReproError):
+    """Raised when verification cannot be carried out (not a buggy result)."""
+
+
+class BudgetExceeded(VerificationError):
+    """Raised when a rewriting engine exceeds its monomial or time budget.
+
+    This is the reproduction's stand-in for the paper's 24 h time-out: a
+    method that blows up is stopped as soon as the intermediate
+    specification polynomial exceeds the configured monomial budget or the
+    wall-clock budget.
+    """
+
+    def __init__(self, message, *, kind="monomials", steps_done=0, max_size=0):
+        super().__init__(message)
+        self.kind = kind
+        self.steps_done = steps_done
+        self.max_size = max_size

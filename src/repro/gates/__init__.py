@@ -1,0 +1,7 @@
+"""Gate-level netlist substrate used by the industrial-flow simulation."""
+
+from repro.gates.library import CELLS, cell_name_for, cell_truth_table, is_known_cell
+from repro.gates.netlist import Cell, Netlist
+
+__all__ = ["CELLS", "cell_name_for", "cell_truth_table", "is_known_cell",
+           "Cell", "Netlist"]

@@ -1,0 +1,67 @@
+"""A standard-cell library of gates with up to three inputs.
+
+This models the library the paper's industrial benchmarks are mapped to
+("a standard cell library consisting of up to 3-input logical gates",
+Section V).  Cells are identified by their truth table over their input
+ports; functions without a named cell become generic ``LUT`` cells —
+the mapper still accepts them, mirroring a rich industrial library.
+"""
+
+from __future__ import annotations
+
+from repro.aig.truth import tt_mask
+
+# name -> (num_inputs, truth table over inputs (in0 = LSB of minterm))
+CELLS = {
+    "BUF": (1, 0b10),
+    "INV": (1, 0b01),
+    "AND2": (2, 0b1000),
+    "NAND2": (2, 0b0111),
+    "OR2": (2, 0b1110),
+    "NOR2": (2, 0b0001),
+    "XOR2": (2, 0b0110),
+    "XNOR2": (2, 0b1001),
+    "ANDN2": (2, 0b0010),       # a & ~b
+    "ORN2": (2, 0b1011),        # a | ~b
+    "AND3": (3, 0b10000000),
+    "NAND3": (3, 0b01111111),
+    "OR3": (3, 0b11111110),
+    "NOR3": (3, 0b00000001),
+    "XOR3": (3, 0b10010110),
+    "XNOR3": (3, 0b01101001),
+    "MAJ3": (3, 0b11101000),    # full-adder carry
+    "MIN3": (3, 0b00010111),
+    "MUX": (3, 0b11011000),     # in2 ? in1 : in0
+    "NMUX": (3, 0b00100111),
+    "AOI21": (3, 0b00010101),   # ~((in0 & in1) | in2)
+    "OAI21": (3, 0b01010111),   # ~((in0 | in1) & in2)
+    "AO21": (3, 0b11101010),
+    "OA21": (3, 0b10101000),
+}
+
+_BY_TT = {}
+for _name, (_n, _tt) in CELLS.items():
+    _BY_TT.setdefault((_n, _tt), _name)
+
+
+def cell_name_for(tt, num_inputs):
+    """Library cell name for a truth table; generic LUT name otherwise."""
+    tt &= tt_mask(num_inputs)
+    known = _BY_TT.get((num_inputs, tt))
+    if known is not None:
+        return known
+    return f"LUT{num_inputs}_{tt:0{max(1, (1 << num_inputs) // 4)}x}"
+
+
+def cell_truth_table(name):
+    """Truth table of a named cell (supports generic LUT names)."""
+    if name in CELLS:
+        return CELLS[name]
+    if name.startswith("LUT") and "_" in name:
+        head, _, hexpart = name.partition("_")
+        return int(head[3:]), int(hexpart, 16)
+    raise KeyError(f"unknown cell {name!r}")
+
+
+def is_known_cell(name):
+    return name in CELLS

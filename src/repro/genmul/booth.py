@@ -1,0 +1,161 @@
+"""Radix-4 Booth partial-product generator (the paper's ``BP`` stage).
+
+Each Booth digit ``d_k = a[2k-1] + a[2k] - 2*a[2k+1]`` (with ``a[-1] = 0``
+and zero-extension above the MSB for unsigned operands) selects a multiple
+of the multiplicand from ``{-2B, -B, 0, +B, +2B}``.  Negative multiples
+are encoded in two's-complement form: the magnitude bits are XOR-ed with
+the ``neg`` signal, ``neg`` itself is added at the row's LSB position, and
+the ``-s * 2**(m+1)`` sign term is folded into ``(1 - s) * 2**(m+1)`` plus
+a constant correction, so the reduction machinery only ever sees
+non-negative rows (sound modulo ``2**width``).
+"""
+
+from __future__ import annotations
+
+from repro.aig.aig import FALSE
+from repro.errors import GeneratorError
+from repro.genmul.reduction import constant_row
+
+
+def booth_digits(aig, a_bits, signed=False):
+    """Radix-4 Booth recoding signals for every digit.
+
+    Returns a list of ``(neg, one, two)`` literal triples, LSB digit
+    first.  ``one`` selects ``+-B``, ``two`` selects ``+-2B`` and ``neg``
+    flags a negative digit; ``neg`` is never set for a zero digit.
+
+    ``signed`` treats the multiplier word as two's complement: bits are
+    sign-extended instead of zero-extended and ``ceil(n/2)`` digits
+    suffice (the Booth identity then recomposes the signed value).
+    """
+    n = len(a_bits)
+
+    def bit(i):
+        if i < 0:
+            return FALSE
+        if i >= n:
+            return a_bits[n - 1] if signed else FALSE
+        return a_bits[i]
+
+    digits = []
+    if signed:
+        num_digits = (n + 1) // 2
+    else:
+        num_digits = n // 2 + 1  # zero-extended: top digit is always >= 0
+    for k in range(num_digits):
+        low = bit(2 * k - 1)
+        mid = bit(2 * k)
+        high = bit(2 * k + 1)
+        one = aig.xor_(low, mid)
+        two = aig.or_(
+            aig.and_many([high, aig.not_(mid), aig.not_(low)]),
+            aig.and_many([aig.not_(high), mid, low]),
+        )
+        neg = aig.and_(high, aig.not_(aig.and_(mid, low)))
+        digits.append((neg, one, two))
+    return digits
+
+
+def booth_ppg(aig, a_bits, b_bits, width=None):
+    """Booth radix-4 partial products for an unsigned multiplier.
+
+    Returns padded rows ready for any accumulator; the sign-handling
+    correction constant is emitted as an extra constant row.
+    """
+    n, m = len(a_bits), len(b_bits)
+    if n < 2:
+        raise GeneratorError("Booth encoding needs at least 2 multiplier bits")
+    if width is None:
+        width = n + m
+    digits = booth_digits(aig, a_bits)
+
+    def b_bit(j):
+        if j < 0 or j >= m:
+            return FALSE
+        return b_bits[j]
+
+    rows = []
+    correction = 0
+    for k, (neg, one, two) in enumerate(digits):
+        offset = 2 * k
+        row = [FALSE] * width
+        # Magnitude bits 0 .. m of |d_k| * B, conditionally inverted.
+        for j in range(m + 1):
+            pos = offset + j
+            if pos >= width:
+                continue
+            magnitude = aig.or_(aig.and_(one, b_bit(j)),
+                                aig.and_(two, b_bit(j - 1)))
+            row[pos] = aig.xor_(magnitude, neg)
+        # Sign column: -s*2**(m+1)  ==  (1-s)*2**(m+1) - 2**(m+1).
+        sign_pos = offset + m + 1
+        if sign_pos < width:
+            row[sign_pos] = aig.not_(neg)
+            correction -= 1 << sign_pos
+        rows.append(row)
+        # Two's-complement "+1": add neg at the row LSB as its own bit.
+        neg_row = [FALSE] * width
+        if offset < width:
+            neg_row[offset] = neg
+            rows.append(neg_row)
+    correction %= 1 << width
+    if correction:
+        rows.append(constant_row(correction, width))
+    from repro.genmul.reduction import pack_rows
+    return pack_rows(rows, width)
+
+
+def booth_ppg_signed(aig, a_bits, b_bits, width=None):
+    """Booth radix-4 partial products for a *signed* (two's-complement)
+    multiplier.
+
+    Differences from the unsigned case: the multiplier word is
+    sign-extended into the recoder; the multiplicand multiples are
+    sign-extended two's-complement values whose top (negative-weight)
+    bit is folded with the same ``-e*2**w == (1-e)*2**w - 2**w`` trick
+    used for the unsigned sign column.
+    """
+    n, m = len(a_bits), len(b_bits)
+    if n < 2 or m < 2:
+        raise GeneratorError("signed Booth needs at least 2 bits per operand")
+    if width is None:
+        width = n + m
+    digits = booth_digits(aig, a_bits, signed=True)
+
+    def b_bit(j):
+        if j < 0:
+            return FALSE
+        if j >= m:
+            return b_bits[m - 1]  # sign extension
+        return b_bits[j]
+
+    rows = []
+    correction = 0
+    for k, (neg, one, two) in enumerate(digits):
+        offset = 2 * k
+        row = [FALSE] * width
+        # Two's-complement magnitude bits 0 .. m+1 of d_k * B: position
+        # m+1 carries negative weight and is folded into a complemented
+        # bit plus a constant.
+        for j in range(m + 2):
+            pos = offset + j
+            if pos >= width:
+                continue
+            magnitude = aig.or_(aig.and_(one, b_bit(j)),
+                                aig.and_(two, b_bit(j - 1)))
+            encoded = aig.xor_(magnitude, neg)
+            if j == m + 1:
+                row[pos] = aig.not_(encoded)
+                correction -= 1 << pos
+            else:
+                row[pos] = encoded
+        rows.append(row)
+        neg_row = [FALSE] * width
+        if offset < width:
+            neg_row[offset] = neg
+            rows.append(neg_row)
+    correction %= 1 << width
+    if correction:
+        rows.append(constant_row(correction, width))
+    from repro.genmul.reduction import pack_rows
+    return pack_rows(rows, width)

@@ -1,0 +1,168 @@
+"""Datapath units beyond plain multipliers: fused MAC and squarer.
+
+Both are classic derivatives of the multiplier datapath and both verify
+through the same SCA machinery with adjusted specification polynomials
+(via :func:`repro.core.wordlevel.reduce_specification`):
+
+* a **fused multiply-accumulate** folds the addend word into the
+  partial-product matrix *before* accumulation (no separate adder), so
+  ``P = A*B + C`` comes out of one carry-save reduction;
+* a **dedicated squarer** exploits ``a_i * a_i = a_i`` and the symmetry
+  ``a_i*a_j + a_j*a_i = 2*a_i*a_j`` (a one-column shift), roughly
+  halving the partial-product count relative to ``A*A`` through a
+  multiplier.
+"""
+
+from __future__ import annotations
+
+from repro.aig.aig import Aig, FALSE
+from repro.errors import GeneratorError
+from repro.genmul.fsa import FSA_BUILDERS
+from repro.genmul.names import parse_architecture
+from repro.genmul.ppa import PPA_BUILDERS
+from repro.genmul.ppg import simple_ppg
+from repro.genmul.reduction import pack_rows
+
+
+def generate_mac(architecture, width_a, width_b=None, width_acc=None):
+    """Generate a fused multiply-accumulate unit: ``P = A*B + C``.
+
+    ``C`` is ``width_acc`` bits (default ``width_a + width_b``); the
+    output has ``width_a + width_b + 1`` bits so that the full result
+    always fits.  Only the unsigned simple PPG is supported (the Booth
+    PPGs would fold identically, but unsigned keeps the spec exact).
+    """
+    ppg, ppa, fsa = parse_architecture(architecture)
+    if ppg != "SP":
+        raise GeneratorError("MAC generation supports the SP stage only")
+    if width_b is None:
+        width_b = width_a
+    if width_acc is None:
+        width_acc = width_a + width_b
+    out_width = width_a + width_b + 1
+
+    aig = Aig(f"MAC-{architecture}_{width_a}x{width_b}+{width_acc}")
+    a_bits = aig.add_inputs(width_a, prefix="a")
+    b_bits = aig.add_inputs(width_b, prefix="b")
+    c_bits = aig.add_inputs(width_acc, prefix="c")
+
+    rows = simple_ppg(aig, a_bits, b_bits, out_width)
+    addend = [FALSE] * out_width
+    for k, bit in enumerate(c_bits[:out_width]):
+        addend[k] = bit
+    rows.append(addend)
+    rows = pack_rows(rows, out_width)
+    row_x, row_y = PPA_BUILDERS[ppa](aig, rows)
+    sums = FSA_BUILDERS[fsa](aig, row_x, row_y)
+    for k in range(out_width):
+        aig.add_output(sums[k], f"p{k}")
+    return aig
+
+
+def mac_specification(aig, width_a, width_b, width_acc):
+    """Specification polynomial ``sum 2^k z_k - (A*B + C)``."""
+    from repro.core.spec import operand_word_polynomial, output_word_polynomial
+
+    inputs = aig.inputs
+    a_word = operand_word_polynomial(inputs[:width_a])
+    b_word = operand_word_polynomial(inputs[width_a:width_a + width_b])
+    c_word = operand_word_polynomial(inputs[width_a + width_b:])
+    return output_word_polynomial(aig) - (a_word * b_word + c_word)
+
+
+def verify_mac(aig, width_a, width_b=None, width_acc=None, **kwargs):
+    """Verify a MAC unit built by :func:`generate_mac`."""
+    import time
+
+    from repro.core.result import VerificationResult
+    from repro.core.wordlevel import reduce_specification
+    from repro.errors import BudgetExceeded
+
+    if width_b is None:
+        width_b = width_a
+    if width_acc is None:
+        width_acc = width_a + width_b
+    start = time.monotonic()
+    spec = mac_specification(aig, width_a, width_b, width_acc)
+    try:
+        remainder, stats, trace = reduce_specification(aig, spec, **kwargs)
+    except BudgetExceeded as exc:
+        return VerificationResult(status="timeout", method="dyposub",
+                                  seconds=time.monotonic() - start,
+                                  stats={"budget_kind": exc.kind})
+    status = "correct" if remainder.is_zero() else "buggy"
+    return VerificationResult(status=status, method="dyposub",
+                              remainder=remainder,
+                              seconds=time.monotonic() - start,
+                              stats=stats, trace=trace)
+
+
+def generate_squarer(architecture, width):
+    """Generate a dedicated squarer: ``P = A*A`` with folded partial
+    products (``a_i^2 = a_i`` on the diagonal, symmetric pairs shifted
+    up one column)."""
+    ppg, ppa, fsa = parse_architecture(architecture)
+    if ppg != "SP":
+        raise GeneratorError("squarer generation supports the SP stage only")
+    out_width = 2 * width
+
+    aig = Aig(f"SQ-{architecture}_{width}")
+    a_bits = aig.add_inputs(width, prefix="a")
+    rows = []
+    # diagonal: a_i^2 = a_i at weight 2i
+    diagonal = [FALSE] * out_width
+    for i, bit in enumerate(a_bits):
+        diagonal[2 * i] = bit
+    rows.append(diagonal)
+    # symmetric pairs: 2 * a_i * a_j at weight i+j, i.e. weight i+j+1
+    for i in range(width):
+        row = [FALSE] * out_width
+        used = False
+        for j in range(i + 1, width):
+            pos = i + j + 1
+            if pos < out_width:
+                row[pos] = aig.and_(a_bits[i], a_bits[j])
+                used = True
+        if used:
+            rows.append(row)
+    rows = pack_rows(rows, out_width)
+    row_x, row_y = PPA_BUILDERS[ppa](aig, rows)
+    sums = FSA_BUILDERS[fsa](aig, row_x, row_y)
+    for k in range(out_width):
+        aig.add_output(sums[k], f"p{k}")
+    return aig
+
+
+def squarer_specification(aig, width):
+    """Specification polynomial ``sum 2^k z_k - A*A``.
+
+    Note ``A*A`` expands with the idempotent monomial product, which is
+    exactly the Boolean square: ``(sum 2^i a_i)^2`` with ``a_i^2 = a_i``.
+    """
+    from repro.core.spec import operand_word_polynomial, output_word_polynomial
+
+    a_word = operand_word_polynomial(aig.inputs[:width])
+    return output_word_polynomial(aig) - a_word * a_word
+
+
+def verify_squarer(aig, width, **kwargs):
+    """Verify a squarer built by :func:`generate_squarer`."""
+    import time
+
+    from repro.core.result import VerificationResult
+    from repro.core.wordlevel import reduce_specification
+    from repro.errors import BudgetExceeded
+
+    start = time.monotonic()
+    spec = squarer_specification(aig, width)
+    try:
+        remainder, stats, trace = reduce_specification(aig, spec, **kwargs)
+    except BudgetExceeded as exc:
+        return VerificationResult(status="timeout", method="dyposub",
+                                  seconds=time.monotonic() - start,
+                                  stats={"budget_kind": exc.kind})
+    status = "correct" if remainder.is_zero() else "buggy"
+    return VerificationResult(status=status, method="dyposub",
+                              remainder=remainder,
+                              seconds=time.monotonic() - start,
+                              stats=stats, trace=trace)

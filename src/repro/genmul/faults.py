@@ -1,0 +1,106 @@
+"""Fault injection for negative verification experiments.
+
+The verifier must answer FALSE for buggy multipliers (Algorithm 1,
+line 9).  These helpers derive buggy variants of a correct multiplier by
+local structural mutations that are guaranteed to change the function
+(checked by simulation before the mutant is returned).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.aig.aig import Aig, lit_neg, lit_var
+from repro.aig.simulate import functionally_equal
+from repro.errors import GeneratorError
+
+
+def _rebuild_with_mutation(aig, mutate):
+    """Copy ``aig`` applying ``mutate(new, v, f0, f1) -> literal | None``
+    to each AND node; ``None`` keeps the node unchanged."""
+    new = Aig(aig.name + "_buggy")
+    old2new = {0: 0}
+    for var, name in zip(aig.inputs, aig.input_names):
+        old2new[var] = new.add_input(name)
+    for v in aig.and_vars():
+        f0, f1 = aig.fanins(v)
+        nf0 = old2new[lit_var(f0)] ^ (f0 & 1)
+        nf1 = old2new[lit_var(f1)] ^ (f1 & 1)
+        replacement = mutate(new, v, nf0, nf1)
+        if replacement is None:
+            old2new[v] = new.add_and(nf0, nf1)
+        else:
+            old2new[v] = replacement
+    for out, name in zip(aig.outputs, aig.output_names):
+        new.add_output(old2new[lit_var(out)] ^ (out & 1), name)
+    return new
+
+
+FAULT_KINDS = ("gate-type", "input-negation", "output-negation", "wrong-wire")
+
+
+def inject_fault(aig, kind="gate-type", target=None, seed=0):
+    """Return a buggy copy of ``aig``.
+
+    ``kind`` selects the mutation:
+
+    * ``gate-type`` — one AND node becomes an OR;
+    * ``input-negation`` — one AND fan-in edge is complemented;
+    * ``output-negation`` — one AND output polarity flips;
+    * ``wrong-wire`` — one fan-in is rerouted to a different signal.
+
+    ``target`` picks the AND variable to mutate (random if None).  Raises
+    :class:`GeneratorError` if the mutation turns out to be functionally
+    invisible (e.g. hits redundant logic) — callers may retry with
+    another target.
+    """
+    and_vars = list(aig.and_vars())
+    if not and_vars:
+        raise GeneratorError("no AND nodes to mutate")
+    rng = random.Random(seed)
+    chosen = target if target is not None else rng.choice(and_vars)
+    if kind == "gate-type":
+        def mutate(new, v, f0, f1):
+            if v == chosen:
+                return new.or_(f0, f1)
+            return None
+    elif kind == "input-negation":
+        def mutate(new, v, f0, f1):
+            if v == chosen:
+                return new.add_and(lit_neg(f0), f1)
+            return None
+    elif kind == "output-negation":
+        def mutate(new, v, f0, f1):
+            if v == chosen:
+                return lit_neg(new.add_and(f0, f1))
+            return None
+    elif kind == "wrong-wire":
+        def mutate(new, v, f0, f1):
+            if v == chosen:
+                # reroute the first fan-in to the most recent signal built
+                # before this node (a wiring error to a nearby net)
+                return new.add_and(2 * (new.num_vars - 1), f1)
+            return None
+    else:
+        raise GeneratorError(f"unknown fault kind {kind!r} (know {FAULT_KINDS})")
+
+    buggy = _rebuild_with_mutation(aig, mutate)
+    if functionally_equal(aig, buggy, rounds=4, width=256, seed=seed):
+        raise GeneratorError(
+            f"mutation at node {chosen} is functionally invisible; retry")
+    return buggy
+
+
+def inject_visible_fault(aig, kind="gate-type", seed=0, attempts=25):
+    """Like :func:`inject_fault` but retries targets until the mutation
+    is observable at the outputs."""
+    rng = random.Random(seed)
+    and_vars = list(aig.and_vars())
+    for _ in range(attempts):
+        target = rng.choice(and_vars)
+        try:
+            return inject_fault(aig, kind=kind, target=target,
+                                seed=rng.randrange(1 << 30))
+        except GeneratorError:
+            continue
+    raise GeneratorError(f"could not find a visible {kind!r} fault")

@@ -1,0 +1,186 @@
+"""Final-stage adders (stage 3 of a multiplier).
+
+All adders take two equal-width rows of AIG literals and return the sum
+bits modulo ``2**width`` (the carry out of the top column is discarded —
+the product always fits in ``n + m`` bits, see
+:mod:`repro.genmul.reduction`).
+
+Architectures: ripple carry (``RC``), block carry-lookahead (``CL``),
+carry-skip (``CK``), conditional sum (``CU``) and the parallel-prefix
+networks from :mod:`repro.genmul.prefix` (``KS``, ``BK``, ``LF``,
+``SK``).
+"""
+
+from __future__ import annotations
+
+from repro.aig.aig import FALSE
+from repro.errors import GeneratorError
+from repro.genmul.prefix import PREFIX_NETWORKS, prefix_adder
+
+
+def ripple_carry_adder(aig, row_a, row_b, carry_in=FALSE):
+    """Chain of full adders, LSB to MSB."""
+    _check(row_a, row_b)
+    sums = []
+    carry = carry_in
+    for a, b in zip(row_a, row_b):
+        s, carry = aig.full_adder(a, b, carry)
+        sums.append(s)
+    return sums
+
+
+def carry_lookahead_adder(aig, row_a, row_b, block=4):
+    """Two-level block carry-lookahead adder.
+
+    Within each block of ``block`` bits the carries are computed by
+    lookahead from the bit generate/propagate signals; the blocks
+    themselves are linked through a second level of group
+    generate/propagate lookahead.
+    """
+    _check(row_a, row_b)
+    width = len(row_a)
+    g = [aig.and_(a, b) for a, b in zip(row_a, row_b)]
+    p = [aig.xor_(a, b) for a, b in zip(row_a, row_b)]
+
+    # Group generate/propagate per block.
+    blocks = [(start, min(start + block, width))
+              for start in range(0, width, block)]
+    group_g = []
+    group_p = []
+    for start, end in blocks:
+        # gg = g[end-1] | p[end-1]*g[end-2] | ... | p[end-1]..p[start+1]*g[start]
+        gg = FALSE
+        for i in range(start, end):
+            gg = aig.or_(aig.and_(gg, p[i]), g[i])
+        gp = aig.and_many(p[start:end])
+        group_g.append(gg)
+        group_p.append(gp)
+
+    # Second level: block carry-ins by lookahead over group signals.
+    block_carry = [FALSE]
+    for k in range(len(blocks) - 1):
+        cin = aig.or_(group_g[k], aig.and_(group_p[k], block_carry[k]))
+        block_carry.append(cin)
+
+    # Within each block: lookahead carries from the block carry-in.
+    sums = [None] * width
+    for (start, end), cin in zip(blocks, block_carry):
+        carry = cin
+        for i in range(start, end):
+            sums[i] = aig.xor_(p[i], carry)
+            carry = aig.or_(g[i], aig.and_(p[i], carry))
+    return sums
+
+
+def carry_skip_adder(aig, row_a, row_b, block=4):
+    """Carry-skip adder: ripple within blocks, bypass mux across blocks."""
+    _check(row_a, row_b)
+    width = len(row_a)
+    p = [aig.xor_(a, b) for a, b in zip(row_a, row_b)]
+    sums = [None] * width
+    carry_in = FALSE
+    for start in range(0, width, block):
+        end = min(start + block, width)
+        carry = carry_in
+        for i in range(start, end):
+            sums[i] = aig.xor_(p[i], carry)
+            carry = aig.maj(row_a[i], row_b[i], carry)
+        block_p = aig.and_many(p[start:end])
+        carry_in = aig.mux(block_p, carry_in, carry)
+    return sums
+
+
+def conditional_sum_adder(aig, row_a, row_b):
+    """Conditional-sum adder (the paper's ``CU``).
+
+    Recursive doubling: every block computes its sum and carry for both
+    possible carry-ins; multiplexers select as blocks merge.
+    """
+    _check(row_a, row_b)
+    width = len(row_a)
+    # blocks[i] = (sums0, carry0, sums1, carry1) for the current block
+    # starting at bit index i * block_size.
+    blocks = []
+    for a, b in zip(row_a, row_b):
+        s0 = aig.xor_(a, b)
+        c0 = aig.and_(a, b)
+        s1 = aig.xnor_(a, b)
+        c1 = aig.or_(a, b)
+        blocks.append(([s0], c0, [s1], c1))
+    while len(blocks) > 1:
+        merged = []
+        for k in range(0, len(blocks) - 1, 2):
+            lo_s0, lo_c0, lo_s1, lo_c1 = blocks[k]
+            hi_s0, hi_c0, hi_s1, hi_c1 = blocks[k + 1]
+            s0 = lo_s0 + [aig.mux(lo_c0, s1_bit, s0_bit)
+                          for s0_bit, s1_bit in zip(hi_s0, hi_s1)]
+            c0 = aig.mux(lo_c0, hi_c1, hi_c0)
+            s1 = lo_s1 + [aig.mux(lo_c1, s1_bit, s0_bit)
+                          for s0_bit, s1_bit in zip(hi_s0, hi_s1)]
+            c1 = aig.mux(lo_c1, hi_c1, hi_c0)
+            merged.append((s0, c0, s1, c1))
+        if len(blocks) % 2:
+            merged.append(blocks[-1])
+        blocks = merged
+    sums0, _, _, _ = blocks[0]
+    return sums0[:width]
+
+
+def carry_select_adder(aig, row_a, row_b, block=4):
+    """Carry-select adder: every block computes both conditional sums
+    (carry-in 0 and 1) in parallel; the incoming carry selects."""
+    _check(row_a, row_b)
+    width = len(row_a)
+    sums = [None] * width
+    carry_in = FALSE
+    for start in range(0, width, block):
+        end = min(start + block, width)
+        sums0, carry0 = _ripple_slice(aig, row_a, row_b, start, end, FALSE)
+        sums1, carry1 = _ripple_slice(aig, row_a, row_b, start, end,
+                                      aig.not_(FALSE))
+        for offset in range(end - start):
+            sums[start + offset] = aig.mux(carry_in, sums1[offset],
+                                           sums0[offset])
+        carry_in = aig.mux(carry_in, carry1, carry0)
+    return sums
+
+
+def _ripple_slice(aig, row_a, row_b, start, end, carry):
+    sums = []
+    for i in range(start, end):
+        s, carry = aig.full_adder(row_a[i], row_b[i], carry)
+        sums.append(s)
+    return sums, carry
+
+
+def prefix_fsa(network_name):
+    """Adapter making a prefix network usable as a final-stage adder."""
+    if network_name not in PREFIX_NETWORKS:
+        raise GeneratorError(f"unknown prefix network {network_name!r}")
+
+    def adder(aig, row_a, row_b):
+        return prefix_adder(aig, row_a, row_b, network_name)
+
+    adder.__name__ = f"prefix_{network_name.lower()}_adder"
+    return adder
+
+
+FSA_BUILDERS = {
+    "RC": ripple_carry_adder,
+    "CL": carry_lookahead_adder,
+    "CK": carry_skip_adder,
+    "CU": conditional_sum_adder,
+    "CS": carry_select_adder,
+    "KS": prefix_fsa("KS"),
+    "BK": prefix_fsa("BK"),
+    "LF": prefix_fsa("LF"),
+    "SK": prefix_fsa("SK"),
+    "HC": prefix_fsa("HC"),
+}
+
+
+def _check(row_a, row_b):
+    if len(row_a) != len(row_b):
+        raise GeneratorError("operand rows must have equal width")
+    if not row_a:
+        raise GeneratorError("operand rows must be non-empty")

@@ -1,0 +1,111 @@
+"""Multiplier generation: compose PPG, PPA and FSA stages into an AIG.
+
+This module plays the role of the paper's benchmark generators (the
+Arithmetic Module Generator and GenMul [21]): it produces structurally
+faithful multipliers for every architecture evaluated in Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.aig.aig import Aig
+from repro.errors import GeneratorError
+from repro.genmul.booth import booth_ppg, booth_ppg_signed
+from repro.genmul.fsa import FSA_BUILDERS
+from repro.genmul.names import format_architecture, parse_architecture
+from repro.genmul.ppa import PPA_BUILDERS
+from repro.genmul.ppg import baugh_wooley_ppg, simple_ppg
+
+PPG_BUILDERS = {
+    "SP": simple_ppg,
+    "BP": booth_ppg,
+    "SPS": baugh_wooley_ppg,
+    "BPS": booth_ppg_signed,
+}
+
+SIGNED_PPGS = ("SPS", "BPS")
+
+
+@dataclass
+class MultiplierSpec:
+    """Everything needed to (re)generate one multiplier instance."""
+
+    width_a: int
+    width_b: int
+    ppg: str = "SP"
+    ppa: str = "AR"
+    fsa: str = "RC"
+    signed: bool = field(default=False)
+
+    @classmethod
+    def from_name(cls, architecture, width_a, width_b=None):
+        ppg, ppa, fsa = parse_architecture(architecture)
+        if width_b is None:
+            width_b = width_a
+        return cls(width_a, width_b, ppg, ppa, fsa,
+                   signed=(ppg in SIGNED_PPGS))
+
+    @property
+    def architecture(self):
+        return format_architecture(self.ppg, self.ppa, self.fsa)
+
+    @property
+    def output_width(self):
+        return self.width_a + self.width_b
+
+    def name(self):
+        return f"{self.architecture}_{self.width_a}x{self.width_b}"
+
+
+def generate_multiplier(spec_or_name, width_a=None, width_b=None):
+    """Generate a multiplier AIG.
+
+    Accepts either a :class:`MultiplierSpec` or an architecture name plus
+    widths, e.g. ``generate_multiplier("SP-DT-LF", 16)``.  Input words are
+    ``a0..`` and ``b0..`` (LSB first), outputs ``p0..`` (LSB first,
+    ``width_a + width_b`` bits).
+    """
+    if isinstance(spec_or_name, MultiplierSpec):
+        spec = spec_or_name
+    else:
+        if width_a is None:
+            raise GeneratorError("width required when passing an architecture name")
+        spec = MultiplierSpec.from_name(spec_or_name, width_a, width_b)
+    if spec.width_a < 1 or spec.width_b < 1:
+        raise GeneratorError("operand widths must be positive")
+    if spec.ppg == "BP" and spec.width_a < 2:
+        raise GeneratorError("Booth encoding needs width_a >= 2")
+
+    aig = Aig(spec.name())
+    a_bits = aig.add_inputs(spec.width_a, prefix="a")
+    b_bits = aig.add_inputs(spec.width_b, prefix="b")
+    width = spec.output_width
+
+    ppg = PPG_BUILDERS[spec.ppg]
+    rows = ppg(aig, a_bits, b_bits, width)
+    ppa = PPA_BUILDERS[spec.ppa]
+    row_a, row_b = ppa(aig, rows)
+    fsa = FSA_BUILDERS[spec.fsa]
+    sums = fsa(aig, row_a, row_b)
+    if len(sums) < width:
+        raise GeneratorError("final adder returned too few bits")
+    for k in range(width):
+        aig.add_output(sums[k], f"p{k}")
+    return aig
+
+
+def multiply_reference(spec, a_value, b_value):
+    """The integer a multiplier instance must compute (signed-aware)."""
+    if spec.signed:
+        a_signed = _to_signed(a_value, spec.width_a)
+        b_signed = _to_signed(b_value, spec.width_b)
+        return (a_signed * b_signed) % (1 << spec.output_width)
+    return (a_value * b_value) % (1 << spec.output_width)
+
+
+def _to_signed(value, width):
+    value %= 1 << width
+    if value >= 1 << (width - 1):
+        value -= 1 << width
+    return value

@@ -1,0 +1,80 @@
+"""Architecture naming: parse and format ``"SP-DT-LF"``-style names.
+
+The paper writes architectures as ``PPG o PPA o FSA`` compositions, e.g.
+``SP o DT o LF`` = simple partial products, Dadda tree, Ladner-Fischer
+adder.  We accept ``-``, ``.``, ``:`` or ``o`` (with spaces) as the
+separator.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import GeneratorError
+
+PPG_CODES = {
+    "SP": "simple partial product generator",
+    "BP": "Booth partial product generator",
+    "SPS": "signed (Baugh-Wooley) partial product generator",
+    "BPS": "signed Booth partial product generator",
+}
+
+PPA_CODES = {
+    "AR": "array",
+    "WT": "Wallace tree",
+    "DT": "Dadda tree",
+    "BD": "balanced delay tree",
+    "OS": "overturned-stairs tree",
+    "CP": "4:2-compressor tree",
+}
+
+FSA_CODES = {
+    "RC": "ripple carry",
+    "CL": "carry look-ahead",
+    "CK": "carry-skip",
+    "CU": "conditional sum",
+    "CS": "carry select",
+    "KS": "Kogge-Stone",
+    "BK": "Brent-Kung",
+    "LF": "Ladner-Fischer",
+    "SK": "Sklansky",
+    "HC": "Han-Carlson",
+}
+
+_SEPARATOR = re.compile(r"\s*(?:[-.:∘]|\bo\b)\s*")
+
+
+def parse_architecture(name):
+    """Split an architecture name into ``(ppg, ppa, fsa)`` codes."""
+    parts = [part for part in _SEPARATOR.split(name.strip()) if part]
+    if len(parts) != 3:
+        raise GeneratorError(
+            f"architecture {name!r} must have three stages, e.g. 'SP-DT-LF'")
+    ppg, ppa, fsa = (part.upper() for part in parts)
+    if ppg not in PPG_CODES:
+        raise GeneratorError(f"unknown PPG stage {ppg!r} (know {sorted(PPG_CODES)})")
+    if ppa not in PPA_CODES:
+        raise GeneratorError(f"unknown PPA stage {ppa!r} (know {sorted(PPA_CODES)})")
+    if fsa not in FSA_CODES:
+        raise GeneratorError(f"unknown FSA stage {fsa!r} (know {sorted(FSA_CODES)})")
+    return ppg, ppa, fsa
+
+
+def format_architecture(ppg, ppa, fsa):
+    return f"{ppg}-{ppa}-{fsa}"
+
+
+def describe_architecture(name):
+    """Human-readable description of an architecture name."""
+    ppg, ppa, fsa = parse_architecture(name)
+    return (f"{PPG_CODES[ppg]} / {PPA_CODES[ppa]} / {FSA_CODES[fsa]}")
+
+
+def all_architectures(ppgs=None, ppas=None, fsas=None):
+    """Enumerate architecture names over the given stage subsets."""
+    names = []
+    for ppg in ppgs or sorted(PPG_CODES):
+        for ppa in ppas or sorted(PPA_CODES):
+            for fsa in fsas or sorted(FSA_CODES):
+                names.append(format_architecture(ppg, ppa, fsa))
+    return names

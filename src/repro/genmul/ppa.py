@@ -1,0 +1,190 @@
+"""Partial-product accumulators (stage 2 of a multiplier).
+
+Every accumulator reduces a list of partial-product rows to exactly two
+rows in carry-save form; the final-stage adder then produces the binary
+result.  Architectures:
+
+* ``AR`` — array: a linear chain of carry-save adders (the structure of
+  the classic array multiplier, Fig. 3a of the paper);
+* ``WT`` — Wallace tree: eager column compression;
+* ``DT`` — Dadda tree: lazy column compression along the Dadda sequence;
+* ``BD`` — balanced-delay tree: a balanced ternary tree of carry-save
+  adders over the rows (after Zimmermann's taxonomy of reduction trees);
+* ``OS`` — overturned-stairs tree: a staircase-shaped ternary tree where
+  step ``k`` reduces a group sized by the Dadda capacity sequence before
+  it joins the accumulating chain (after Mou & Jutand's construction).
+"""
+
+from __future__ import annotations
+
+from repro.errors import GeneratorError
+from repro.genmul.reduction import (
+    ColumnMatrix,
+    csa_rows,
+    dadda_reduce,
+    dadda_sequence,
+    row_is_zero,
+    wallace_reduce,
+)
+
+
+def _nonzero(rows):
+    kept = [row for row in rows if not row_is_zero(row)]
+    if not kept:
+        raise GeneratorError("no partial products to accumulate")
+    return kept
+
+
+def _pad_to_two(rows, width):
+    from repro.aig.aig import FALSE
+    while len(rows) < 2:
+        rows = rows + [[FALSE] * width]
+    return rows
+
+
+def array_accumulate(aig, rows):
+    """Linear carry-save chain: row k is absorbed at step k."""
+    rows = _nonzero(rows)
+    width = len(rows[0])
+    if len(rows) <= 2:
+        return _pad_to_two(rows, width)
+    acc_sum, acc_carry = rows[0], rows[1]
+    for row in rows[2:]:
+        acc_sum, acc_carry = csa_rows(aig, acc_sum, acc_carry, row)
+    return [acc_sum, acc_carry]
+
+
+def wallace_accumulate(aig, rows):
+    """Eager column compression until every column height is <= 2."""
+    rows = _nonzero(rows)
+    width = len(rows[0])
+    matrix = ColumnMatrix.from_rows(rows, width)
+    while matrix.max_height() > 2:
+        matrix = wallace_reduce(aig, matrix)
+    return list(matrix.to_two_rows())
+
+
+def dadda_accumulate(aig, rows):
+    """Lazy column compression along the Dadda height sequence."""
+    rows = _nonzero(rows)
+    width = len(rows[0])
+    matrix = ColumnMatrix.from_rows(rows, width)
+    while matrix.max_height() > 2:
+        matrix = dadda_reduce(aig, matrix)
+    return list(matrix.to_two_rows())
+
+
+def balanced_delay_accumulate(aig, rows):
+    """Balanced ternary tree of carry-save adders over the rows."""
+    rows = _nonzero(rows)
+    width = len(rows[0])
+
+    def reduce_group(group):
+        if len(group) <= 2:
+            return list(group)
+        third = (len(group) + 2) // 3
+        parts = [group[:third], group[third:2 * third], group[2 * third:]]
+        gathered = []
+        for part in parts:
+            if part:
+                gathered.extend(reduce_group(part))
+        return _csa_until_two(aig, gathered)
+
+    return _pad_to_two(reduce_group(rows), width)
+
+
+def overturned_stairs_accumulate(aig, rows):
+    """Staircase ternary tree: an accumulating chain where step ``k``
+    first reduces a progressively larger group of rows in a balanced
+    subtree (group sizes follow the Dadda capacity sequence), then joins
+    the chain through one carry-save adder — the 'stairs' profile."""
+    rows = _nonzero(rows)
+    width = len(rows[0])
+    if len(rows) <= 2:
+        return _pad_to_two(rows, width)
+    capacities = dadda_sequence(max(2, len(rows)))
+    groups = []
+    index = 0
+    step = 0
+    while index < len(rows):
+        size = capacities[min(step, len(capacities) - 1)]
+        groups.append(rows[index:index + size])
+        index += size
+        step += 1
+    chain = _csa_until_two(aig, list(groups[0]))
+    for group in groups[1:]:
+        reduced = _csa_until_two(aig, list(group))
+        chain = _csa_until_two(aig, chain + reduced)
+    return _pad_to_two(chain, width)
+
+
+def _csa_until_two(aig, group):
+    """Reduce a list of rows to at most two with balanced CSA rounds."""
+    while len(group) > 2:
+        nxt = []
+        k = 0
+        while len(group) - k >= 3:
+            s, c = csa_rows(aig, group[k], group[k + 1], group[k + 2])
+            nxt.append(s)
+            nxt.append(c)
+            k += 3
+        nxt.extend(group[k:])
+        group = nxt
+    return group
+
+
+def compressor_4_2(aig, x1, x2, x3, x4, carry_in):
+    """A 4:2 compressor as two chained full adders.
+
+    ``x1+x2+x3+x4+cin = sum + 2*(carry + cout)``; ``cout`` is
+    independent of ``cin`` so compressors chain horizontally without a
+    ripple through the column.
+    """
+    s1, cout = aig.full_adder(x1, x2, x3)
+    total, carry = aig.full_adder(s1, x4, carry_in)
+    return total, carry, cout
+
+
+def compressor_accumulate(aig, rows):
+    """4:2-compressor tree (``CP``): groups of four rows collapse to two
+    through a column of compressors with a horizontal cout/cin chain."""
+    from repro.aig.aig import FALSE
+
+    rows = _nonzero(rows)
+    width = len(rows[0])
+    while len(rows) > 2:
+        nxt = []
+        k = 0
+        while len(rows) - k >= 4:
+            r1, r2, r3, r4 = rows[k:k + 4]
+            sum_row = [FALSE] * width
+            carry_row = [FALSE] * width
+            chain = FALSE
+            for j in range(width):
+                total, carry, cout = compressor_4_2(
+                    aig, r1[j], r2[j], r3[j], r4[j], chain)
+                sum_row[j] = total
+                if j + 1 < width:
+                    carry_row[j + 1] = carry
+                chain = cout
+            nxt.append(sum_row)
+            nxt.append(carry_row)
+            k += 4
+        remainder = rows[k:]
+        if len(remainder) == 3:
+            s, c = csa_rows(aig, *remainder)
+            nxt.extend([s, c])
+        else:
+            nxt.extend(remainder)
+        rows = nxt
+    return _pad_to_two(rows, width)
+
+
+PPA_BUILDERS = {
+    "AR": array_accumulate,
+    "WT": wallace_accumulate,
+    "DT": dadda_accumulate,
+    "BD": balanced_delay_accumulate,
+    "OS": overturned_stairs_accumulate,
+    "CP": compressor_accumulate,
+}

@@ -1,0 +1,68 @@
+"""Partial-product generators (stage 1 of a multiplier).
+
+``SP`` — the simple AND-matrix generator: partial product ``i, j`` is
+``a_i AND b_j`` with weight ``2**(i+j)`` (Fig. 1 / Fig. 3a of the paper).
+
+The Booth generator (``BP``) lives in :mod:`repro.genmul.booth`.
+"""
+
+from __future__ import annotations
+
+from repro.aig.aig import FALSE
+from repro.errors import GeneratorError
+from repro.genmul.reduction import padded_row
+
+
+def simple_ppg(aig, a_bits, b_bits, width=None):
+    """AND-matrix partial products for an unsigned multiplier.
+
+    Returns a list of rows (one per bit of ``a``), each padded to
+    ``width`` (default ``len(a) + len(b)``).
+    """
+    if not a_bits or not b_bits:
+        raise GeneratorError("operands must have at least one bit")
+    if width is None:
+        width = len(a_bits) + len(b_bits)
+    rows = []
+    for i, abit in enumerate(a_bits):
+        row_bits = [aig.and_(abit, bbit) for bbit in b_bits]
+        rows.append(padded_row(row_bits, width, offset=i))
+    return rows
+
+
+def baugh_wooley_ppg(aig, a_bits, b_bits, width=None):
+    """Baugh-Wooley partial products for a *signed* (two's-complement)
+    multiplier — provided as the signed extension of the generator suite.
+
+    Uses the standard reformulation: the sign-weight terms are
+    complemented and constant correction bits are added, so every row is
+    non-negative and the usual unsigned reduction machinery applies
+    (modulo ``2**width``).
+    """
+    n, m = len(a_bits), len(b_bits)
+    if n < 2 or m < 2:
+        raise GeneratorError("signed operands need at least two bits")
+    if width is None:
+        width = n + m
+    rows = []
+    for i, abit in enumerate(a_bits):
+        row = [FALSE] * width
+        for j, bbit in enumerate(b_bits):
+            pos = i + j
+            if pos >= width:
+                continue
+            pp = aig.and_(abit, bbit)
+            sign_a = i == n - 1
+            sign_b = j == m - 1
+            if sign_a != sign_b:
+                pp = aig.not_(pp)
+            row[pos] = pp
+        rows.append(row)
+    # Correction constant from folding -x*2**w into (1-x)*2**w - 2**w over
+    # both cross-sign groups: each group contributes -(2**(n+m-2) - 2**(w0))
+    # so the total is 2**(n-1) + 2**(m-1) - 2**(n+m-1), which modulo
+    # 2**(n+m) is 2**(n-1) + 2**(m-1) + 2**(n+m-1).
+    correction = (1 << (n - 1)) + (1 << (m - 1)) + (1 << (n + m - 1))
+    from repro.genmul.reduction import constant_row
+    rows.append(constant_row(correction % (1 << width), width))
+    return rows

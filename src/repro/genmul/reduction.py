@@ -1,0 +1,189 @@
+"""Partial-product machinery shared by all accumulator architectures.
+
+A partial-product set is a list of *rows*; each row is a list of AIG
+literals of length ``width`` (LSB first), padded with constant-FALSE
+literals.  Negative contributions (Booth encoding) are folded into
+two's-complement form with constant correction bits ahead of time, so
+every row is a plain non-negative bit vector and all arithmetic is
+modulo ``2**width`` — sound because the true product always fits in
+``width = n + m`` bits.
+
+Two reduction styles are provided:
+
+* row-based carry-save (``csa_rows`` + the tree shapes in
+  :mod:`repro.genmul.ppa`), used by array / balanced-delay /
+  overturned-stairs accumulators;
+* column-based compression (:class:`ColumnMatrix`), used by Wallace and
+  Dadda trees.
+"""
+
+from __future__ import annotations
+
+from repro.aig.aig import FALSE, TRUE
+from repro.errors import GeneratorError
+
+
+def padded_row(bits, width, offset=0):
+    """A width-sized row with ``bits`` placed starting at ``offset``."""
+    row = [FALSE] * width
+    for k, bit in enumerate(bits):
+        pos = offset + k
+        if pos >= width:
+            break
+        row[pos] = bit
+    return row
+
+
+def constant_row(value, width):
+    """Encode a non-negative constant as a row of TRUE literals."""
+    if value < 0:
+        raise GeneratorError("constant rows must be non-negative")
+    return [TRUE if (value >> k) & 1 else FALSE for k in range(width)]
+
+
+def row_is_zero(row):
+    return all(bit == FALSE for bit in row)
+
+
+def pack_rows(rows, width):
+    """Repack bits column-wise into the minimum number of rows.
+
+    The sum of the rows is preserved (each bit keeps its column).  Used
+    by the Booth generator to merge the two's-complement ``neg`` bits and
+    correction constants into the holes of the partial-product rows —
+    without packing, the accumulator sees many near-empty rows and
+    degenerates into half-adder chains.
+    """
+    columns = [[] for _ in range(width)]
+    for row in rows:
+        for j, bit in enumerate(row[:width]):
+            if bit != FALSE:
+                columns[j].append(bit)
+    height = max((len(col) for col in columns), default=0)
+    packed = []
+    for i in range(height):
+        packed.append([col[i] if i < len(col) else FALSE for col in columns])
+    return packed
+
+
+def csa_rows(aig, row_a, row_b, row_c):
+    """Carry-save addition of three rows: returns ``(sum_row, carry_row)``.
+
+    Column-wise full adders; the carry row is shifted left by one.  The
+    AIG builder's trivial simplifications turn full adders with constant
+    or missing operands into half adders / wires automatically.
+    """
+    width = len(row_a)
+    sum_row = [FALSE] * width
+    carry_row = [FALSE] * width
+    for j in range(width):
+        s, c = aig.full_adder(row_a[j], row_b[j], row_c[j])
+        sum_row[j] = s
+        if j + 1 < width:
+            carry_row[j + 1] = c
+    return sum_row, carry_row
+
+
+class ColumnMatrix:
+    """Bits organized by weight for column-compression accumulators."""
+
+    def __init__(self, width):
+        self.width = width
+        self.columns = [[] for _ in range(width)]
+
+    @classmethod
+    def from_rows(cls, rows, width):
+        matrix = cls(width)
+        for row in rows:
+            for j, bit in enumerate(row[:width]):
+                if bit != FALSE:
+                    matrix.columns[j].append(bit)
+        return matrix
+
+    def add_bit(self, column, bit):
+        if bit == FALSE:
+            return
+        if column < self.width:
+            self.columns[column].append(bit)
+
+    def heights(self):
+        return [len(col) for col in self.columns]
+
+    def max_height(self):
+        return max((len(col) for col in self.columns), default=0)
+
+    def to_two_rows(self):
+        """Extract the final two rows once every column height is <= 2."""
+        if self.max_height() > 2:
+            raise GeneratorError("matrix not yet reduced to two rows")
+        row_a = [FALSE] * self.width
+        row_b = [FALSE] * self.width
+        for j, col in enumerate(self.columns):
+            if len(col) >= 1:
+                row_a[j] = col[0]
+            if len(col) == 2:
+                row_b[j] = col[1]
+        return row_a, row_b
+
+
+def dadda_sequence(limit):
+    """The Dadda height sequence 2, 3, 4, 6, 9, 13, ... up to ``limit``."""
+    seq = [2]
+    while seq[-1] < limit:
+        seq.append(int(seq[-1] * 3 / 2))
+    return seq
+
+
+def wallace_reduce(aig, matrix):
+    """One full Wallace stage applied to every column.
+
+    Columns of height >= 3 are compressed with full adders on each group
+    of three bits plus a half adder on a remaining pair.
+    """
+    nxt = ColumnMatrix(matrix.width)
+    for j, col in enumerate(matrix.columns):
+        k = 0
+        if len(col) >= 3:
+            while len(col) - k >= 3:
+                s, c = aig.full_adder(col[k], col[k + 1], col[k + 2])
+                nxt.add_bit(j, s)
+                nxt.add_bit(j + 1, c)
+                k += 3
+            if len(col) - k == 2:
+                s, c = aig.half_adder(col[k], col[k + 1])
+                nxt.add_bit(j, s)
+                nxt.add_bit(j + 1, c)
+                k += 2
+        for bit in col[k:]:
+            nxt.add_bit(j, bit)
+    return nxt
+
+
+def dadda_reduce(aig, matrix):
+    """One Dadda stage: compress each column *just enough* to bring every
+    height down to the next value of the Dadda sequence.
+
+    Carries produced in column ``j`` are injected into column ``j + 1``
+    of the *same* stage (they count toward its height target), which is
+    what distinguishes Dadda's lazy scheme from Wallace's eager one.
+    """
+    current = matrix.max_height()
+    targets = [d for d in dadda_sequence(max(current, 2)) if d < current]
+    if not targets:
+        return matrix
+    target = targets[-1]
+    nxt = ColumnMatrix(matrix.width)
+    carries = [[] for _ in range(matrix.width + 1)]
+    for j in range(matrix.width):
+        bits = list(matrix.columns[j]) + carries[j]
+        while len(bits) > target:
+            if len(bits) == target + 1:
+                s, c = aig.half_adder(bits.pop(), bits.pop())
+            else:
+                s, c = aig.full_adder(bits.pop(), bits.pop(), bits.pop())
+            bits.append(s)
+            if j + 1 <= matrix.width:
+                carries[j + 1].append(c)
+        for bit in bits:
+            nxt.add_bit(j, bit)
+    return nxt

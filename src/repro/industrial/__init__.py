@@ -1,0 +1,11 @@
+"""Industrial benchmark synthesis — the Table II substrate."""
+
+from repro.industrial.designware import (
+    designware_like_multiplier,
+    designware_like_netlist,
+    designware_verilog,
+)
+from repro.industrial.epfl import epfl_like_multiplier
+
+__all__ = ["designware_like_multiplier", "designware_like_netlist",
+           "designware_verilog", "epfl_like_multiplier"]

@@ -1,0 +1,25 @@
+"""Logic optimization passes — the reproduction's abc equivalent."""
+
+from repro.opt.balance import balance
+from repro.opt.dce import dce
+from repro.opt.decompose import decompose, synthesize_best, tree_cost
+from repro.opt.isop import build_sop, cubes_to_tt, isop, synthesize_tt
+from repro.opt.refactor import refactor, rewrite
+from repro.opt.scripts import (
+    OPTIMIZATIONS,
+    compress2,
+    dc2,
+    map3,
+    optimize,
+    resyn3,
+)
+from repro.opt.techmap import techmap, techmap_roundtrip
+from repro.opt.xor_balance import xor_balance
+
+__all__ = [
+    "balance", "dce", "refactor", "rewrite", "xor_balance",
+    "isop", "cubes_to_tt", "build_sop", "synthesize_tt",
+    "decompose", "synthesize_best", "tree_cost",
+    "resyn3", "dc2", "compress2", "map3", "optimize", "OPTIMIZATIONS",
+    "techmap", "techmap_roundtrip",
+]

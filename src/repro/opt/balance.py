@@ -1,0 +1,99 @@
+"""AND-tree balancing (the abc ``balance`` pass).
+
+Collapses maximal multi-input AND trees (connected through
+non-complemented edges to single-fanout AND nodes) and rebuilds them as
+delay-balanced binary trees, pairing the two shallowest operands first
+(Huffman style).  This is one of the transformations that *merges logic
+across atomic-block boundaries*: once a full adder's internal AND feeds
+a balanced tree, its boundary disappears from the netlist.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.aig.aig import Aig, lit_is_negated, lit_var
+from repro.aig.ops import cleanup, fanout_map
+
+
+def balance(aig):
+    """Return a balanced copy of ``aig``."""
+    fanouts, po_refs = fanout_map(aig)
+    refs = {v: len(fanouts[v]) + po_refs[v] for v in range(aig.num_vars)}
+    new = Aig(aig.name)
+    old2new = {0: 0}
+    level = {0: 0}
+    for var, name in zip(aig.inputs, aig.input_names):
+        image = new.add_input(name)
+        old2new[var] = image
+        level[lit_var(image)] = 0
+    tiebreak = itertools.count()
+
+    def build(root):
+        stack = [root]
+        while stack:
+            v = stack[-1]
+            if v in old2new:
+                stack.pop()
+                continue
+            leaves = _collect_and_leaves(aig, v, refs)
+            pending = [lit_var(leaf) for leaf in leaves
+                       if lit_var(leaf) not in old2new]
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            heap = []
+            for leaf in leaves:
+                image = old2new[lit_var(leaf)] ^ (leaf & 1)
+                heapq.heappush(heap, (level.get(lit_var(image), 0),
+                                      next(tiebreak), image))
+            while len(heap) > 1:
+                la, _, a = heapq.heappop(heap)
+                lb, _, b = heapq.heappop(heap)
+                combined = new.add_and(a, b)
+                depth = 1 + max(la, lb)
+                existing = level.get(lit_var(combined))
+                if existing is None or depth < existing:
+                    level[lit_var(combined)] = depth
+                heapq.heappush(heap, (level.get(lit_var(combined), depth),
+                                      next(tiebreak), combined))
+            old2new[v] = heap[0][2]
+        return old2new[root]
+
+    for v in aig.and_vars():
+        # Build roots only: nodes referenced more than once or driving POs;
+        # single-fanout nodes are absorbed into their consumer's tree.
+        if refs[v] != 1 or po_refs[v]:
+            build(v)
+    for out, name in zip(aig.outputs, aig.output_names):
+        var = lit_var(out)
+        image = build(var) if aig.is_and(var) else old2new[var]
+        new.add_output(image ^ (out & 1), name)
+    return cleanup(new)
+
+
+def _collect_and_leaves(aig, root, refs):
+    """Leaf literals of the maximal AND tree rooted at ``root``.
+
+    A fan-in is expanded when it is a non-complemented edge to an AND
+    node whose only reference is this tree.
+    """
+    leaves = []
+    stack = [2 * root]
+    first = True
+    while stack:
+        literal = stack.pop()
+        var = lit_var(literal)
+        expandable = (not lit_is_negated(literal)
+                      and aig.is_and(var)
+                      and (first or refs[var] == 1))
+        if expandable:
+            f0, f1 = aig.fanins(var)
+            stack.append(f0)
+            stack.append(f1)
+        else:
+            leaves.append(literal)
+        first = False
+    return leaves

@@ -1,0 +1,14 @@
+"""Dead-code elimination for AIGs (a thin, named wrapper over cleanup).
+
+Separated out so optimization scripts read like abc scripts and so the
+pass can be instrumented in isolation.
+"""
+
+from __future__ import annotations
+
+from repro.aig.ops import cleanup
+
+
+def dce(aig):
+    """Remove nodes unreachable from the primary outputs."""
+    return cleanup(aig)

@@ -1,0 +1,109 @@
+"""Named optimization scripts mirroring abc's ``resyn3`` and ``dc2``.
+
+The paper optimizes its benchmarks with abc's ``resyn3`` and ``dc2``
+scripts (Table I column *Optimiz.*).  Our pipelines are built from this
+package's own passes; the pass sequences follow the structure of the abc
+originals (balancing interleaved with rewriting/refactoring, ending in
+zero-cost variants that restructure without shrinking).
+
+Every script asserts nothing about the result beyond function
+preservation — which the test suite checks by simulation and the SCA
+verifier proves formally.
+"""
+
+from __future__ import annotations
+
+from repro.aig.ops import cleanup
+from repro.opt.balance import balance
+from repro.opt.dce import dce
+from repro.opt.refactor import refactor, rewrite
+
+
+def resyn3(aig):
+    """Balance / resynthesize pipeline after abc's ``resyn3``:
+    ``b; rs; rs -K 6; b; rsz; rsz -K 6; b`` — here realized with this
+    package's refactor (structural cuts) and rewrite passes."""
+    aig = cleanup(aig)
+    aig = balance(aig)
+    aig = refactor(aig, k=6)
+    aig = refactor(aig, k=8)
+    aig = balance(aig)
+    aig = refactor(aig, k=6, zero_cost=True)
+    aig = rewrite(aig, zero_cost=True)
+    aig = balance(aig)
+    return dce(aig)
+
+
+def dc2(aig):
+    """Heavier pipeline after abc's ``dc2``:
+    ``b; rw; rf; b; rw; rwz; b; rfz; rwz; b``."""
+    aig = cleanup(aig)
+    aig = balance(aig)
+    aig = rewrite(aig)
+    aig = refactor(aig, k=8)
+    aig = balance(aig)
+    aig = rewrite(aig)
+    aig = rewrite(aig, zero_cost=True)
+    aig = balance(aig)
+    aig = refactor(aig, k=8, zero_cost=True)
+    aig = rewrite(aig, zero_cost=True)
+    aig = balance(aig)
+    return dce(aig)
+
+
+def compress2(aig):
+    """A lighter script (abc's ``compress2`` flavor), provided for
+    ablation studies."""
+    aig = cleanup(aig)
+    aig = balance(aig)
+    aig = rewrite(aig)
+    aig = refactor(aig, k=6)
+    aig = balance(aig)
+    aig = rewrite(aig, zero_cost=True)
+    aig = balance(aig)
+    return dce(aig)
+
+
+def map3(aig):
+    """Technology-mapping round trip onto ≤3-input cells.
+
+    Our ISOP/decompose-based ``dc2``/``resyn3`` reimplementations
+    preserve more atomic-block boundaries than abc's NPN-based rewriting
+    does (abc's resyn3 demolishes full-adder boundaries, Fig. 3b of the
+    paper).  This flow reproduces that *boundary-destruction strength*
+    through the ≤3-input cell covering of :mod:`repro.opt.techmap` — the
+    same mechanism the paper's industrial benchmarks go through — and is
+    used as the strongest optimization column in the Table I benchmark.
+    """
+    from repro.opt.techmap import techmap_roundtrip
+
+    return dce(techmap_roundtrip(cleanup(aig)))
+
+
+def xor_reassociate(aig):
+    """Re-associate XOR trees (kept as a separate named pass so its
+    boundary effect can be ablated)."""
+    from repro.opt.xor_balance import xor_balance
+
+    return xor_balance(cleanup(aig))
+
+
+OPTIMIZATIONS = {
+    "none": cleanup,
+    "resyn3": resyn3,
+    "dc2": dc2,
+    "compress2": compress2,
+    "map3": map3,
+    "xor": xor_reassociate,
+}
+
+
+def optimize(aig, script):
+    """Apply a named optimization script (``none`` is the identity)."""
+    try:
+        pipeline = OPTIMIZATIONS[script]
+    except KeyError:
+        raise ValueError(
+            f"unknown optimization {script!r} (know {sorted(OPTIMIZATIONS)})"
+        ) from None
+    return pipeline(aig)

@@ -1,0 +1,186 @@
+"""XOR-tree re-association (the boundary-destroying abc-rewrite effect).
+
+AIGs represent ``a XOR b`` as three AND nodes; chains of XORs (the spine
+of every adder network: FA sums are ``(a ^ b) ^ c`` feeding further
+XORs) form trees of such triples.  abc's rewriting freely re-associates
+these trees when it finds cheaper or equal-cost structures — and doing
+so **dissolves the sum node of a full adder**: after rewriting
+``((a ^ b) ^ c) ^ d`` into ``(a ^ b) ^ (c ^ d)``, the three-input-parity
+node that reverse engineering would have identified as the FA sum no
+longer exists, so the block boundary is lost (Section III-A of the
+paper, Example 2).
+
+This pass reproduces that effect honestly: it detects maximal
+single-use XOR trees, collapses them to their leaves, and rebuilds them
+as depth-balanced trees — function-preserving, node-count-neutral, and
+boundary-destroying.  It is part of this package's ``resyn3``/``dc2``
+pipelines for exactly the reason the paper studies: optimized
+multipliers lose atomic-block boundaries.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.aig.aig import Aig, lit_is_negated, lit_neg, lit_var
+from repro.aig.ops import cleanup, fanout_map
+
+
+def xor_root(aig, var):
+    """If ``var`` is the root of a structural XOR, return
+    ``(l1, l2, p_var, q_var)`` such that ``var = XOR(l1, l2)`` (as a
+    function of the fan-in literals); otherwise ``None``.
+
+    Pattern: ``var = AND(!p, !q)`` with ``p = AND(x, y)`` and
+    ``q = AND(!x, !y)`` under some pairing of complemented literals.
+    """
+    if not aig.is_and(var):
+        return None
+    f0, f1 = aig.fanins(var)
+    if not (lit_is_negated(f0) and lit_is_negated(f1)):
+        return None
+    p_var, q_var = lit_var(f0), lit_var(f1)
+    if not (aig.is_and(p_var) and aig.is_and(q_var)):
+        return None
+    p0, p1 = aig.fanins(p_var)
+    q0, q1 = aig.fanins(q_var)
+    if (q0, q1) == (lit_neg(p0), lit_neg(p1)) or \
+            (q1, q0) == (lit_neg(p0), lit_neg(p1)):
+        return p0, p1, p_var, q_var
+    return None
+
+
+def collect_xor_leaves(aig, root, refs):
+    """Leaf literals (with polarity) of the maximal XOR tree at ``root``.
+
+    A leaf literal expands into a sub-XOR when its variable is an XOR
+    root whose three nodes are referenced only inside this tree.
+    Returns ``(leaves, parity)`` where the tree computes
+    ``parity XOR XOR(leaves)``.
+    """
+    info = xor_root(aig, root)
+    if info is None:
+        return None
+    leaves = []
+    parity = 0
+    stack = [(info, root)]
+    while stack:
+        (l1, l2, p_var, q_var), _node = stack.pop()
+        for leaf in (l1, l2):
+            leaf_var = lit_var(leaf)
+            parity ^= leaf & 1
+            sub = xor_root(aig, leaf_var)
+            expandable = False
+            if sub is not None and refs[leaf_var] == 2:
+                # the leaf's two references must be this tree's p and q
+                sub_p, sub_q = sub[2], sub[3]
+                consumers = refs_consumers(aig, leaf_var, p_var, q_var)
+                expandable = consumers
+            if expandable and refs[sub[2]] == 1 and refs[sub[3]] == 1:
+                stack.append((sub, leaf_var))
+            else:
+                leaves.append(2 * leaf_var)
+    return leaves, parity
+
+
+def refs_consumers(aig, var, p_var, q_var):
+    """True when ``var`` is consumed exactly by the XOR pair nodes."""
+    f0, f1 = aig.fanins(p_var)
+    g0, g1 = aig.fanins(q_var)
+    fanin_vars = {lit_var(f0), lit_var(f1), lit_var(g0), lit_var(g1)}
+    return var in fanin_vars
+
+
+def xor_balance(aig):
+    """Re-associate all maximal XOR trees into balanced form."""
+    fanouts, po_refs = fanout_map(aig)
+    refs = {v: len(fanouts[v]) + po_refs[v] for v in range(aig.num_vars)}
+    new = Aig(aig.name)
+    old2new = {0: 0}
+    level = {0: 0}
+    for var, name in zip(aig.inputs, aig.input_names):
+        image = new.add_input(name)
+        old2new[var] = image
+        level[lit_var(image)] = 0
+    tiebreak = itertools.count()
+
+    # Identify the vars absorbed into some larger XOR tree so we skip
+    # building them standalone.
+    absorbed = set()
+    tree_of = {}
+    for v in aig.and_vars():
+        if v in absorbed:
+            continue
+        collected = collect_xor_leaves(aig, v, refs)
+        if collected is None:
+            continue
+        leaves, parity = collected
+        if len(leaves) < 3:
+            continue
+        tree_of[v] = (leaves, parity)
+        # Mark every internal var of the tree (found by re-walking).
+        _mark_internal(aig, v, leaves, absorbed)
+        absorbed.discard(v)
+
+    def image_of(literal):
+        base = build(lit_var(literal))
+        return base ^ (literal & 1)
+
+    def build(var):
+        if var in old2new:
+            return old2new[var]
+        if var in tree_of:
+            leaves, parity = tree_of[var]
+            heap = []
+            for leaf in leaves:
+                img = image_of(leaf)
+                heapq.heappush(heap, (level.get(lit_var(img), 0),
+                                      next(tiebreak), img))
+            while len(heap) > 1:
+                la, _, a = heapq.heappop(heap)
+                lb, _, b = heapq.heappop(heap)
+                combined = new.xor_(a, b)
+                depth = 1 + max(la, lb)
+                cv = lit_var(combined)
+                if cv not in level or depth < level[cv]:
+                    level[cv] = depth
+                heapq.heappush(heap, (level.get(cv, depth),
+                                      next(tiebreak), combined))
+            result = heap[0][2] ^ parity
+            old2new[var] = result
+            return result
+        f0, f1 = aig.fanins(var)
+        img0 = image_of(f0)
+        img1 = image_of(f1)
+        result = new.add_and(img0, img1)
+        level.setdefault(lit_var(result),
+                         1 + max(level.get(lit_var(img0), 0),
+                                 level.get(lit_var(img1), 0)))
+        old2new[var] = result
+        return result
+
+    for v in aig.and_vars():
+        if v not in absorbed:
+            build(v)
+    for out, name in zip(aig.outputs, aig.output_names):
+        var = lit_var(out)
+        img = build(var) if aig.is_and(var) else old2new[var]
+        new.add_output(img ^ (out & 1), name)
+    return cleanup(new)
+
+
+def _mark_internal(aig, root, leaves, absorbed):
+    """Mark the AND vars strictly inside the XOR tree as absorbed."""
+    leaf_vars = {lit_var(l) for l in leaves}
+    stack = [root]
+    seen = set()
+    while stack:
+        v = stack.pop()
+        if v in seen or v in leaf_vars or not aig.is_and(v):
+            continue
+        seen.add(v)
+        absorbed.add(v)
+        f0, f1 = aig.fanins(v)
+        stack.append(lit_var(f0))
+        stack.append(lit_var(f1))

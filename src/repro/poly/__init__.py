@@ -1,0 +1,22 @@
+"""Polynomial algebra for Symbolic Computer Algebra verification."""
+
+from repro.poly.monomial import (
+    CONST_MONOMIAL,
+    format_monomial,
+    monomial,
+    monomial_contains,
+    monomial_degree,
+    monomial_divide_by_var,
+    monomial_from_iterable,
+    monomial_key,
+    monomial_mul,
+)
+from repro.poly.polynomial import Polynomial
+from repro.poly.parse import VariablePool, parse_polynomial
+
+__all__ = [
+    "CONST_MONOMIAL", "Polynomial", "VariablePool", "parse_polynomial",
+    "monomial", "monomial_from_iterable", "monomial_mul", "monomial_degree",
+    "monomial_contains", "monomial_divide_by_var", "monomial_key",
+    "format_monomial",
+]

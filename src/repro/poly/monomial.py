@@ -1,0 +1,59 @@
+"""Multilinear monomials over Boolean circuit variables.
+
+A monomial is a product of *distinct* Boolean variables: because every
+circuit signal only takes values in ``{0, 1}``, powers collapse
+(``x**2 = x``; in Gröbner-basis terms the field polynomials ``x**2 - x``
+are part of the ideal, see Section II-B of the paper).  We therefore
+represent a monomial as a ``frozenset`` of variable indices; the empty
+set is the constant monomial ``1``.
+
+These helpers are deliberately thin — the rewriting engine manipulates
+raw frozensets for speed — but they centralize construction, ordering
+and printing.
+"""
+
+from __future__ import annotations
+
+CONST_MONOMIAL = frozenset()
+
+
+def monomial(*variables):
+    """Build a monomial from variable indices (idempotent by construction)."""
+    return frozenset(variables)
+
+
+def monomial_from_iterable(variables):
+    return frozenset(variables)
+
+
+def monomial_mul(a, b):
+    """Product of two monomials (idempotent: union of supports)."""
+    return a | b
+
+
+def monomial_degree(m):
+    return len(m)
+
+
+def monomial_contains(m, var):
+    return var in m
+
+
+def monomial_divide_by_var(m, var):
+    """Remove ``var`` from the monomial (it must be present)."""
+    return m - {var}
+
+
+def monomial_key(m):
+    """A total order usable for deterministic printing: by degree, then
+    by the sorted variable tuple."""
+    return (len(m), tuple(sorted(m)))
+
+
+def format_monomial(m, names=None):
+    """Human-readable form, e.g. ``a*b*c``; ``1`` for the constant."""
+    if not m:
+        return "1"
+    if names is None:
+        return "*".join(f"v{v}" for v in sorted(m))
+    return "*".join(str(names.get(v, f"v{v}")) for v in sorted(m))

@@ -1,0 +1,114 @@
+"""A small parser for polynomial expressions used in tests and examples.
+
+Grammar (whitespace-insensitive)::
+
+    poly    := term (('+' | '-') term)*
+    term    := factor ('*' factor)*
+    factor  := integer | name
+
+Variable names are resolved through a caller-supplied mapping from name
+to variable index; unknown names are assigned fresh indices when the
+mapping is a :class:`VariablePool`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import PolynomialError
+from repro.poly.polynomial import Polynomial
+
+_TOKEN = re.compile(r"\s*(?:(\d+)|([A-Za-z_][A-Za-z_0-9\[\]]*)|([+*-]))")
+
+
+class VariablePool:
+    """Assigns stable integer indices to variable names on demand."""
+
+    def __init__(self, start=1):
+        self._next = start
+        self.by_name = {}
+
+    def __getitem__(self, name):
+        if name not in self.by_name:
+            self.by_name[name] = self._next
+            self._next += 1
+        return self.by_name[name]
+
+    def __contains__(self, name):
+        return True
+
+    def names(self):
+        """Inverse map: variable index -> name (for printing)."""
+        return {v: k for k, v in self.by_name.items()}
+
+
+def parse_polynomial(text, variables=None):
+    """Parse ``text`` into a :class:`Polynomial`.
+
+    ``variables`` maps names to variable indices; defaults to a fresh
+    :class:`VariablePool`.  Returns ``(polynomial, variables)``.
+    """
+    if variables is None:
+        variables = VariablePool()
+    tokens = _tokenize(text)
+    if not tokens:
+        return Polynomial.zero(), variables
+    poly = Polynomial.zero()
+    sign = 1
+    index = 0
+    expect_term = True
+    coeff = None
+    mono_vars = []
+
+    def flush():
+        nonlocal poly, coeff, mono_vars, sign
+        if coeff is None and not mono_vars:
+            return
+        value = sign * (1 if coeff is None else coeff)
+        poly = poly + Polynomial.from_terms([(value, mono_vars)])
+        coeff, mono_vars, sign = None, [], 1
+
+    while index < len(tokens):
+        number, name, op = tokens[index]
+        if op in ("+", "-"):
+            if expect_term and op == "-":
+                sign = -sign
+            elif expect_term:
+                pass
+            else:
+                flush()
+                sign = -1 if op == "-" else 1
+                expect_term = True
+        elif op == "*":
+            if expect_term:
+                raise PolynomialError(f"misplaced '*' in {text!r}")
+            expect_term = True
+        elif number is not None:
+            if not expect_term:
+                raise PolynomialError(f"missing operator before {number} in {text!r}")
+            coeff = (1 if coeff is None else coeff) * int(number)
+            expect_term = False
+        else:
+            if not expect_term:
+                raise PolynomialError(f"missing operator before {name!r} in {text!r}")
+            mono_vars.append(variables[name])
+            expect_term = False
+        index += 1
+    if expect_term:
+        raise PolynomialError(f"dangling operator in {text!r}")
+    flush()
+    return poly, variables
+
+
+def _tokenize(text):
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if not match:
+            if text[pos:].strip():
+                raise PolynomialError(f"unexpected character at {text[pos:]!r}")
+            break
+        tokens.append(match.groups())
+        pos = match.end()
+    return tokens

@@ -1,0 +1,351 @@
+"""Integer-coefficient multilinear polynomials over Boolean variables.
+
+This is the algebra in which all of backward rewriting happens.  A
+polynomial is a finite sum ``c_1*M_1 + ... + c_j*M_j`` with integer
+coefficients and multilinear monomials (Section II-B).  Python's
+arbitrary-precision integers make the large coefficients of wide
+specification polynomials (``2**255`` for a 128x128 multiplier) exact.
+
+Instances are immutable: every operation returns a new polynomial.  This
+is what makes the snapshot/backtrack step of dynamic backward rewriting
+(Algorithm 2, lines 7 and 15) a constant-time reference copy.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PolynomialError
+from repro.poly.monomial import CONST_MONOMIAL, format_monomial, monomial_key
+
+
+class Polynomial:
+    """An immutable multilinear integer polynomial.
+
+    The internal representation is a dict mapping ``frozenset`` monomials
+    to non-zero integer coefficients.  Use the classmethod constructors;
+    the raw-dict constructor trusts its argument (no zero-coefficient or
+    type checks) and is intended for internal hot paths.
+    """
+
+    __slots__ = ("_terms",)
+
+    def __init__(self, terms=None, _trusted=False):
+        if terms is None:
+            self._terms = {}
+        elif _trusted:
+            self._terms = terms
+        else:
+            clean = {}
+            for mono, coeff in dict(terms).items():
+                if not isinstance(coeff, int):
+                    raise PolynomialError(f"non-integer coefficient {coeff!r}")
+                mono = frozenset(mono)
+                if coeff:
+                    clean[mono] = clean.get(mono, 0) + coeff
+                    if not clean[mono]:
+                        del clean[mono]
+            self._terms = clean
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def zero(cls):
+        return cls({}, _trusted=True)
+
+    @classmethod
+    def one(cls):
+        return cls.constant(1)
+
+    @classmethod
+    def constant(cls, value):
+        if not isinstance(value, int):
+            raise PolynomialError(f"non-integer constant {value!r}")
+        if value == 0:
+            return cls.zero()
+        return cls({CONST_MONOMIAL: value}, _trusted=True)
+
+    @classmethod
+    def variable(cls, var):
+        return cls({frozenset((var,)): 1}, _trusted=True)
+
+    @classmethod
+    def from_terms(cls, terms):
+        """Build from ``(coefficient, variable-iterable)`` pairs."""
+        acc = {}
+        for coeff, variables in terms:
+            mono = frozenset(variables)
+            acc[mono] = acc.get(mono, 0) + coeff
+        return cls({m: c for m, c in acc.items() if c}, _trusted=True)
+
+    @classmethod
+    def literal(cls, var, negated):
+        """The polynomial of an AIG literal: ``x`` or ``1 - x`` (eq. (1))."""
+        if negated:
+            return cls({CONST_MONOMIAL: 1, frozenset((var,)): -1}, _trusted=True)
+        return cls.variable(var)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def is_zero(self):
+        return not self._terms
+
+    def __len__(self):
+        """Number of monomials — the paper's ``size(SP_i)`` measure."""
+        return len(self._terms)
+
+    def __bool__(self):
+        return bool(self._terms)
+
+    def terms(self):
+        """Iterate ``(monomial, coefficient)`` pairs (arbitrary order)."""
+        return self._terms.items()
+
+    def coefficient(self, monomial):
+        """Coefficient of a monomial (0 when absent)."""
+        return self._terms.get(frozenset(monomial), 0)
+
+    def constant_term(self):
+        return self._terms.get(CONST_MONOMIAL, 0)
+
+    def support(self):
+        """Set of variables occurring in the polynomial."""
+        out = set()
+        for mono in self._terms:
+            out |= mono
+        return out
+
+    def degree(self):
+        if not self._terms:
+            return 0
+        return max(len(m) for m in self._terms)
+
+    def occurrences(self, var):
+        """Number of monomials containing ``var`` (Algorithm 2, line 5)."""
+        return sum(1 for m in self._terms if var in m)
+
+    def occurrence_counts(self):
+        """Occurrence count for every variable, in one scan."""
+        counts = {}
+        for mono in self._terms:
+            for var in mono:
+                counts[var] = counts.get(var, 0) + 1
+        return counts
+
+    def contains_var(self, var):
+        return any(var in m for m in self._terms)
+
+    # ------------------------------------------------------------------
+    # Ring operations
+    # ------------------------------------------------------------------
+
+    def __add__(self, other):
+        other = self._coerce(other)
+        if len(self._terms) < len(other._terms):
+            small, big = self._terms, other._terms
+        else:
+            small, big = other._terms, self._terms
+        result = dict(big)
+        for mono, coeff in small.items():
+            total = result.get(mono, 0) + coeff
+            if total:
+                result[mono] = total
+            else:
+                result.pop(mono, None)
+        return Polynomial(result, _trusted=True)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        return Polynomial({m: -c for m, c in self._terms.items()}, _trusted=True)
+
+    def __sub__(self, other):
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other):
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other):
+        if isinstance(other, int):
+            if other == 0:
+                return Polynomial.zero()
+            return Polynomial({m: c * other for m, c in self._terms.items()},
+                              _trusted=True)
+        other = self._coerce(other)
+        result = {}
+        for ma, ca in self._terms.items():
+            for mb, cb in other._terms.items():
+                mono = ma | mb
+                total = result.get(mono, 0) + ca * cb
+                if total:
+                    result[mono] = total
+                else:
+                    result.pop(mono, None)
+        return Polynomial(result, _trusted=True)
+
+    __rmul__ = __mul__
+
+    def _coerce(self, other):
+        if isinstance(other, Polynomial):
+            return other
+        if isinstance(other, int):
+            return Polynomial.constant(other)
+        raise PolynomialError(f"cannot combine polynomial with {other!r}")
+
+    def __eq__(self, other):
+        if isinstance(other, int):
+            return self._terms == ({} if other == 0
+                                   else {CONST_MONOMIAL: other})
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self._terms == other._terms
+
+    def __hash__(self):
+        return hash(frozenset(self._terms.items()))
+
+    # ------------------------------------------------------------------
+    # Substitution — the backward-rewriting primitive
+    # ------------------------------------------------------------------
+
+    def substitute(self, var, replacement):
+        """Replace every occurrence of ``var`` by ``replacement``.
+
+        This is a single backward-rewriting step: dividing ``SP_i`` by the
+        node polynomial ``x - tail`` is equivalent to substituting ``x``
+        with ``tail`` (Section II-B).  Idempotence (``x**2 = x``) is
+        applied automatically through the set-union monomial product.
+        """
+        touched = []
+        result = {}
+        for mono, coeff in self._terms.items():
+            if var in mono:
+                touched.append((mono, coeff))
+            else:
+                result[mono] = coeff
+        if not touched:
+            return self
+        rep_terms = replacement._terms if isinstance(replacement, Polynomial) \
+            else self._coerce(replacement)._terms
+        for mono, coeff in touched:
+            rest = mono - {var}
+            for rm, rc in rep_terms.items():
+                new_mono = rest | rm
+                total = result.get(new_mono, 0) + coeff * rc
+                if total:
+                    result[new_mono] = total
+                else:
+                    result.pop(new_mono, None)
+        return Polynomial(result, _trusted=True)
+
+    def substitute_many(self, mapping):
+        """Substitute several variables simultaneously.
+
+        ``mapping`` maps variable -> Polynomial.  Simultaneous semantics:
+        replacement polynomials are not re-examined for mapped variables.
+        """
+        result = {}
+        one = Polynomial.one()
+        for mono, coeff in self._terms.items():
+            hit_vars = [v for v in mono if v in mapping]
+            if not hit_vars:
+                total = result.get(mono, 0) + coeff
+                if total:
+                    result[mono] = total
+                else:
+                    result.pop(mono, None)
+                continue
+            product = Polynomial({mono - set(hit_vars): coeff}, _trusted=True)
+            for v in hit_vars:
+                product = product * mapping[v]
+            for pm, pc in product._terms.items():
+                total = result.get(pm, 0) + pc
+                if total:
+                    result[pm] = total
+                else:
+                    result.pop(pm, None)
+        return Polynomial(result, _trusted=True)
+
+    def transform_monomials(self, fn):
+        """Apply ``fn(monomial) -> monomial | None`` to every monomial.
+
+        ``None`` deletes the monomial.  Returns ``(polynomial,
+        deleted_count, rewritten_count)``; used by vanishing-monomial
+        removal.
+        """
+        result = {}
+        deleted = 0
+        rewritten = 0
+        for mono, coeff in self._terms.items():
+            image = fn(mono)
+            if image is None:
+                deleted += 1
+                continue
+            if image is not mono and image != mono:
+                rewritten += 1
+            total = result.get(image, 0) + coeff
+            if total:
+                result[image] = total
+            else:
+                result.pop(image, None)
+        return Polynomial(result, _trusted=True), deleted, rewritten
+
+    # ------------------------------------------------------------------
+    # Evaluation & printing
+    # ------------------------------------------------------------------
+
+    def evaluate(self, assignment):
+        """Evaluate under a Boolean assignment (variable -> 0/1).
+
+        Multilinearity means this is only meaningful for 0/1 values; other
+        integers would silently disagree with the ``x**2 = x`` reduction,
+        so they are rejected.
+        """
+        total = 0
+        for mono, coeff in self._terms.items():
+            value = coeff
+            for var in mono:
+                bit = assignment[var]
+                if bit not in (0, 1):
+                    raise PolynomialError(f"non-Boolean value {bit!r} for v{var}")
+                if not bit:
+                    value = 0
+                    break
+            total += value
+        return total
+
+    def sorted_terms(self):
+        """Terms in the deterministic print order."""
+        return sorted(self._terms.items(), key=lambda item: monomial_key(item[0]))
+
+    def to_string(self, names=None):
+        if not self._terms:
+            return "0"
+        parts = []
+        for mono, coeff in self.sorted_terms():
+            body = format_monomial(mono, names)
+            if mono:
+                if coeff == 1:
+                    text = body
+                elif coeff == -1:
+                    text = f"-{body}"
+                else:
+                    text = f"{coeff}*{body}"
+            else:
+                text = str(coeff)
+            if parts and not text.startswith("-"):
+                parts.append("+")
+                parts.append(text)
+            else:
+                parts.append(text)
+        return " ".join(parts)
+
+    def __str__(self):
+        return self.to_string()
+
+    def __repr__(self):
+        text = self.to_string()
+        if len(text) > 120:
+            text = f"<{len(self._terms)} monomials>"
+        return f"Polynomial({text})"

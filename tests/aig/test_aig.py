@@ -1,0 +1,216 @@
+"""Unit tests for the core AIG structure."""
+
+import pytest
+
+from repro.aig.aig import (
+    Aig,
+    FALSE,
+    TRUE,
+    lit,
+    lit_is_negated,
+    lit_neg,
+    lit_regular,
+    lit_var,
+)
+from repro.errors import AigError
+
+
+class TestLiterals:
+    def test_encode_decode(self):
+        assert lit(3) == 6
+        assert lit(3, negated=True) == 7
+        assert lit_var(7) == 3
+        assert lit_is_negated(7)
+        assert not lit_is_negated(6)
+
+    def test_negation_is_involution(self):
+        assert lit_neg(lit_neg(6)) == 6
+        assert lit_neg(6) == 7
+
+    def test_regular(self):
+        assert lit_regular(7) == 6
+        assert lit_regular(6) == 6
+
+    def test_constants(self):
+        assert FALSE == 0
+        assert TRUE == 1
+        assert lit_neg(FALSE) == TRUE
+
+
+class TestStructure:
+    def test_empty(self):
+        aig = Aig("empty")
+        assert aig.num_inputs == 0
+        assert aig.num_ands == 0
+        assert aig.num_outputs == 0
+        assert aig.num_vars == 1  # the constant
+
+    def test_inputs_before_ands(self):
+        aig = Aig()
+        a = aig.add_input()
+        b = aig.add_input()
+        aig.add_and(a, b)
+        with pytest.raises(AigError):
+            aig.add_input()
+
+    def test_input_literals_are_positive(self):
+        aig = Aig()
+        a = aig.add_input("x")
+        assert not lit_is_negated(a)
+        assert aig.is_input(lit_var(a))
+        assert aig.input_names == ["x"]
+
+    def test_fanins_of_non_and_rejected(self):
+        aig = Aig()
+        a = aig.add_input()
+        with pytest.raises(AigError):
+            aig.fanins(lit_var(a))
+
+    def test_unknown_literal_rejected(self):
+        aig = Aig()
+        a = aig.add_input()
+        with pytest.raises(AigError):
+            aig.add_and(a, 999)
+
+    def test_output_bookkeeping(self):
+        aig = Aig()
+        a = aig.add_input()
+        b = aig.add_input()
+        y = aig.add_and(a, b)
+        aig.add_output(y, "y")
+        assert aig.outputs == [y]
+        assert aig.output_names == ["y"]
+        aig.set_output(0, a)
+        assert aig.outputs == [a]
+
+
+class TestTrivialSimplification:
+    @pytest.fixture()
+    def pair(self):
+        aig = Aig()
+        return aig, aig.add_input(), aig.add_input()
+
+    def test_and_with_false(self, pair):
+        aig, a, _ = pair
+        assert aig.add_and(a, FALSE) == FALSE
+        assert aig.add_and(FALSE, a) == FALSE
+
+    def test_and_with_true(self, pair):
+        aig, a, _ = pair
+        assert aig.add_and(a, TRUE) == a
+        assert aig.add_and(TRUE, a) == a
+
+    def test_idempotence(self, pair):
+        aig, a, _ = pair
+        assert aig.add_and(a, a) == a
+
+    def test_contradiction(self, pair):
+        aig, a, _ = pair
+        assert aig.add_and(a, lit_neg(a)) == FALSE
+
+    def test_structural_hashing(self, pair):
+        aig, a, b = pair
+        first = aig.add_and(a, b)
+        assert aig.add_and(b, a) == first
+        assert aig.num_ands == 1
+
+
+class TestGateHelpers:
+    def test_gate_truth_tables(self):
+        from repro.aig.simulate import exhaustive_truth_tables
+
+        aig = Aig()
+        a = aig.add_input()
+        b = aig.add_input()
+        aig.add_output(aig.and_(a, b))
+        aig.add_output(aig.or_(a, b))
+        aig.add_output(aig.xor_(a, b))
+        aig.add_output(aig.nand_(a, b))
+        aig.add_output(aig.nor_(a, b))
+        aig.add_output(aig.xnor_(a, b))
+        tts = exhaustive_truth_tables(aig)
+        assert tts == [0b1000, 0b1110, 0b0110, 0b0111, 0b0001, 0b1001]
+
+    def test_mux_and_maj(self):
+        from repro.aig.simulate import exhaustive_truth_tables
+
+        aig = Aig()
+        s = aig.add_input()
+        t = aig.add_input()
+        e = aig.add_input()
+        aig.add_output(aig.mux(s, t, e))
+        aig.add_output(aig.maj(s, t, e))
+        mux_tt, maj_tt = exhaustive_truth_tables(aig)
+        # mux: s ? t : e with s the LSB of the minterm index
+        for minterm in range(8):
+            s_v, t_v, e_v = minterm & 1, (minterm >> 1) & 1, (minterm >> 2) & 1
+            assert (mux_tt >> minterm) & 1 == (t_v if s_v else e_v)
+            assert (maj_tt >> minterm) & 1 == (1 if s_v + t_v + e_v >= 2 else 0)
+
+    def test_variadic_gates(self):
+        from repro.aig.simulate import exhaustive_truth_tables
+
+        aig = Aig()
+        bits = aig.add_inputs(4)
+        aig.add_output(aig.and_many(bits))
+        aig.add_output(aig.or_many(bits))
+        aig.add_output(aig.xor_many(bits))
+        and_tt, or_tt, xor_tt = exhaustive_truth_tables(aig)
+        for minterm in range(16):
+            ones = bin(minterm).count("1")
+            assert (and_tt >> minterm) & 1 == (minterm == 15)
+            assert (or_tt >> minterm) & 1 == (minterm != 0)
+            assert (xor_tt >> minterm) & 1 == ones % 2
+
+    def test_empty_variadic_gates(self):
+        aig = Aig()
+        assert aig.and_many([]) == TRUE
+        assert aig.or_many([]) == FALSE
+        assert aig.xor_many([]) == FALSE
+
+    def test_half_and_full_adder_values(self):
+        aig = Aig()
+        x, y, z = aig.add_inputs(3)
+        s_ha, c_ha = aig.half_adder(x, y)
+        s_fa, c_fa = aig.full_adder(x, y, z)
+        aig.add_output(s_ha)
+        aig.add_output(c_ha)
+        aig.add_output(s_fa)
+        aig.add_output(c_fa)
+        from repro.aig.simulate import evaluate_single
+
+        for minterm in range(8):
+            bits = [minterm & 1, (minterm >> 1) & 1, (minterm >> 2) & 1]
+            out = evaluate_single(aig, bits)
+            assert out[0] + 2 * out[1] == bits[0] + bits[1]
+            assert out[2] + 2 * out[3] == sum(bits)
+
+
+class TestIntrospection:
+    def test_levels_and_depth(self):
+        aig = Aig()
+        a, b, c = aig.add_inputs(3)
+        ab = aig.add_and(a, b)
+        abc = aig.add_and(ab, c)
+        aig.add_output(abc)
+        levels = aig.levels()
+        assert levels[lit_var(ab)] == 1
+        assert levels[lit_var(abc)] == 2
+        assert aig.depth() == 2
+
+    def test_fanout_counts(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        ab = aig.add_and(a, b)
+        aig.add_output(ab)
+        aig.add_output(ab)
+        counts = aig.fanout_counts()
+        assert counts[lit_var(ab)] == 2
+        assert counts[lit_var(a)] == 1
+
+    def test_stats(self, mult_4x4_array):
+        stats = mult_4x4_array.stats()
+        assert stats["inputs"] == 8
+        assert stats["outputs"] == 8
+        assert stats["ands"] == mult_4x4_array.num_ands
+        assert stats["depth"] > 0

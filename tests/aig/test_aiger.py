@@ -1,0 +1,76 @@
+"""Tests for AIGER ASCII I/O."""
+
+import pytest
+
+from repro.aig.aig import Aig
+from repro.aig.aiger import read_aag, write_aag
+from repro.aig.simulate import exhaustive_equal
+from repro.errors import AigError
+from repro.genmul import generate_multiplier
+
+
+class TestRoundTrip:
+    def test_small_round_trip(self, mult_4x4_array):
+        text = write_aag(mult_4x4_array)
+        back = read_aag(text)
+        assert exhaustive_equal(mult_4x4_array, back)
+        assert back.input_names == mult_4x4_array.input_names
+        assert back.output_names == mult_4x4_array.output_names
+
+    def test_file_round_trip(self, tmp_path, mult_4x4_dadda):
+        path = tmp_path / "m.aag"
+        write_aag(mult_4x4_dadda, str(path))
+        back = read_aag(str(path))
+        assert exhaustive_equal(mult_4x4_dadda, back)
+
+    def test_booth_round_trip(self, mult_4x4_booth):
+        back = read_aag(write_aag(mult_4x4_booth))
+        assert exhaustive_equal(mult_4x4_booth, back)
+
+    def test_constant_and_input_outputs(self):
+        aig = Aig()
+        a = aig.add_input("a")
+        aig.add_output(0, "zero")
+        aig.add_output(1, "one")
+        aig.add_output(a, "ident")
+        aig.add_output(a ^ 1, "inv")
+        back = read_aag(write_aag(aig))
+        assert exhaustive_equal(aig, back)
+
+
+class TestHeader:
+    def test_header_counts(self, mult_4x4_array):
+        header = write_aag(mult_4x4_array).splitlines()[0].split()
+        assert header[0] == "aag"
+        assert int(header[2]) == 8
+        assert int(header[4]) == 8
+        assert int(header[5]) == mult_4x4_array.num_ands
+
+    def test_rejects_garbage(self):
+        with pytest.raises(AigError):
+            read_aag("not an aig\n")
+
+    def test_rejects_latches(self):
+        with pytest.raises(AigError):
+            read_aag("aag 1 0 1 0 0\n2 3\n")
+
+    def test_rejects_malformed_header(self):
+        with pytest.raises(AigError):
+            read_aag("aag 1 2\n")
+
+    def test_rejects_undefined_reference(self):
+        with pytest.raises(AigError):
+            read_aag("aag 3 1 0 1 1\n2\n6\n6 2 99\n")
+
+
+class TestExternalForm:
+    def test_parse_known_text(self):
+        # y = a & !b
+        text = "aag 3 2 0 1 1\n2\n4\n6\n6 2 5\ni0 a\ni1 b\no0 y\n"
+        aig = read_aag(text)
+        from repro.aig.simulate import evaluate_single
+
+        assert evaluate_single(aig, [1, 0]) == [1]
+        assert evaluate_single(aig, [1, 1]) == [0]
+        assert aig.input_names == ["a", "b"]
+        assert aig.output_names == ["y"]

@@ -1,0 +1,133 @@
+"""Tests for cut enumeration and cone truth tables."""
+
+import pytest
+
+from repro.aig.aig import Aig, lit_var
+from repro.aig.cuts import enumerate_cuts, nontrivial_cuts
+from repro.aig.truth import (
+    AND2,
+    MAJ3,
+    XNOR3,
+    XOR2,
+    XOR3,
+    cofactor,
+    cone_truth_table,
+    negate_tt,
+    tt_mask,
+    tt_support,
+    var_pattern,
+)
+from repro.errors import AigError
+
+
+class TestTruthPrimitives:
+    def test_var_patterns(self):
+        assert var_pattern(0, 2) == 0b1010
+        assert var_pattern(1, 2) == 0b1100
+        assert var_pattern(0, 3) == 0b10101010
+
+    def test_masks(self):
+        assert tt_mask(2) == 0xF
+        assert tt_mask(3) == 0xFF
+
+    def test_negate(self):
+        assert negate_tt(AND2, 2) == 0b0111
+
+    def test_cofactors(self):
+        # f = x0 & x1: cofactor on x0
+        assert cofactor(AND2, 0, 2, 1) == 0b1100
+        assert cofactor(AND2, 0, 2, 0) == 0
+
+    def test_support(self):
+        assert tt_support(AND2, 2) == [0, 1]
+        assert tt_support(0b1010, 2) == [0]   # f = x0
+        assert tt_support(0b1111, 2) == []
+
+
+class TestConeTruthTable:
+    def test_xor_cone(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        x = aig.xor_(a, b)
+        var = lit_var(x)
+        tt = cone_truth_table(aig, var, (lit_var(a), lit_var(b)))
+        # the variable computes XNOR (the literal is complemented)
+        assert tt == negate_tt(XOR2, 2)
+
+    def test_escaping_cone_rejected(self):
+        aig = Aig()
+        a, b, c = aig.add_inputs(3)
+        ab = aig.add_and(a, b)
+        abc = aig.add_and(ab, c)
+        with pytest.raises(AigError):
+            cone_truth_table(aig, lit_var(abc), (lit_var(a),))
+
+    def test_full_adder_tables(self):
+        aig = Aig()
+        x, y, z = aig.add_inputs(3)
+        s, c = aig.full_adder(x, y, z)
+        leaves = tuple(lit_var(v) for v in (x, y, z))
+        s_tt = cone_truth_table(aig, lit_var(s), leaves)
+        c_tt = cone_truth_table(aig, lit_var(c), leaves)
+        if s & 1:
+            s_tt = negate_tt(s_tt, 3)
+        if c & 1:
+            c_tt = negate_tt(c_tt, 3)
+        assert s_tt == XOR3
+        assert c_tt == MAJ3
+
+
+class TestCutEnumeration:
+    def test_trivial_cuts_for_inputs(self, mult_4x4_array):
+        cuts = enumerate_cuts(mult_4x4_array, k=3)
+        for var in mult_4x4_array.inputs:
+            assert cuts[var] == [(var,)]
+
+    def test_cut_leaf_bound(self, mult_4x4_dadda):
+        cuts = enumerate_cuts(mult_4x4_dadda, k=3, limit=10)
+        for var, var_cuts in cuts.items():
+            for cut in var_cuts:
+                assert len(cut) <= 3
+            assert len(var_cuts) <= 10
+
+    def test_cuts_are_real_cuts(self, mult_4x4_array):
+        # every cut must allow a bounded truth-table computation
+        cuts = enumerate_cuts(mult_4x4_array, k=3, limit=8)
+        for var in mult_4x4_array.and_vars():
+            for cut in cuts[var]:
+                if cut == (var,):
+                    continue
+                cone_truth_table(mult_4x4_array, var, cut)  # must not raise
+
+    def test_full_adder_boundary_cut_present(self):
+        aig = Aig()
+        x, y, z = aig.add_inputs(3)
+        s, c = aig.full_adder(x, y, z)
+        aig.add_output(s)
+        aig.add_output(c)
+        cuts = enumerate_cuts(aig, k=3, limit=16)
+        boundary = tuple(sorted(lit_var(v) for v in (x, y, z)))
+        assert boundary in cuts[lit_var(s)]
+        assert boundary in cuts[lit_var(c)]
+
+    def test_nontrivial_cuts_helper(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        ab = aig.add_and(a, b)
+        cuts = enumerate_cuts(aig, k=2)
+        nt = nontrivial_cuts(cuts, lit_var(ab))
+        assert (lit_var(ab),) not in nt
+        assert nt
+
+    def test_dominated_cuts_pruned(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        ab = aig.add_and(a, b)
+        deeper = aig.add_and(ab, a)  # support still {a, b}
+        cuts = enumerate_cuts(aig, k=3, limit=16)
+        cut_sets = [set(c) for c in cuts[lit_var(deeper)]]
+        # no cut is a strict superset of another
+        for i, c1 in enumerate(cut_sets):
+            for j, c2 in enumerate(cut_sets):
+                if i != j:
+                    assert not (c1 < c2)

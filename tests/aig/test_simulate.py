@@ -1,0 +1,109 @@
+"""Tests for bit-parallel AIG simulation."""
+
+import pytest
+
+from repro.aig.aig import Aig
+from repro.aig.simulate import (
+    evaluate_single,
+    exhaustive_equal,
+    exhaustive_truth_tables,
+    functionally_equal,
+    outputs_as_int,
+    random_patterns,
+    simulate,
+    simulate_words,
+)
+from repro.errors import AigError
+
+
+@pytest.fixture()
+def xor_aig():
+    aig = Aig()
+    a, b = aig.add_inputs(2)
+    aig.add_output(aig.xor_(a, b), "x")
+    return aig
+
+
+class TestSimulate:
+    def test_single_patterns(self, xor_aig):
+        assert evaluate_single(xor_aig, [0, 0]) == [0]
+        assert evaluate_single(xor_aig, [1, 0]) == [1]
+        assert evaluate_single(xor_aig, [0, 1]) == [1]
+        assert evaluate_single(xor_aig, [1, 1]) == [0]
+
+    def test_bit_parallel_matches_single(self, xor_aig):
+        # patterns packed as 4-wide vectors: a=0b0101, b=0b0011
+        out = simulate(xor_aig, [0b0101, 0b0011], width=4)
+        assert out == [0b0110]
+
+    def test_dict_input_form(self, xor_aig):
+        a_var, b_var = xor_aig.inputs
+        out = simulate(xor_aig, {a_var: 1, b_var: 0}, width=1)
+        assert out == [1]
+
+    def test_wrong_arity_rejected(self, xor_aig):
+        with pytest.raises(AigError):
+            simulate(xor_aig, [1], width=1)
+
+    def test_mask_applied(self, xor_aig):
+        out = simulate(xor_aig, [0b1111, 0b0000], width=2)
+        assert out == [0b11]
+
+
+class TestWords:
+    def test_simulate_words(self, mult_4x4_array):
+        a_lits = [2 * v for v in mult_4x4_array.inputs[:4]]
+        b_lits = [2 * v for v in mult_4x4_array.inputs[4:]]
+        bits = simulate_words(mult_4x4_array, [(5, a_lits), (7, b_lits)])
+        assert outputs_as_int(bits) == 35
+
+    def test_outputs_as_int(self):
+        assert outputs_as_int([1, 0, 1]) == 5
+        assert outputs_as_int([]) == 0
+
+
+class TestEquivalence:
+    def test_exhaustive_equal_positive(self, xor_aig):
+        other = Aig()
+        a, b = other.add_inputs(2)
+        # a ^ b via (a|b) & !(a&b)
+        other.add_output(other.and_(other.or_(a, b),
+                                    other.nand_(a, b)))
+        assert exhaustive_equal(xor_aig, other)
+        assert functionally_equal(xor_aig, other)
+
+    def test_exhaustive_equal_negative(self, xor_aig):
+        other = Aig()
+        a, b = other.add_inputs(2)
+        other.add_output(other.or_(a, b))
+        assert not exhaustive_equal(xor_aig, other)
+        assert not functionally_equal(xor_aig, other)
+
+    def test_interface_mismatch(self, xor_aig):
+        other = Aig()
+        other.add_input()
+        other.add_output(0)
+        assert not functionally_equal(xor_aig, other)
+
+    def test_exhaustive_limit(self):
+        aig = Aig()
+        aig.add_inputs(21)
+        aig.add_output(0)
+        with pytest.raises(AigError):
+            exhaustive_equal(aig, aig)
+
+    def test_random_patterns_deterministic(self):
+        assert random_patterns(4, 64, seed=1) == random_patterns(4, 64, seed=1)
+        assert random_patterns(4, 64, seed=1) != random_patterns(4, 64, seed=2)
+
+
+class TestTruthTables:
+    def test_exhaustive_truth_tables(self, xor_aig):
+        assert exhaustive_truth_tables(xor_aig) == [0b0110]
+
+    def test_constant_outputs(self):
+        aig = Aig()
+        aig.add_inputs(2)
+        aig.add_output(1)
+        aig.add_output(0)
+        assert exhaustive_truth_tables(aig) == [0b1111, 0b0000]

@@ -1,0 +1,79 @@
+"""Tests for the incremental column-wise baseline ([8]/[16])."""
+
+import pytest
+
+from repro.baselines.columnwise import (
+    column_product_polynomial,
+    verify_column_wise,
+)
+from repro.genmul import generate_multiplier, inject_visible_fault
+from repro.poly import Polynomial
+
+
+class TestColumnProducts:
+    def test_column_terms(self, mult_4x4_array):
+        aig = mult_4x4_array
+        # column 0: a0*b0 only
+        poly = column_product_polynomial(aig, 4, 0)
+        assert len(poly) == 1
+        # column 3 of a 4x4: 4 terms
+        poly = column_product_polynomial(aig, 4, 3)
+        assert len(poly) == 4
+        # column 7 (top): a3*b3... wait wait: j+k=7 with j,k<4 -> only (3,4)?
+        poly = column_product_polynomial(aig, 4, 6)
+        assert len(poly) == 1
+
+    def test_columns_sum_to_full_product(self, mult_4x4_array):
+        aig = mult_4x4_array
+        total = Polynomial.zero()
+        for column in range(8):
+            total = total + (column_product_polynomial(aig, 4, column)
+                             * (1 << column))
+        from repro.core.spec import operand_word_polynomial
+
+        a_word = operand_word_polynomial(aig.inputs[:4])
+        b_word = operand_word_polynomial(aig.inputs[4:])
+        assert total == a_word * b_word
+
+
+class TestVerification:
+    @pytest.mark.parametrize("arch", ["SP-AR-RC", "SP-WT-RC", "SP-DT-KS"])
+    def test_verifies_small_multipliers(self, arch):
+        aig = generate_multiplier(arch, 4)
+        result = verify_column_wise(aig, monomial_budget=500_000,
+                                    time_budget=60)
+        assert result.ok, (arch, result.status)
+        assert result.stats["carry_sizes"]
+        # the final carry must vanish, so the last recorded size is 0
+        assert result.stats["carry_sizes"][-1] == 0
+
+    def test_rejects_buggy(self, mult_4x4_array):
+        buggy = inject_visible_fault(mult_4x4_array, seed=29)
+        result = verify_column_wise(buggy, monomial_budget=500_000,
+                                    time_budget=60)
+        assert result.status in ("buggy", "timeout")
+
+    def test_carry_sizes_grow_with_column(self):
+        """The method's signature weakness: the carry polynomials of the
+        middle/high columns are the big ones (this is what times the
+        family out on larger designs)."""
+        aig = generate_multiplier("SP-AR-RC", 4)
+        result = verify_column_wise(aig, monomial_budget=500_000,
+                                    time_budget=120)
+        assert result.ok
+        sizes = result.stats["carry_sizes"]
+        assert max(sizes) >= 30
+        assert max(sizes) > sizes[0]
+        assert sizes[-1] == 0
+
+    def test_budget_trips_on_nontrivial(self, mult_8x8_dadda):
+        """Table I: this family times out on non-trivial multipliers."""
+        result = verify_column_wise(mult_8x8_dadda, monomial_budget=20_000,
+                                    time_budget=30)
+        assert result.timed_out
+        assert "failed_column" in result.stats or \
+            result.stats.get("budget_kind") == "time"
+
+    def test_time_budget(self, mult_8x8_dadda):
+        result = verify_column_wise(mult_8x8_dadda, time_budget=1e-9)
+        assert result.timed_out

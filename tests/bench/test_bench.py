@@ -1,0 +1,129 @@
+"""Tests for the benchmark harness and renderers."""
+
+import pytest
+
+from repro.bench.harness import (
+    METHODS,
+    bench_config,
+    benchmark_multiplier,
+    run_method,
+    runtime_cell,
+)
+from repro.bench.render import render_table, render_trace_plot
+from repro.core.result import VerificationResult
+
+
+class TestConfig:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        config = bench_config()
+        assert config["scale"] == "small"
+        assert config["sizes"] == (4, 8)
+
+    def test_scale_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "medium")
+        assert bench_config()["sizes"] == (8, 16)
+
+    def test_budget_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_BUDGET", "1234")
+        monkeypatch.setenv("REPRO_BENCH_TIME", "9.5")
+        config = bench_config()
+        assert config["budget"] == 1234
+        assert config["time"] == 9.5
+
+    def test_invalid_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "huge")
+        with pytest.raises(ValueError):
+            bench_config()
+
+
+class TestCache:
+    def test_benchmark_cached(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path))
+        first = benchmark_multiplier("SP-AR-RC", 3, "none")
+        assert (tmp_path / "SP-AR-RC_3x3_none.aag").exists()
+        second = benchmark_multiplier("SP-AR-RC", 3, "none")
+        from repro.aig.ops import structural_signature
+
+        assert structural_signature(first) == structural_signature(second)
+
+    def test_optimized_variant_cached_separately(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path))
+        benchmark_multiplier("SP-AR-RC", 3, "resyn3")
+        assert (tmp_path / "SP-AR-RC_3x3_resyn3.aag").exists()
+
+
+class TestMethods:
+    def test_method_table_complete(self):
+        assert set(METHODS) == {"dyposub", "revsca-static",
+                                "polycleaner-static", "naive-static",
+                                "columnwise-static"}
+
+    def test_run_method(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path))
+        aig = benchmark_multiplier("SP-AR-RC", 3, "none")
+        result = run_method("dyposub", aig, budget=10_000, time_budget=30)
+        assert result.ok
+
+    def test_runtime_cell_formats(self):
+        ok = VerificationResult(status="correct", method="m", seconds=1.234)
+        to = VerificationResult(status="timeout", method="m")
+        bug = VerificationResult(status="buggy", method="m", seconds=0.5)
+        assert runtime_cell(ok) == "1.23"
+        assert runtime_cell(to) == "TO"
+        assert runtime_cell(bug) == "BUG(0.50)"
+
+
+class TestRender:
+    def test_table_alignment(self):
+        text = render_table(["Name", "N"], [["a", 1], ["bb", 22]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "Name" in lines[2]
+        assert lines[-1].endswith("22")
+
+    def test_trace_plot_contains_series(self):
+        text = render_trace_plot({"dynamic": [3, 5, 2],
+                                  "static": [3, 100, 4]})
+        assert "* = dynamic" in text
+        assert "o = static" in text
+
+    def test_trace_plot_handles_zeros(self):
+        text = render_trace_plot({"a": [0, 0, 1]})
+        assert "steps" in text
+
+    def test_trace_plot_empty(self):
+        assert render_trace_plot({"a": []}) == "(no data)"
+
+
+class TestExperimentModules:
+    def test_table1_case_grid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "small")
+        from repro.bench.table1 import OPTIMIZATIONS, table1_cases
+
+        cases = table1_cases()
+        archs = {arch for arch, _w, _o in cases}
+        assert len(archs) == 8
+        assert all(opt in OPTIMIZATIONS for _a, _w, opt in cases)
+        # Booth architectures run at their own (smaller) sizes
+        booth_sizes = {w for a, w, _o in cases if a.startswith("BP")}
+        assert booth_sizes == {4}
+
+    def test_table2_case_grid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "small")
+        from repro.bench.table2 import table2_cases
+
+        cases = table2_cases()
+        assert ("EPFL-like", 6) in cases
+        assert ("DesignWare-like", 4) in cases
+
+    def test_fig5_trace_case(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path))
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "small")
+        from repro.bench.fig5 import trace_case
+
+        case = trace_case("none", width=4)
+        assert set(case["traces"]) == {"dynamic", "static"}
+        assert case["peaks"]["dynamic"] > 0
+        assert case["status"]["dynamic"] == "correct"

@@ -1,0 +1,63 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import itertools
+
+import pytest
+
+from repro.aig.simulate import outputs_as_int, simulate_words
+from repro.genmul import MultiplierSpec, generate_multiplier, multiply_reference
+
+
+def input_word_literals(aig, width_a):
+    """Positive literals of the two operand words of a multiplier AIG."""
+    a_lits = [2 * v for v in aig.inputs[:width_a]]
+    b_lits = [2 * v for v in aig.inputs[width_a:]]
+    return a_lits, b_lits
+
+
+def check_multiplier_exhaustive(spec, aig=None):
+    """Assert a multiplier AIG computes products exactly (exhaustive)."""
+    if aig is None:
+        aig = generate_multiplier(spec)
+    a_lits, b_lits = input_word_literals(aig, spec.width_a)
+    for a, b in itertools.product(range(1 << spec.width_a),
+                                  range(1 << spec.width_b)):
+        bits = simulate_words(aig, [(a, a_lits), (b, b_lits)])
+        got = outputs_as_int(bits)
+        want = multiply_reference(spec, a, b)
+        assert got == want, (spec.name(), a, b, got, want)
+    return aig
+
+
+def check_multiplier_random(spec, aig, samples=40, seed=0):
+    """Assert a multiplier on random operand pairs."""
+    import random
+
+    rng = random.Random(seed)
+    a_lits, b_lits = input_word_literals(aig, spec.width_a)
+    for _ in range(samples):
+        a = rng.randrange(1 << spec.width_a)
+        b = rng.randrange(1 << spec.width_b)
+        got = outputs_as_int(simulate_words(aig, [(a, a_lits), (b, b_lits)]))
+        assert got == multiply_reference(spec, a, b), (spec.name(), a, b)
+
+
+@pytest.fixture(scope="session")
+def mult_4x4_array():
+    """A 4x4 array multiplier (session-cached)."""
+    return generate_multiplier("SP-AR-RC", 4)
+
+
+@pytest.fixture(scope="session")
+def mult_4x4_dadda():
+    return generate_multiplier("SP-DT-LF", 4)
+
+
+@pytest.fixture(scope="session")
+def mult_8x8_dadda():
+    return generate_multiplier("SP-DT-LF", 8)
+
+
+@pytest.fixture(scope="session")
+def mult_4x4_booth():
+    return generate_multiplier("BP-AR-RC", 4)

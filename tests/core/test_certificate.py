@@ -1,0 +1,115 @@
+"""Tests for proof-certificate generation and independent checking."""
+
+import pytest
+
+from repro.core import verify_multiplier
+from repro.core.certificate import (
+    Certificate,
+    CertificateError,
+    check_certificate,
+    certified_verify,
+)
+from repro.aig.ops import cleanup
+from repro.genmul import generate_multiplier, inject_visible_fault
+from repro.poly import Polynomial
+
+
+def certificate_for(aig, **kwargs):
+    result = verify_multiplier(aig, record_certificate=True, **kwargs)
+    return result, result.stats["certificate"]
+
+
+class TestGeneration:
+    def test_certificate_recorded(self, mult_4x4_array):
+        result, cert = certificate_for(cleanup(mult_4x4_array))
+        assert result.ok
+        assert cert.num_steps > 0
+        assert cert.remainder.is_zero()
+        # one step per component output
+        assert cert.num_steps >= result.stats["components"]
+
+    def test_serialization(self, mult_4x4_array):
+        _result, cert = certificate_for(cleanup(mult_4x4_array))
+        text = cert.to_text()
+        assert text.startswith("; certificate")
+        assert "spec " in text
+        assert "remainder 0" in text
+        assert text.count("sub v") == cert.num_steps
+
+
+class TestChecking:
+    @pytest.mark.parametrize("arch", ["SP-AR-RC", "SP-DT-LF", "SP-WT-CL"])
+    def test_valid_certificate_accepted(self, arch):
+        aig = cleanup(generate_multiplier(arch, 4))
+        _result, cert = certificate_for(aig)
+        assert check_certificate(aig, cert)
+
+    def test_replay_matches_rule_based_remainder(self, mult_4x4_dadda):
+        """The rule-free replay must reach the same normal form the
+        vanishing-rule machinery reached — a strong oracle for the whole
+        rule engine."""
+        aig = cleanup(mult_4x4_dadda)
+        _result, cert = certificate_for(aig)
+        assert check_certificate(aig, cert)
+
+    def test_optimized_certificate_accepted(self):
+        from repro.opt import resyn3
+
+        aig = cleanup(resyn3(generate_multiplier("SP-DT-LF", 4)))
+        _result, cert = certificate_for(aig)
+        assert check_certificate(aig, cert)
+
+    def test_buggy_circuit_certificate(self, mult_4x4_array):
+        """A buggy run's certificate replays to the same non-zero
+        remainder."""
+        buggy = cleanup(inject_visible_fault(mult_4x4_array, seed=9))
+        result, cert = certificate_for(buggy)
+        assert result.status == "buggy"
+        assert not cert.remainder.is_zero()
+        assert check_certificate(buggy, cert)
+
+
+class TestTamperDetection:
+    @pytest.fixture()
+    def valid(self, mult_4x4_array):
+        aig = cleanup(mult_4x4_array)
+        _result, cert = certificate_for(aig)
+        return aig, cert
+
+    def test_tampered_step_rejected(self, valid):
+        aig, cert = valid
+        var, poly = cert.steps[0]
+        bad = Certificate(spec=cert.spec,
+                          steps=[(var, poly + 1)] + cert.steps[1:],
+                          remainder=cert.remainder)
+        with pytest.raises(CertificateError):
+            check_certificate(aig, bad)
+
+    def test_tampered_remainder_rejected(self, valid):
+        aig, cert = valid
+        bad = Certificate(spec=cert.spec, steps=cert.steps,
+                          remainder=cert.remainder + 1)
+        with pytest.raises(CertificateError):
+            check_certificate(aig, bad)
+
+    def test_tampered_spec_rejected(self, valid):
+        aig, cert = valid
+        bad = Certificate(spec=cert.spec + Polynomial.variable(1),
+                          steps=cert.steps, remainder=cert.remainder)
+        with pytest.raises(CertificateError):
+            check_certificate(aig, bad)
+
+    def test_unknown_variable_rejected(self, valid):
+        aig, cert = valid
+        bad = Certificate(spec=cert.spec,
+                          steps=cert.steps + [(99_999, Polynomial.one())],
+                          remainder=cert.remainder)
+        with pytest.raises(CertificateError):
+            check_certificate(aig, bad)
+
+
+class TestConvenienceWrapper:
+    def test_certified_verify(self, mult_4x4_array):
+        result, cert = certified_verify(cleanup(mult_4x4_array))
+        assert result.ok
+        assert cert is not None

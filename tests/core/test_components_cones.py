@@ -1,0 +1,132 @@
+"""Tests for component construction and the cone partition."""
+
+import itertools
+
+import pytest
+
+from repro.aig.aig import Aig, lit_var
+from repro.aig.simulate import node_values
+from repro.core.atomic import detect_atomic_blocks
+from repro.core.components import atomic_block_component, cone_component
+from repro.core.cones import build_components
+from repro.genmul import generate_multiplier
+from repro.poly import Polynomial
+
+
+def consistent_assignment(aig, input_bits):
+    values = node_values(aig, input_bits)
+    return {v: values[v] for v in range(aig.num_vars)}
+
+
+class TestAtomicBlockComponent:
+    @pytest.fixture()
+    def fa_component(self):
+        aig = Aig()
+        x, y, z = aig.add_inputs(3)
+        s, c = aig.full_adder(x, y, z)
+        aig.add_output(s)
+        aig.add_output(c)
+        blk = [b for b in detect_atomic_blocks(aig) if b.kind == "FA"][0]
+        return aig, blk, atomic_block_component(0, blk)
+
+    def test_substitutions_are_exact(self, fa_component):
+        aig, blk, comp = fa_component
+        for bits in itertools.product((0, 1), repeat=3):
+            assignment = consistent_assignment(aig, list(bits))
+            for var, poly in comp.substitutions.items():
+                assert poly.evaluate(assignment) == assignment[var], \
+                    (blk.describe(), bits, var)
+
+    def test_compact_relation_is_exact(self, fa_component):
+        aig, blk, comp = fa_component
+        g_coeffs, f_poly = comp.compact
+        for bits in itertools.product((0, 1), repeat=3):
+            assignment = consistent_assignment(aig, list(bits))
+            lhs = sum(coeff * assignment[var]
+                      for var, coeff in g_coeffs.items())
+            assert lhs == f_poly.evaluate(assignment)
+
+    def test_sum_substituted_before_carry(self, fa_component):
+        _aig, blk, comp = fa_component
+        order = list(comp.substitutions)
+        assert order[0] == blk.sum_var
+        assert order[1] == blk.carry_var
+
+    def test_sum_replacement_is_linear(self, fa_component):
+        _aig, blk, comp = fa_component
+        assert comp.substitutions[blk.sum_var].degree() <= 1
+
+    def test_describe(self, fa_component):
+        _aig, _blk, comp = fa_component
+        assert comp.describe().startswith("FA#0(")
+        assert comp.is_atomic
+
+
+class TestConeComponent:
+    def test_single_output(self):
+        poly = Polynomial.variable(2) * Polynomial.variable(3)
+        comp = cone_component(4, "FFC", 9, (3, 2), poly, {9})
+        assert comp.output_vars == (9,)
+        assert comp.input_vars == (2, 3)
+        assert comp.compact is None
+        assert not comp.is_atomic
+
+
+class TestPartition:
+    @pytest.mark.parametrize("arch", ["SP-AR-RC", "SP-DT-LF", "BP-WT-RC"])
+    def test_partition_covers_all_nodes(self, arch):
+        from repro.aig.ops import cleanup
+
+        aig = cleanup(generate_multiplier(arch, 4))
+        blocks = detect_atomic_blocks(aig)
+        components, _rules = build_components(aig, blocks)
+        covered = set()
+        for comp in components:
+            assert not (comp.internal & covered), "components overlap"
+            covered |= comp.internal
+        assert covered == set(aig.and_vars())
+
+    def test_each_output_var_owned_once(self, mult_4x4_dadda):
+        from repro.aig.ops import cleanup
+
+        aig = cleanup(mult_4x4_dadda)
+        components, _ = build_components(aig, detect_atomic_blocks(aig))
+        owners = {}
+        for comp in components:
+            for var in comp.output_vars:
+                assert var not in owners
+                owners[var] = comp.index
+
+    def test_component_polynomials_are_exact(self, mult_4x4_array):
+        from repro.aig.ops import cleanup
+
+        aig = cleanup(mult_4x4_array)
+        components, _ = build_components(aig, detect_atomic_blocks(aig))
+        for bits in ([0] * 8, [1] * 8, [1, 0, 0, 1, 1, 1, 0, 0]):
+            assignment = consistent_assignment(aig, bits)
+            for comp in components:
+                for var, poly in comp.substitutions.items():
+                    assert poly.evaluate(assignment) == assignment[var], \
+                        comp.describe()
+
+    def test_cgc_classification(self, mult_4x4_dadda):
+        """At least one cone consuming both HA outputs must be marked as
+        a converging gate cone in a Dadda multiplier."""
+        from repro.aig.ops import cleanup
+
+        aig = cleanup(mult_4x4_dadda)
+        components, _ = build_components(aig, detect_atomic_blocks(aig))
+        kinds = {comp.kind for comp in components}
+        assert "FFC" in kinds
+        assert {"HA", "FA"} & kinds
+
+    def test_no_blocks_degenerates_to_cones(self, mult_4x4_array):
+        from repro.aig.ops import cleanup
+
+        aig = cleanup(mult_4x4_array)
+        components, _ = build_components(aig, [])
+        assert all(not comp.is_atomic for comp in components)
+        covered = set()
+        for comp in components:
+            covered |= comp.internal
+        assert covered == set(aig.and_vars())

@@ -1,0 +1,59 @@
+"""Tests for the result objects and error types."""
+
+import pytest
+
+from repro.core.result import VerificationResult
+from repro.errors import (
+    AigError,
+    BudgetExceeded,
+    GeneratorError,
+    NetlistError,
+    PolynomialError,
+    ReproError,
+    VerificationError,
+)
+
+
+class TestVerificationResult:
+    def test_ok_flag(self):
+        assert VerificationResult(status="correct", method="m").ok
+        assert not VerificationResult(status="buggy", method="m").ok
+        assert not VerificationResult(status="timeout", method="m").ok
+
+    def test_timed_out_flag(self):
+        assert VerificationResult(status="timeout", method="m").timed_out
+        assert not VerificationResult(status="correct", method="m").timed_out
+
+    def test_summary_contains_stats(self):
+        result = VerificationResult(
+            status="correct", method="dyposub", seconds=1.5,
+            stats={"nodes": 100, "max_poly_size": 42, "steps": 7})
+        text = result.summary()
+        assert "dyposub" in text
+        assert "correct" in text
+        assert "nodes=100" in text
+        assert "max_poly_size=42" in text
+
+    def test_summary_without_stats(self):
+        result = VerificationResult(status="buggy", method="static")
+        assert "buggy" in result.summary()
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for cls in (AigError, NetlistError, GeneratorError,
+                    PolynomialError, VerificationError, BudgetExceeded):
+            assert issubclass(cls, ReproError)
+
+    def test_budget_exceeded_is_verification_error(self):
+        assert issubclass(BudgetExceeded, VerificationError)
+
+    def test_budget_exceeded_payload(self):
+        exc = BudgetExceeded("boom", kind="time", steps_done=5, max_size=99)
+        assert exc.kind == "time"
+        assert exc.steps_done == 5
+        assert exc.max_size == 99
+
+    def test_budget_exceeded_defaults(self):
+        exc = BudgetExceeded("boom")
+        assert exc.kind == "monomials"

@@ -1,0 +1,147 @@
+"""Tests for specification and gate polynomials."""
+
+import itertools
+
+import pytest
+
+from repro.aig.aig import Aig, lit_neg, lit_var
+from repro.aig.simulate import node_values
+from repro.core.gatepoly import (
+    cone_polynomial,
+    literal_polynomial,
+    node_tail_polynomial,
+)
+from repro.core.spec import (
+    multiplier_specification,
+    operand_word_polynomial,
+    output_word_polynomial,
+)
+from repro.errors import VerificationError
+from repro.genmul import generate_multiplier
+from repro.poly import Polynomial
+
+
+def full_assignment(aig, input_bits):
+    values = node_values(aig, input_bits)
+    return {v: values[v] for v in range(aig.num_vars)}
+
+
+class TestLiteralAndNodePolynomials:
+    def test_literal_polynomials(self):
+        assert literal_polynomial(6) == Polynomial.variable(3)
+        assert literal_polynomial(7) == 1 - Polynomial.variable(3)
+        assert literal_polynomial(0) == Polynomial.zero()
+        assert literal_polynomial(1) == Polynomial.one()
+
+    def test_five_cases_of_equation_1(self):
+        """The node polynomial must match eq. (1) for all polarity
+        combinations."""
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        av, bv = lit_var(a), lit_var(b)
+        x = Polynomial.variable(av)
+        y = Polynomial.variable(bv)
+        cases = [
+            (aig.add_and(a, b), x * y),
+            (aig.add_and(lit_neg(a), b), y - x * y),
+            (aig.add_and(a, lit_neg(b)), x - x * y),
+            (aig.add_and(lit_neg(a), lit_neg(b)), 1 - x - y + x * y),
+        ]
+        for literal, expected in cases:
+            assert node_tail_polynomial(aig, lit_var(literal)) == expected
+
+    def test_tail_agrees_with_simulation(self, mult_4x4_array):
+        aig = mult_4x4_array
+        for bits in ([0] * 8, [1] * 8, [1, 0, 1, 0, 0, 1, 1, 0]):
+            assignment = full_assignment(aig, bits)
+            for v in list(aig.and_vars())[:30]:
+                tail = node_tail_polynomial(aig, v)
+                assert tail.evaluate(assignment) == assignment[v]
+
+
+class TestConePolynomial:
+    def test_xor_cone_polynomial(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        x = aig.xor_(a, b)
+        var = lit_var(x)
+        poly = cone_polynomial(aig, var, {lit_var(a), lit_var(b)})
+        # the var computes XNOR: 1 - a - b + 2ab... check by evaluation
+        for av, bv in itertools.product((0, 1), repeat=2):
+            want = 1 - ((av + bv) % 2)
+            assert poly.evaluate({lit_var(a): av, lit_var(b): bv}) == want
+
+    def test_cone_polynomial_only_uses_leaves(self, mult_4x4_dadda):
+        aig = mult_4x4_dadda
+        from repro.aig.cuts import enumerate_cuts
+
+        cuts = enumerate_cuts(aig, k=3, limit=6)
+        checked = 0
+        for v in list(aig.and_vars())[-10:]:
+            for cut in cuts[v]:
+                if cut == (v,):
+                    continue
+                poly = cone_polynomial(aig, v, cut)
+                assert poly.support() <= set(cut)
+                checked += 1
+        assert checked
+
+
+class TestSpecificationPolynomial:
+    def test_word_polynomials(self):
+        assert operand_word_polynomial([1, 2, 3]) == (
+            Polynomial.variable(1) + 2 * Polynomial.variable(2)
+            + 4 * Polynomial.variable(3))
+        signed = operand_word_polynomial([1, 2], signed=True)
+        assert signed == Polynomial.variable(1) - 2 * Polynomial.variable(2)
+
+    def test_spec_vanishes_exactly_on_consistent_assignments(
+            self, mult_4x4_array):
+        aig = mult_4x4_array
+        spec = multiplier_specification(aig, 4, 4)
+        for a, b in [(0, 0), (3, 5), (15, 15), (7, 9), (12, 1)]:
+            bits = [(a >> k) & 1 for k in range(4)] + \
+                   [(b >> k) & 1 for k in range(4)]
+            assignment = full_assignment(aig, bits)
+            assert spec.evaluate(assignment) == 0
+
+    def test_spec_nonzero_on_buggy(self, mult_4x4_array):
+        from repro.genmul import inject_visible_fault
+
+        buggy = inject_visible_fault(mult_4x4_array, seed=7)
+        spec = multiplier_specification(buggy, 4, 4)
+        hits = 0
+        for a in range(16):
+            for b in range(16):
+                bits = [(a >> k) & 1 for k in range(4)] + \
+                       [(b >> k) & 1 for k in range(4)]
+                assignment = full_assignment(buggy, bits)
+                if spec.evaluate(assignment) != 0:
+                    hits += 1
+        assert hits > 0
+
+    def test_signed_specification(self):
+        aig = generate_multiplier("SPS-AR-RC", 3)
+        spec = multiplier_specification(aig, 3, 3, signed=True)
+        for a in range(8):
+            for b in range(8):
+                bits = [(a >> k) & 1 for k in range(3)] + \
+                       [(b >> k) & 1 for k in range(3)]
+                assignment = full_assignment(aig, bits)
+                assert spec.evaluate(assignment) == 0, (a, b)
+
+    def test_width_validation(self, mult_4x4_array):
+        with pytest.raises(VerificationError):
+            multiplier_specification(mult_4x4_array, 3, 3)
+        with pytest.raises(VerificationError):
+            multiplier_specification(mult_4x4_array, 8, 0)
+
+    def test_output_word_handles_complemented_outputs(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        aig.add_output(lit_neg(aig.and_(a, b)))
+        poly = output_word_polynomial(aig)
+        assignment = full_assignment(aig, [1, 1])
+        assert poly.evaluate(assignment) == 0
+        assignment = full_assignment(aig, [0, 1])
+        assert poly.evaluate(assignment) == 1

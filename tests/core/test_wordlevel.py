@@ -1,0 +1,116 @@
+"""Tests for generic word-level reduction and adder verification."""
+
+import pytest
+
+from repro.aig.aig import Aig
+from repro.core.spec import multiplier_specification
+from repro.core.wordlevel import (
+    is_boolean_valued,
+    reduce_specification,
+    verify_adder,
+)
+from repro.errors import VerificationError
+from repro.genmul import generate_multiplier
+from repro.genmul.fsa import FSA_BUILDERS
+from repro.poly import Polynomial
+
+
+def build_adder(name, width):
+    aig = Aig(f"{name}_{width}")
+    a_bits = aig.add_inputs(width, prefix="a")
+    b_bits = aig.add_inputs(width, prefix="b")
+    for bit in FSA_BUILDERS[name](aig, a_bits, b_bits):
+        aig.add_output(bit)
+    return aig
+
+
+class TestReduceSpecification:
+    def test_multiplier_spec_reduces_to_zero(self, mult_4x4_dadda):
+        spec = multiplier_specification(mult_4x4_dadda, 4, 4)
+        remainder, stats, _trace = reduce_specification(mult_4x4_dadda, spec)
+        assert remainder.is_zero()
+        assert stats["steps"] == stats["components"]
+
+    def test_wrong_spec_leaves_remainder(self, mult_4x4_dadda):
+        spec = multiplier_specification(mult_4x4_dadda, 4, 4) + 1
+        remainder, _stats, _trace = reduce_specification(mult_4x4_dadda, spec)
+        assert remainder == 1
+
+    def test_custom_bit_level_property(self):
+        """Verify p0 == a0 & b0 for a multiplier via a custom spec."""
+        aig = generate_multiplier("SP-AR-RC", 3)
+        from repro.core.gatepoly import literal_polynomial
+
+        p0 = literal_polynomial(aig.outputs[0])
+        a0 = Polynomial.variable(aig.inputs[0])
+        b0 = Polynomial.variable(aig.inputs[3])
+        spec = p0 - a0 * b0
+        remainder, _s, _t = reduce_specification(aig, spec)
+        assert remainder.is_zero()
+
+    def test_unknown_variable_rejected(self, mult_4x4_array):
+        with pytest.raises(VerificationError):
+            reduce_specification(mult_4x4_array, Polynomial.variable(10_000))
+
+    def test_static_method_available(self, mult_4x4_array):
+        spec = multiplier_specification(mult_4x4_array, 4, 4)
+        remainder, _s, _t = reduce_specification(mult_4x4_array, spec,
+                                                 method="static")
+        assert remainder.is_zero()
+
+
+class TestBooleanValued:
+    def test_boolean_polynomials(self):
+        x, y = Polynomial.variable(1), Polynomial.variable(2)
+        assert is_boolean_valued(x)
+        assert is_boolean_valued(x * y)
+        assert is_boolean_valued(x + y - x * y)      # OR
+        assert is_boolean_valued(Polynomial.zero())
+        assert is_boolean_valued(Polynomial.one())
+
+    def test_non_boolean_polynomials(self):
+        x, y = Polynomial.variable(1), Polynomial.variable(2)
+        assert not is_boolean_valued(x + y)          # reaches 2
+        assert not is_boolean_valued(2 * x)
+        assert not is_boolean_valued(x - y)          # reaches -1
+
+
+class TestVerifyAdder:
+    @pytest.mark.parametrize("name", sorted(FSA_BUILDERS))
+    def test_all_generated_adders_verify(self, name):
+        aig = build_adder(name, 5)
+        result = verify_adder(aig, 5, monomial_budget=500_000)
+        assert result.ok, (name, result.status)
+
+    def test_exact_mode_rejects_modular_adder(self):
+        # a width-4 adder discarding carry is NOT an exact adder
+        aig = build_adder("RC", 4)
+        result = verify_adder(aig, 4, modular=False)
+        assert result.status == "buggy"
+
+    def test_exact_adder_with_carry_out(self):
+        aig = Aig()
+        a_bits = aig.add_inputs(4, prefix="a")
+        b_bits = aig.add_inputs(4, prefix="b")
+        from repro.aig.aig import FALSE
+
+        carry = FALSE
+        for a, b in zip(a_bits, b_bits):
+            s, carry = aig.full_adder(a, b, carry)
+            aig.add_output(s)
+        aig.add_output(carry)  # expose the carry -> exact 5-bit sum
+        result = verify_adder(aig, 4, modular=False)
+        assert result.ok
+
+    def test_buggy_adder_rejected(self):
+        aig = build_adder("KS", 4)
+        from repro.genmul import inject_visible_fault
+
+        buggy = inject_visible_fault(aig, kind="gate-type", seed=3)
+        result = verify_adder(buggy, 4, monomial_budget=500_000)
+        assert result.status == "buggy"
+
+    def test_budget_reported(self):
+        aig = build_adder("CL", 8)
+        result = verify_adder(aig, 8, monomial_budget=3)
+        assert result.timed_out

@@ -1,0 +1,116 @@
+"""Tests for the gate-level netlist substrate and technology mapping."""
+
+import pytest
+
+from repro.aig.simulate import functionally_equal, random_patterns, simulate
+from repro.errors import NetlistError
+from repro.gates import CELLS, Netlist, cell_name_for, cell_truth_table
+from repro.genmul import generate_multiplier
+from repro.opt import techmap, techmap_roundtrip
+
+
+class TestLibrary:
+    def test_known_cells_resolve(self):
+        assert cell_name_for(0b1000, 2) == "AND2"
+        assert cell_name_for(0b0110, 2) == "XOR2"
+        assert cell_name_for(0b11101000, 3) == "MAJ3"
+
+    def test_unknown_becomes_lut(self):
+        name = cell_name_for(0b0010, 3)
+        assert name.startswith("LUT3_")
+        n, tt = cell_truth_table(name)
+        assert (n, tt) == (3, 0b0010)
+
+    def test_cell_tables_self_consistent(self):
+        for name, (n, tt) in CELLS.items():
+            assert cell_truth_table(name) == (n, tt)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            cell_truth_table("FOO42")
+
+
+class TestNetlist:
+    @pytest.fixture()
+    def ha_netlist(self):
+        nl = Netlist("ha")
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        s = nl.add_cell("XOR2", [a, b])
+        c = nl.add_cell("AND2", [a, b])
+        nl.add_output(s, name="s")
+        nl.add_output(c, name="c")
+        return nl
+
+    def test_evaluate(self, ha_netlist):
+        assert ha_netlist.evaluate([0b0101, 0b0011], width=4) == [0b0110,
+                                                                  0b0001]
+
+    def test_inverted_output(self):
+        nl = Netlist()
+        a = nl.add_input()
+        nl.add_output(a, inverted=True)
+        assert nl.evaluate([0b01], width=2) == [0b10]
+
+    def test_arity_checked(self, ha_netlist):
+        with pytest.raises(NetlistError):
+            ha_netlist.add_cell("AND2", [1])
+
+    def test_undriven_net_rejected(self):
+        nl = Netlist()
+        nl.add_input()
+        nl.add_output(99)
+        with pytest.raises(NetlistError):
+            nl.evaluate([1])
+
+    def test_to_aig_equivalent(self, ha_netlist):
+        aig = ha_netlist.to_aig()
+        patterns = [0b0101, 0b0011]
+        assert simulate(aig, patterns, 4) == ha_netlist.evaluate(patterns, 4)
+
+    def test_cell_histogram(self, ha_netlist):
+        assert ha_netlist.cell_histogram() == {"XOR2": 1, "AND2": 1}
+
+    def test_verilog_export(self, ha_netlist):
+        text = ha_netlist.to_verilog()
+        assert text.startswith("module ha (")
+        assert "XOR2" in text and "AND2" in text
+        assert "endmodule" in text
+
+    def test_verilog_sanitizes_module_name(self):
+        nl = Netlist("SP-DT-LF 8x8")
+        nl.add_input("a")
+        nl.add_output(1, name="y")
+        header = nl.to_verilog().splitlines()[0]
+        assert "-" not in header and " 8x8" not in header
+
+
+class TestTechmap:
+    def test_roundtrip_preserves_function(self, mult_8x8_dadda):
+        mapped = techmap_roundtrip(mult_8x8_dadda)
+        assert functionally_equal(mult_8x8_dadda, mapped)
+
+    def test_netlist_matches_aig(self, mult_4x4_dadda):
+        nl = techmap(mult_4x4_dadda)
+        patterns = random_patterns(mult_4x4_dadda.num_inputs, 128, seed=3)
+        assert nl.evaluate(patterns, 128) == simulate(mult_4x4_dadda,
+                                                      patterns, 128)
+
+    def test_cell_input_bound(self, mult_4x4_dadda):
+        nl = techmap(mult_4x4_dadda, k=3)
+        for cell in nl.cells:
+            assert len(cell.inputs) <= 3
+
+    def test_delay_oriented_flag(self, mult_4x4_dadda):
+        area = techmap(mult_4x4_dadda, delay_oriented=False)
+        delay = techmap(mult_4x4_dadda, delay_oriented=True)
+        patterns = random_patterns(mult_4x4_dadda.num_inputs, 64, seed=1)
+        assert area.evaluate(patterns, 64) == delay.evaluate(patterns, 64)
+
+    def test_invalid_k_rejected(self, mult_4x4_dadda):
+        with pytest.raises(NetlistError):
+            techmap(mult_4x4_dadda, k=7)
+
+    def test_fewer_cells_than_ands(self, mult_8x8_dadda):
+        nl = techmap(mult_8x8_dadda)
+        assert nl.num_cells < mult_8x8_dadda.num_ands

@@ -1,0 +1,86 @@
+"""Tests for the MAC and squarer datapath units."""
+
+import itertools
+
+import pytest
+
+from repro.aig.simulate import outputs_as_int, simulate_words
+from repro.errors import GeneratorError
+from repro.genmul.datapath import (
+    generate_mac,
+    generate_squarer,
+    verify_mac,
+    verify_squarer,
+)
+
+
+class TestMac:
+    @pytest.mark.parametrize("arch", ["SP-DT-RC", "SP-WT-KS", "SP-CP-LF"])
+    def test_exhaustive_3x3(self, arch):
+        aig = generate_mac(arch, 3, 3)
+        a_lits = [2 * v for v in aig.inputs[:3]]
+        b_lits = [2 * v for v in aig.inputs[3:6]]
+        c_lits = [2 * v for v in aig.inputs[6:]]
+        for a, b in itertools.product(range(8), range(8)):
+            for c in (0, 1, 17, 63):
+                got = outputs_as_int(simulate_words(
+                    aig, [(a, a_lits), (b, b_lits), (c, c_lits)]))
+                assert got == a * b + c, (arch, a, b, c)
+
+    def test_rectangular_and_custom_acc(self):
+        aig = generate_mac("SP-WT-RC", 4, 2, width_acc=3)
+        a_lits = [2 * v for v in aig.inputs[:4]]
+        b_lits = [2 * v for v in aig.inputs[4:6]]
+        c_lits = [2 * v for v in aig.inputs[6:]]
+        for a, b, c in itertools.product(range(16), range(4), range(8)):
+            got = outputs_as_int(simulate_words(
+                aig, [(a, a_lits), (b, b_lits), (c, c_lits)]))
+            assert got == a * b + c
+
+    def test_formal_verification(self):
+        aig = generate_mac("SP-DT-RC", 4, 4)
+        result = verify_mac(aig, 4, 4, monomial_budget=500_000)
+        assert result.ok
+
+    def test_buggy_mac_rejected(self):
+        from repro.genmul import inject_visible_fault
+
+        aig = generate_mac("SP-DT-RC", 4, 4)
+        buggy = inject_visible_fault(aig, seed=3)
+        result = verify_mac(buggy, 4, 4, monomial_budget=500_000)
+        assert result.status == "buggy"
+
+    def test_booth_rejected(self):
+        with pytest.raises(GeneratorError):
+            generate_mac("BP-DT-RC", 4)
+
+
+class TestSquarer:
+    @pytest.mark.parametrize("arch", ["SP-DT-RC", "SP-WT-KS"])
+    @pytest.mark.parametrize("width", [2, 3, 5, 6])
+    def test_exhaustive(self, arch, width):
+        aig = generate_squarer(arch, width)
+        a_lits = [2 * v for v in aig.inputs]
+        for a in range(1 << width):
+            got = outputs_as_int(simulate_words(aig, [(a, a_lits)]))
+            assert got == a * a, (arch, width, a)
+
+    def test_smaller_than_multiplier(self):
+        from repro.genmul import generate_multiplier
+
+        squarer = generate_squarer("SP-DT-RC", 8)
+        multiplier = generate_multiplier("SP-DT-RC", 8)
+        assert squarer.num_ands < multiplier.num_ands
+
+    def test_formal_verification(self):
+        aig = generate_squarer("SP-DT-RC", 5)
+        result = verify_squarer(aig, 5, monomial_budget=500_000)
+        assert result.ok
+
+    def test_buggy_squarer_rejected(self):
+        from repro.genmul import inject_visible_fault
+
+        aig = generate_squarer("SP-WT-KS", 5)
+        buggy = inject_visible_fault(aig, seed=11)
+        result = verify_squarer(buggy, 5, monomial_budget=500_000)
+        assert result.status == "buggy"

@@ -1,0 +1,142 @@
+"""Exhaustive functional validation of the multiplier generators.
+
+Every architecture combination is the product of a PPG, a PPA and an
+FSA; each is validated exhaustively at small widths against Python
+integer multiplication — the ground truth every other experiment builds
+on.
+"""
+
+import pytest
+
+from repro.genmul import (
+    FSA_CODES,
+    MultiplierSpec,
+    PPA_CODES,
+    generate_multiplier,
+)
+from repro.errors import GeneratorError
+
+from tests.conftest import check_multiplier_exhaustive, check_multiplier_random
+
+
+class TestSimplePpgGrid:
+    @pytest.mark.parametrize("ppa", sorted(PPA_CODES))
+    def test_all_accumulators_with_ripple(self, ppa):
+        check_multiplier_exhaustive(
+            MultiplierSpec.from_name(f"SP-{ppa}-RC", 3, 3))
+
+    @pytest.mark.parametrize("fsa", sorted(FSA_CODES))
+    def test_all_final_adders_with_dadda(self, fsa):
+        check_multiplier_exhaustive(
+            MultiplierSpec.from_name(f"SP-DT-{fsa}", 3, 3))
+
+    @pytest.mark.parametrize("arch", [
+        "SP-DT-LF", "SP-AR-CK", "SP-BD-KS", "SP-WT-CL",
+        "SP-AR-RC", "SP-WT-BK", "SP-OS-CU",
+    ])
+    def test_paper_architectures_4x4(self, arch):
+        check_multiplier_exhaustive(MultiplierSpec.from_name(arch, 4, 4))
+
+    @pytest.mark.parametrize("widths", [(4, 2), (2, 4), (5, 3), (1, 4)])
+    def test_rectangular(self, widths):
+        n, m = widths
+        check_multiplier_exhaustive(MultiplierSpec.from_name("SP-WT-RC", n, m))
+
+    def test_one_by_one(self):
+        check_multiplier_exhaustive(MultiplierSpec.from_name("SP-AR-RC", 1, 1))
+
+
+class TestBoothGrid:
+    @pytest.mark.parametrize("ppa", sorted(PPA_CODES))
+    def test_all_accumulators(self, ppa):
+        check_multiplier_exhaustive(
+            MultiplierSpec.from_name(f"BP-{ppa}-RC", 4, 4))
+
+    @pytest.mark.parametrize("fsa", sorted(FSA_CODES))
+    def test_all_final_adders(self, fsa):
+        check_multiplier_exhaustive(
+            MultiplierSpec.from_name(f"BP-WT-{fsa}", 4, 4))
+
+    @pytest.mark.parametrize("widths", [(3, 3), (5, 3), (4, 6), (2, 2), (7, 5)])
+    def test_odd_and_rectangular(self, widths):
+        n, m = widths
+        check_multiplier_exhaustive(MultiplierSpec.from_name("BP-AR-RC", n, m))
+
+    def test_booth_needs_two_bits(self):
+        with pytest.raises(GeneratorError):
+            generate_multiplier("BP-AR-RC", 1, 1)
+
+
+class TestSignedBooth:
+    @pytest.mark.parametrize("arch", ["BPS-AR-RC", "BPS-WT-KS", "BPS-DT-CL",
+                                      "BPS-CP-RC"])
+    def test_square(self, arch):
+        check_multiplier_exhaustive(MultiplierSpec.from_name(arch, 4, 4))
+
+    @pytest.mark.parametrize("widths", [(2, 2), (3, 3), (5, 3), (4, 5)])
+    def test_odd_and_rectangular(self, widths):
+        n, m = widths
+        check_multiplier_exhaustive(MultiplierSpec.from_name("BPS-AR-RC",
+                                                             n, m))
+
+    def test_signed_flag(self):
+        assert MultiplierSpec.from_name("BPS-WT-RC", 4).signed
+
+    def test_minimum_width(self):
+        with pytest.raises(GeneratorError):
+            generate_multiplier("BPS-AR-RC", 1, 4)
+
+
+class TestSignedBaughWooley:
+    @pytest.mark.parametrize("arch", ["SPS-AR-RC", "SPS-DT-KS", "SPS-WT-LF"])
+    def test_square(self, arch):
+        check_multiplier_exhaustive(MultiplierSpec.from_name(arch, 4, 4))
+
+    @pytest.mark.parametrize("widths", [(3, 4), (4, 3), (5, 3)])
+    def test_rectangular(self, widths):
+        n, m = widths
+        check_multiplier_exhaustive(MultiplierSpec.from_name("SPS-AR-RC", n, m))
+
+    def test_minimum_width(self):
+        check_multiplier_exhaustive(MultiplierSpec.from_name("SPS-AR-RC", 2, 2))
+        with pytest.raises(GeneratorError):
+            generate_multiplier("SPS-AR-RC", 1, 2)
+
+
+class TestLargerRandom:
+    @pytest.mark.parametrize("arch", [
+        "SP-DT-LF", "SP-BD-KS", "BP-OS-CU", "BP-WT-CL", "SP-AR-CK",
+    ])
+    def test_8x8_random(self, arch):
+        spec = MultiplierSpec.from_name(arch, 8, 8)
+        check_multiplier_random(spec, generate_multiplier(spec), samples=40)
+
+    def test_16x16_random(self):
+        spec = MultiplierSpec.from_name("SP-WT-KS", 16, 16)
+        check_multiplier_random(spec, generate_multiplier(spec), samples=25)
+
+
+class TestInterface:
+    def test_io_naming(self, mult_4x4_array):
+        assert mult_4x4_array.input_names[:4] == ["a0", "a1", "a2", "a3"]
+        assert mult_4x4_array.input_names[4:] == ["b0", "b1", "b2", "b3"]
+        assert mult_4x4_array.output_names[0] == "p0"
+        assert mult_4x4_array.num_outputs == 8
+
+    def test_spec_properties(self):
+        spec = MultiplierSpec.from_name("SP-DT-LF", 8, 6)
+        assert spec.output_width == 14
+        assert spec.architecture == "SP-DT-LF"
+        assert spec.name() == "SP-DT-LF_8x6"
+        assert not spec.signed
+
+    def test_signed_flag_derived(self):
+        assert MultiplierSpec.from_name("SPS-AR-RC", 4).signed
+
+    def test_name_argument_requires_width(self):
+        with pytest.raises(GeneratorError):
+            generate_multiplier("SP-AR-RC")
+
+    def test_invalid_width(self):
+        with pytest.raises(GeneratorError):
+            generate_multiplier("SP-AR-RC", 0)

@@ -1,0 +1,246 @@
+"""Unit tests for the individual generator stages (PPG / PPA / FSA)."""
+
+import itertools
+
+import pytest
+
+from repro.aig.aig import Aig, FALSE, TRUE
+from repro.aig.simulate import evaluate_single, outputs_as_int, simulate_words
+from repro.errors import GeneratorError
+from repro.genmul.booth import booth_digits, booth_ppg
+from repro.genmul.fsa import FSA_BUILDERS
+from repro.genmul.ppa import PPA_BUILDERS
+from repro.genmul.ppg import simple_ppg
+from repro.genmul.prefix import PREFIX_NETWORKS, combine, prefix_adder
+from repro.genmul.reduction import (
+    ColumnMatrix,
+    constant_row,
+    csa_rows,
+    dadda_sequence,
+    pack_rows,
+    padded_row,
+)
+
+
+def rows_value(aig, rows, assignment):
+    """Evaluate the arithmetic value of a row set under an assignment
+    (input variable -> bit); internal signals are simulated."""
+    from repro.aig.aig import lit_is_negated, lit_var
+    from repro.aig.simulate import node_values
+
+    values = node_values(aig, assignment)
+    total = 0
+    for row in rows:
+        for pos, bit in enumerate(row):
+            if bit == FALSE:
+                continue
+            value = values[lit_var(bit)]
+            if lit_is_negated(bit):
+                value ^= 1
+            total += value << pos
+    return total
+
+
+class TestReductionPrimitives:
+    def test_padded_row(self):
+        assert padded_row([3, 5], 4, offset=1) == [FALSE, 3, 5, FALSE]
+        assert padded_row([3, 5, 7], 2) == [3, 5]
+
+    def test_constant_row(self):
+        assert constant_row(0b101, 4) == [TRUE, FALSE, TRUE, FALSE]
+        with pytest.raises(GeneratorError):
+            constant_row(-1, 4)
+
+    def test_dadda_sequence(self):
+        assert dadda_sequence(30) == [2, 3, 4, 6, 9, 13, 19, 28, 42]
+
+    def test_pack_rows_preserves_column_sums(self):
+        rows = [[2, FALSE, 4, FALSE], [FALSE, FALSE, 6, FALSE],
+                [FALSE, FALSE, 8, FALSE]]
+        packed = pack_rows(rows, 4)
+        assert len(packed) == 3  # column 2 has height 3
+        flat = sorted((j, bit) for row in packed
+                      for j, bit in enumerate(row) if bit != FALSE)
+        assert flat == [(0, 2), (2, 4), (2, 6), (2, 8)]
+
+    def test_csa_preserves_sum(self):
+        aig = Aig()
+        bits = aig.add_inputs(9)
+        width = 5
+        rows = [padded_row(bits[0:3], width),
+                padded_row(bits[3:6], width),
+                padded_row(bits[6:9], width)]
+        sum_row, carry_row = csa_rows(aig, *rows)
+        for minterm in range(1 << 9):
+            assignment = {v: (minterm >> k) & 1
+                          for k, v in enumerate(aig.inputs)}
+            want = rows_value(aig, rows, assignment)
+            got = rows_value(aig, [sum_row, carry_row], assignment)
+            assert got == want
+
+
+class TestColumnMatrix:
+    def test_from_rows_and_heights(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        matrix = ColumnMatrix.from_rows([[a, b], [a, FALSE]], 2)
+        assert matrix.heights() == [2, 1]
+        assert matrix.max_height() == 2
+
+    def test_to_two_rows_requires_reduction(self):
+        aig = Aig()
+        bits = aig.add_inputs(3)
+        matrix = ColumnMatrix(1)
+        for bit in bits:
+            matrix.add_bit(0, bit)
+        with pytest.raises(GeneratorError):
+            matrix.to_two_rows()
+
+    def test_false_bits_ignored(self):
+        matrix = ColumnMatrix(2)
+        matrix.add_bit(0, FALSE)
+        assert matrix.heights() == [0, 0]
+
+
+class TestAccumulators:
+    @pytest.mark.parametrize("name", sorted(PPA_BUILDERS))
+    def test_reduces_to_two_rows_preserving_sum(self, name):
+        aig = Aig()
+        a_bits = aig.add_inputs(3, prefix="a")
+        b_bits = aig.add_inputs(3, prefix="b")
+        rows = simple_ppg(aig, a_bits, b_bits)
+        row_a, row_b = PPA_BUILDERS[name](aig, rows)
+        for a, b in itertools.product(range(8), range(8)):
+            assignment = {}
+            for k, bit in enumerate(a_bits):
+                assignment[bit // 2] = (a >> k) & 1
+            for k, bit in enumerate(b_bits):
+                assignment[bit // 2] = (b >> k) & 1
+            got = rows_value(aig, [row_a, row_b], assignment)
+            assert got == a * b, (name, a, b)
+
+    def test_empty_rows_rejected(self):
+        aig = Aig()
+        with pytest.raises(GeneratorError):
+            PPA_BUILDERS["WT"](aig, [])
+
+
+class TestFinalAdders:
+    @pytest.mark.parametrize("name", sorted(FSA_BUILDERS))
+    def test_addition_modulo_width(self, name):
+        aig = Aig()
+        a_bits = aig.add_inputs(4, prefix="a")
+        b_bits = aig.add_inputs(4, prefix="b")
+        sums = FSA_BUILDERS[name](aig, a_bits, b_bits)
+        assert len(sums) == 4
+        for bit in sums:
+            aig.add_output(bit)
+        for a, b in itertools.product(range(16), range(16)):
+            got = outputs_as_int(simulate_words(
+                aig, [(a, a_bits), (b, b_bits)]))
+            assert got == (a + b) % 16, (name, a, b)
+
+    @pytest.mark.parametrize("name", sorted(FSA_BUILDERS))
+    def test_odd_width(self, name):
+        aig = Aig()
+        a_bits = aig.add_inputs(5, prefix="a")
+        b_bits = aig.add_inputs(5, prefix="b")
+        sums = FSA_BUILDERS[name](aig, a_bits, b_bits)
+        for bit in sums:
+            aig.add_output(bit)
+        import random
+
+        rng = random.Random(3)
+        for _ in range(60):
+            a, b = rng.randrange(32), rng.randrange(32)
+            got = outputs_as_int(simulate_words(
+                aig, [(a, a_bits), (b, b_bits)]))
+            assert got == (a + b) % 32, (name, a, b)
+
+    def test_width_mismatch_rejected(self):
+        aig = Aig()
+        a_bits = aig.add_inputs(3)
+        with pytest.raises(GeneratorError):
+            FSA_BUILDERS["RC"](aig, a_bits, a_bits[:2])
+
+
+class TestPrefixNetworks:
+    @pytest.mark.parametrize("name", sorted(PREFIX_NETWORKS))
+    @pytest.mark.parametrize("width", [1, 2, 3, 5, 8])
+    def test_prefix_carries(self, name, width):
+        """Every prefix network must compute all group generates."""
+        aig = Aig()
+        a_bits = aig.add_inputs(width, prefix="a")
+        b_bits = aig.add_inputs(width, prefix="b")
+        g = [aig.and_(x, y) for x, y in zip(a_bits, b_bits)]
+        p = [aig.xor_(x, y) for x, y in zip(a_bits, b_bits)]
+        prefixes = PREFIX_NETWORKS[name](aig, list(zip(g, p)))
+        for i, (g_out, _p_out) in enumerate(prefixes):
+            aig.add_output(g_out)
+        for a in range(1 << width):
+            for b in range(1 << width):
+                bits = evaluate_single(
+                    aig, [(a >> k) & 1 for k in range(width)]
+                    + [(b >> k) & 1 for k in range(width)])
+                # group generate of bits 0..i == carry out of slice
+                for i, bit in enumerate(bits):
+                    mask = (1 << (i + 1)) - 1
+                    carry = ((a & mask) + (b & mask)) >> (i + 1)
+                    assert bit == carry, (name, width, i, a, b)
+
+    def test_combine_operator(self):
+        aig = Aig()
+        g1, p1, g0, p0 = aig.add_inputs(4)
+        g, p = combine(aig, (g1, p1), (g0, p0))
+        aig.add_output(g)
+        aig.add_output(p)
+        for m in range(16):
+            g1v, p1v, g0v, p0v = (m & 1, (m >> 1) & 1, (m >> 2) & 1,
+                                  (m >> 3) & 1)
+            out = evaluate_single(aig, [g1v, p1v, g0v, p0v])
+            assert out[0] == (g1v | (p1v & g0v))
+            assert out[1] == (p1v & p0v)
+
+    def test_unknown_network_rejected(self):
+        aig = Aig()
+        a = aig.add_inputs(2)
+        b = aig.add_inputs(0)
+        with pytest.raises(GeneratorError):
+            prefix_adder(aig, a, a, "XX")
+
+
+class TestBoothEncoding:
+    def test_digit_values(self):
+        """Booth digits must recompose the multiplier word."""
+        for n in (2, 3, 4, 5, 6):
+            aig = Aig()
+            a_bits = aig.add_inputs(n)
+            digits = booth_digits(aig, a_bits)
+            for neg, one, two in digits:
+                aig.add_output(neg)
+                aig.add_output(one)
+                aig.add_output(two)
+            for a in range(1 << n):
+                bits = evaluate_single(aig, [(a >> k) & 1 for k in range(n)])
+                total = 0
+                for k in range(len(digits)):
+                    neg, one, two = bits[3 * k: 3 * k + 3]
+                    magnitude = one + 2 * two
+                    assert not (one and two), "one and two exclusive"
+                    digit = -magnitude if neg else magnitude
+                    total += digit * (4 ** k)
+                assert total == a, (n, a)
+
+    def test_rows_sum_to_product(self):
+        aig = Aig()
+        a_bits = aig.add_inputs(4, prefix="a")
+        b_bits = aig.add_inputs(4, prefix="b")
+        rows = booth_ppg(aig, a_bits, b_bits)
+        for a, b in itertools.product(range(16), range(16)):
+            assignment = {}
+            for k, bit in enumerate(a_bits):
+                assignment[bit // 2] = (a >> k) & 1
+            for k, bit in enumerate(b_bits):
+                assignment[bit // 2] = (b >> k) & 1
+            got = rows_value(aig, rows, assignment) % 256
+            assert got == a * b, (a, b)

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_generate_and_verify(self, tmp_path, capsys):
+        path = tmp_path / "m.aag"
+        assert main(["generate", "SP-DT-LF", "4", "-o", str(path)]) == 0
+        assert path.exists()
+        assert main(["verify", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "correct" in out
+
+    def test_optimize_round(self, tmp_path, capsys):
+        src = tmp_path / "m.aag"
+        dst = tmp_path / "opt.aag"
+        main(["generate", "SP-AR-RC", "4", "-o", str(src)])
+        assert main(["optimize", str(src), "--script", "resyn3",
+                     "-o", str(dst)]) == 0
+        assert main(["verify", str(dst)]) == 0
+
+    def test_inject_and_catch(self, tmp_path, capsys):
+        src = tmp_path / "m.aag"
+        bug = tmp_path / "bug.aag"
+        main(["generate", "SP-AR-RC", "4", "-o", str(src)])
+        assert main(["inject", str(src), "--kind", "gate-type",
+                     "-o", str(bug)]) == 0
+        assert main(["verify", str(bug)]) == 1
+        out = capsys.readouterr().out
+        assert "buggy" in out
+        assert "counterexample" in out
+
+    def test_timeout_exit_code(self, tmp_path, capsys):
+        src = tmp_path / "m.aag"
+        main(["generate", "SP-DT-LF", "8", "-o", str(src)])
+        assert main(["verify", str(src), "--budget", "10"]) == 2
+
+    def test_stats(self, tmp_path, capsys):
+        src = tmp_path / "m.aag"
+        main(["generate", "SP-AR-RC", "4", "-o", str(src)])
+        assert main(["stats", str(src)]) == 0
+        out = capsys.readouterr().out
+        assert "ands:" in out
+        assert "full_adders:" in out
+
+    def test_static_method_flag(self, tmp_path, capsys):
+        src = tmp_path / "m.aag"
+        main(["generate", "SP-AR-RC", "4", "-o", str(src)])
+        assert main(["verify", str(src), "--method", "static"]) == 0
+
+    def test_rectangular_width(self, tmp_path, capsys):
+        src = tmp_path / "m.aag"
+        main(["generate", "SP-WT-RC", "4", "--width-b", "3",
+              "-o", str(src)])
+        assert main(["verify", str(src), "--width-a", "4"]) == 0
+
+    def test_generate_to_stdout(self, capsys):
+        assert main(["generate", "SP-AR-RC", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("aag ")

@@ -1,0 +1,110 @@
+"""Tests for ISOP and recursive Boolean decomposition."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aig.aig import Aig
+from repro.aig.simulate import exhaustive_truth_tables
+from repro.aig.truth import tt_mask
+from repro.errors import ReproError
+from repro.opt.decompose import (
+    build_tree,
+    decompose,
+    synthesize_best,
+    tree_cost,
+)
+from repro.opt.isop import build_sop, cubes_to_tt, isop, synthesize_tt
+
+
+def synthesized_tt(builder, tt, num_vars):
+    aig = Aig()
+    leaves = aig.add_inputs(num_vars)
+    aig.add_output(builder(aig, tt, leaves))
+    return exhaustive_truth_tables(aig)[0]
+
+
+class TestIsop:
+    @pytest.mark.parametrize("num_vars", [0, 1, 2, 3, 4])
+    def test_exhaustive_small(self, num_vars):
+        mask = tt_mask(num_vars)
+        space = range(mask + 1) if num_vars <= 3 else \
+            random.Random(0).sample(range(mask + 1), 200)
+        for tt in space:
+            cubes = isop(tt, num_vars)
+            assert cubes_to_tt(cubes, num_vars) == tt
+
+    def test_constants(self):
+        assert isop(0, 3) == []
+        assert isop(tt_mask(3), 3) == [()]
+
+    def test_dont_cares_respected(self):
+        lower = 0b1000
+        upper = 0b1010
+        cubes = isop(lower, 2, upper=upper)
+        cover = cubes_to_tt(cubes, 2)
+        assert cover & ~upper & 0xF == 0
+        assert cover & lower == lower
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ReproError):
+            isop(0b1111, 2, upper=0b0001)
+
+    def test_irredundancy_on_known_function(self):
+        # x | y needs exactly two cubes
+        assert len(isop(0b1110, 2)) == 2
+
+
+class TestDecompose:
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+    @settings(max_examples=200)
+    def test_tree_matches_function_4vars(self, tt):
+        aig = Aig()
+        leaves = aig.add_inputs(4)
+        tree = decompose(tt, 4)
+        aig.add_output(build_tree(aig, tree, leaves))
+        assert exhaustive_truth_tables(aig)[0] == tt
+
+    def test_xor_costs_less_than_sop(self):
+        from repro.aig.truth import XOR3
+        from repro.opt.isop import _cover_cost
+
+        tree = decompose(XOR3, 3)
+        assert tree_cost(tree) < _cover_cost(isop(XOR3, 3))
+        assert tree_cost(tree) == 6
+
+    def test_cost_is_exact_node_count_on_tree_functions(self):
+        # AND(a, b): one node
+        tree = decompose(0b1000, 2)
+        assert tree_cost(tree) == 1
+
+    @pytest.mark.parametrize("num_vars", [1, 2, 3])
+    def test_synthesize_best_exhaustive(self, num_vars):
+        mask = tt_mask(num_vars)
+        for tt in range(mask + 1):
+            assert synthesized_tt(synthesize_best, tt, num_vars) == tt
+
+    def test_synthesize_best_random_5vars(self):
+        rng = random.Random(9)
+        for _ in range(40):
+            tt = rng.getrandbits(32) & tt_mask(5)
+            assert synthesized_tt(synthesize_best, tt, 5) == tt
+
+    def test_synthesize_tt_matches(self):
+        rng = random.Random(2)
+        for _ in range(40):
+            tt = rng.getrandbits(16) & tt_mask(4)
+            assert synthesized_tt(synthesize_tt, tt, 4) == tt
+
+    def test_synthesize_best_never_worse_than_sop(self):
+        rng = random.Random(5)
+        for _ in range(30):
+            tt = rng.getrandbits(16)
+            a1 = Aig()
+            leaves = a1.add_inputs(4)
+            synthesize_best(a1, tt, leaves)
+            a2 = Aig()
+            leaves = a2.add_inputs(4)
+            build_sop(a2, isop(tt & 0xFFFF, 4), leaves)
+            assert a1.num_ands <= a2.num_ands

@@ -1,0 +1,80 @@
+"""Unit tests for XOR-tree detection and re-association."""
+
+import pytest
+
+from repro.aig.aig import Aig, lit_neg, lit_var
+from repro.aig.simulate import exhaustive_equal
+from repro.opt.xor_balance import collect_xor_leaves, xor_balance, xor_root
+from repro.aig.ops import fanout_map
+
+
+def make_xor_chain(length):
+    """((a0 ^ a1) ^ a2) ^ ... — a maximally skewed XOR chain."""
+    aig = Aig()
+    bits = aig.add_inputs(length)
+    acc = bits[0]
+    for bit in bits[1:]:
+        acc = aig.xor_(acc, bit)
+    aig.add_output(acc)
+    return aig, acc
+
+
+class TestXorRoot:
+    def test_detects_generated_xor(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        x = aig.xor_(a, b)
+        info = xor_root(aig, lit_var(x))
+        assert info is not None
+        l1, l2, _p, _q = info
+        assert {lit_var(l1), lit_var(l2)} == {lit_var(a), lit_var(b)}
+
+    def test_rejects_plain_and(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        w = aig.add_and(a, b)
+        assert xor_root(aig, lit_var(w)) is None
+
+    def test_rejects_half_xor(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        n1 = aig.add_and(a, lit_neg(b))
+        n2 = aig.add_and(lit_neg(a), b)
+        w = aig.add_and(n1, n2)   # not the negated pair shape
+        assert xor_root(aig, lit_var(w)) is None
+
+
+class TestCollect:
+    def test_chain_collapses_to_leaves(self):
+        aig, acc = make_xor_chain(5)
+        fanouts, po_refs = fanout_map(aig)
+        refs = {v: len(fanouts[v]) + po_refs[v] for v in range(aig.num_vars)}
+        collected = collect_xor_leaves(aig, lit_var(acc), refs)
+        assert collected is not None
+        leaves, _parity = collected
+        assert {lit_var(l) for l in leaves} == set(aig.inputs)
+
+
+class TestPass:
+    @pytest.mark.parametrize("length", [3, 4, 7, 9])
+    def test_chain_rebalanced(self, length):
+        aig, _acc = make_xor_chain(length)
+        rebalanced = xor_balance(aig)
+        assert exhaustive_equal(aig, rebalanced)
+        # depth must drop from linear to logarithmic
+        if length >= 7:
+            assert rebalanced.depth() < aig.depth()
+
+    def test_multiplier_preserved(self, mult_4x4_booth):
+        rebalanced = xor_balance(mult_4x4_booth)
+        assert exhaustive_equal(mult_4x4_booth, rebalanced)
+
+    def test_shared_xor_not_duplicated(self):
+        aig = Aig()
+        a, b, c = aig.add_inputs(3)
+        shared = aig.xor_(a, b)
+        aig.add_output(aig.xor_(shared, c))
+        aig.add_output(aig.and_(shared, c))   # second consumer
+        rebalanced = xor_balance(aig)
+        assert exhaustive_equal(aig, rebalanced)
+        assert rebalanced.num_ands <= aig.num_ands + 1

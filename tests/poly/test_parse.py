@@ -1,0 +1,55 @@
+"""Tests for the polynomial expression parser."""
+
+import pytest
+
+from repro.errors import PolynomialError
+from repro.poly import Polynomial, VariablePool, parse_polynomial
+
+
+class TestParser:
+    def test_empty(self):
+        poly, _ = parse_polynomial("")
+        assert poly.is_zero()
+
+    def test_constant(self):
+        poly, _ = parse_polynomial("42")
+        assert poly == 42
+
+    def test_variable_and_reuse(self):
+        pool = VariablePool()
+        p1, _ = parse_polynomial("a", pool)
+        p2, _ = parse_polynomial("a + a", pool)
+        assert p2 == 2 * p1
+
+    def test_coefficients_and_products(self):
+        poly, pool = parse_polynomial("3*a*b", VariablePool())
+        assert poly.coefficient({pool["a"], pool["b"]}) == 3
+
+    def test_negative_terms(self):
+        poly, pool = parse_polynomial("-a - 2*b + 3", VariablePool())
+        assert poly.coefficient({pool["a"]}) == -1
+        assert poly.coefficient({pool["b"]}) == -2
+        assert poly.constant_term() == 3
+
+    def test_bracketed_names(self):
+        poly, pool = parse_polynomial("2*Out[5] + Out[4]", VariablePool())
+        assert poly.coefficient({pool["Out[5]"]}) == 2
+
+    def test_pool_round_trip(self):
+        pool = VariablePool()
+        poly, _ = parse_polynomial("x*y - 1", pool)
+        names = pool.names()
+        assert poly.to_string(names) == "-1 + x*y"
+
+    @pytest.mark.parametrize("bad", ["a +", "* a", "a b", "3 4", "a ^ 2"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(PolynomialError):
+            parse_polynomial(bad)
+
+    def test_evaluation_round_trip(self):
+        poly, pool = parse_polynomial("a*b - a - b + 1", VariablePool())
+        a, b = pool["a"], pool["b"]
+        # (1-a)(1-b)
+        for av in (0, 1):
+            for bv in (0, 1):
+                assert poly.evaluate({a: av, b: bv}) == (1 - av) * (1 - bv)
