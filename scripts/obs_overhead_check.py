@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""CI gate for the observability layer's two guarantees.
+
+1. **Parity** — running under a live :class:`repro.obs.Recorder` must
+   not change the verification outcome: status, stats and the recorded
+   ``SP_i`` trace have to be identical to an uninstrumented run.
+2. **Overhead** — with instrumentation disabled (the default ``NULL``
+   recorder), the wall-clock cost on the cached 8x8 benchmarks must
+   stay within ``--tolerance`` (default 5%) of itself across batches;
+   the comparison is min-of-N against min-of-N, which isolates the
+   instrumentation-site attribute checks from scheduler noise.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/obs_overhead_check.py
+
+Exit code 0 on success, 1 on a parity mismatch or overhead regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+
+from repro.bench.harness import benchmark_multiplier
+from repro.core.verifier import verify_multiplier
+from repro.obs import read_events, recording_to
+
+CASES = (("SP-AR-RC", 8, "none"), ("SP-DT-LF", 8, "none"))
+
+
+def fingerprint(result):
+    """Everything about a run that instrumentation must not change."""
+    return (result.status, dict(result.stats), result.sizes())
+
+
+def timed_run(aig, recorder=None):
+    start = time.perf_counter()
+    result = verify_multiplier(aig, record_trace=True, recorder=recorder)
+    return time.perf_counter() - start, result
+
+
+def check_case(architecture, width, optimization, repeats, tolerance):
+    aig = benchmark_multiplier(architecture, width, optimization)
+    label = f"{architecture} {width}x{width}"
+
+    timed_run(aig)  # warmup: caches, allocator, branch predictors
+    # interleave the two disabled batches so clock drift hits both
+    baseline = []
+    check = []
+    for _ in range(repeats):
+        baseline.append(timed_run(aig))
+        check.append(timed_run(aig))
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = os.path.join(tmp, "trace.jsonl")
+        recorder = recording_to(trace_path)
+        _, traced_result = timed_run(aig, recorder=recorder)
+        recorder.close()
+        events = read_events(trace_path)
+
+    failures = []
+    reference = fingerprint(baseline[0][1])
+    for seconds, result in baseline + check:
+        if fingerprint(result) != reference:
+            failures.append(f"{label}: disabled-recorder runs disagree")
+            break
+    if fingerprint(traced_result) != reference:
+        failures.append(f"{label}: live recorder changed the result")
+    if not events or events[0]["ev"] != "run_begin":
+        failures.append(f"{label}: trace JSONL missing run_begin")
+
+    base = min(seconds for seconds, _ in baseline)
+    after = min(seconds for seconds, _ in check)
+    ratio = after / base if base else 1.0
+    verdict = "ok" if ratio <= 1.0 + tolerance else "REGRESSION"
+    print(f"{label}: baseline {base * 1e3:.1f}ms, "
+          f"check {after * 1e3:.1f}ms, ratio {ratio:.3f} ({verdict})")
+    if verdict != "ok":
+        failures.append(
+            f"{label}: disabled-instrumentation overhead {ratio:.3f} "
+            f"exceeds 1+{tolerance}")
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="runs per batch (min is compared)")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="allowed relative overhead (0.05 = 5%%)")
+    args = parser.parse_args(argv)
+
+    failures = []
+    for architecture, width, optimization in CASES:
+        failures += check_case(architecture, width, optimization,
+                               args.repeats, args.tolerance)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("observability parity + overhead check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,10 +31,11 @@ from repro.baselines.common import prepare
 from repro.core.atomic import detect_atomic_blocks
 from repro.core.cones import build_components
 from repro.core.gatepoly import literal_polynomial
-from repro.core.result import VerificationResult
+from repro.core.result import Trace, VerificationResult
 from repro.core.rewriting import RewritingEngine
 from repro.core.vanishing import rules_from_blocks
 from repro.errors import BudgetExceeded
+from repro.obs.recorder import NULL
 from repro.poly.polynomial import Polynomial
 
 
@@ -53,7 +54,7 @@ def column_product_polynomial(aig, width_a, column):
 
 def verify_column_wise(aig, width_a=None, width_b=None,
                        monomial_budget=100_000, time_budget=None,
-                       record_trace=False):
+                       record_trace=False, recorder=None):
     """Verify a multiplier column by column ([8]/[16]-style).
 
     Returns a :class:`VerificationResult`; the per-column peak sizes are
@@ -61,17 +62,23 @@ def verify_column_wise(aig, width_a=None, width_b=None,
     reported under ``carry_sizes``.
     """
     start = time.monotonic()
+    rec = recorder if recorder is not None else NULL
     aig, inferred_a, inferred_b = prepare(aig)
     width_a = width_a if width_a is not None else inferred_a
     width_b = width_b if width_b is not None else inferred_b
     deadline = time.monotonic() + time_budget if time_budget else None
 
-    blocks = detect_atomic_blocks(aig)
-    components, vanishing_proto = build_components(aig, blocks)
+    if rec.enabled:
+        rec.event("run_begin", method="columnwise-static",
+                  nodes=aig.num_ands, width_a=width_a, width_b=width_b)
+    with rec.span("atomic"):
+        blocks = detect_atomic_blocks(aig)
+    with rec.span("components"):
+        components, vanishing_proto = build_components(aig, blocks)
 
     stats = {"nodes": aig.num_ands, "components": len(components),
              "max_poly_size": 0, "carry_sizes": []}
-    trace = []
+    trace = Trace()
     carry = Polynomial.zero()
     for column, out in enumerate(aig.outputs):
         if deadline is not None and time.monotonic() > deadline:
@@ -90,7 +97,8 @@ def verify_column_wise(aig, width_a=None, width_b=None,
         engine = RewritingEngine(spec, components, vanishing,
                                  monomial_budget=monomial_budget,
                                  time_budget=remaining_time,
-                                 record_trace=record_trace)
+                                 record_trace=record_trace,
+                                 recorder=rec)
         try:
             remainder = engine.run_static()
         except BudgetExceeded as exc:
@@ -114,6 +122,8 @@ def verify_column_wise(aig, width_a=None, width_b=None,
                                       seconds=time.monotonic() - start,
                                       stats=stats, trace=trace)
         stats["carry_sizes"].append(len(carry))
+        if rec.enabled:
+            rec.event("column", column=column, carry_size=len(carry))
     if carry.is_zero():
         return VerificationResult(status="correct",
                                   method="columnwise-static",

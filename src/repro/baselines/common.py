@@ -19,34 +19,52 @@ from repro.core.result import VerificationResult
 from repro.core.rewriting import RewritingEngine
 from repro.core.spec import multiplier_specification
 from repro.errors import BudgetExceeded
+from repro.obs.recorder import NULL
 
 
 def run_static_verification(aig, width_a, width_b, components, vanishing,
                             method_name, monomial_budget, time_budget,
                             signed=False, record_trace=False,
-                            want_counterexample=False):
+                            want_counterexample=False, recorder=None):
     """Run the shared static engine over prepared components."""
     start = time.monotonic()
-    spec = multiplier_specification(aig, width_a, width_b, signed=signed)
+    rec = recorder if recorder is not None else NULL
+    if rec.enabled:
+        rec.event("run_begin", method=method_name, nodes=aig.num_ands,
+                  width_a=width_a, width_b=width_b, signed=signed)
+    with rec.span("spec"):
+        spec = multiplier_specification(aig, width_a, width_b, signed=signed)
     engine = RewritingEngine(spec, components, vanishing,
                              monomial_budget=monomial_budget,
                              time_budget=time_budget,
-                             record_trace=record_trace)
+                             record_trace=record_trace,
+                             recorder=rec)
     stats = {
         "nodes": aig.num_ands,
         "components": len(components),
         "atomic_blocks": sum(1 for c in components if c.is_atomic),
     }
     try:
-        remainder = engine.run_static()
+        with rec.span("rewrite"):
+            remainder = engine.run_static()
     except BudgetExceeded as exc:
         stats.update(_engine_stats(engine))
         stats["budget_kind"] = exc.kind
+        seconds = time.monotonic() - start
+        if rec.enabled:
+            rec.event("run_end", status="timeout",
+                      seconds=round(seconds, 6), budget_kind=exc.kind,
+                      steps=engine.steps, max_poly_size=engine.max_size)
         return VerificationResult(status="timeout", method=method_name,
-                                  seconds=time.monotonic() - start,
+                                  seconds=seconds,
                                   stats=stats, trace=engine.trace)
     stats.update(_engine_stats(engine))
     seconds = time.monotonic() - start
+    if rec.enabled:
+        rec.event("run_end",
+                  status="correct" if remainder.is_zero() else "buggy",
+                  seconds=round(seconds, 6), steps=engine.steps,
+                  max_poly_size=engine.max_size)
     if remainder.is_zero():
         return VerificationResult(status="correct", method=method_name,
                                   remainder=remainder, seconds=seconds,
@@ -66,6 +84,7 @@ def run_static_verification(aig, width_a, width_b, components, vanishing,
 def _engine_stats(engine):
     return {
         "steps": engine.steps,
+        "attempts": engine.attempt_count,
         "max_poly_size": engine.max_size,
         "vanishing_removed": engine.vanishing.total_removed,
         "compact_hits": engine.compact_hits,

@@ -30,7 +30,7 @@ def node_level_components(aig):
 
 def verify_naive_static(aig, width_a=None, width_b=None, signed=False,
                         monomial_budget=100_000, time_budget=None,
-                        record_trace=False):
+                        record_trace=False, recorder=None):
     """Verify with the node-level static method ([8]/[11]-style)."""
     aig, inferred_a, inferred_b = prepare(aig)
     width_a = width_a if width_a is not None else inferred_a
@@ -39,4 +39,5 @@ def verify_naive_static(aig, width_a=None, width_b=None, signed=False,
     return run_static_verification(
         aig, width_a, width_b, components, VanishingRuleSet(),
         method_name="naive-static", monomial_budget=monomial_budget,
-        time_budget=time_budget, signed=signed, record_trace=record_trace)
+        time_budget=time_budget, signed=signed, record_trace=record_trace,
+        recorder=recorder)

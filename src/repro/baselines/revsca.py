@@ -19,7 +19,7 @@ from repro.core.cones import build_components
 
 def verify_revsca_static(aig, width_a=None, width_b=None, signed=False,
                          monomial_budget=100_000, time_budget=None,
-                         record_trace=False):
+                         record_trace=False, recorder=None):
     """Verify with the RevSCA-style method ([13])."""
     aig, inferred_a, inferred_b = prepare(aig)
     width_a = width_a if width_a is not None else inferred_a
@@ -29,4 +29,5 @@ def verify_revsca_static(aig, width_a=None, width_b=None, signed=False,
     return run_static_verification(
         aig, width_a, width_b, components, vanishing,
         method_name="revsca-static", monomial_budget=monomial_budget,
-        time_budget=time_budget, signed=signed, record_trace=record_trace)
+        time_budget=time_budget, signed=signed, record_trace=record_trace,
+        recorder=recorder)

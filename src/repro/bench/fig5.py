@@ -13,46 +13,78 @@ Run with ``python -m repro.bench.fig5``.
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 
 from repro.bench.harness import (
     bench_config,
     benchmark_multiplier,
+    result_record,
     run_method,
 )
 from repro.bench.render import render_table, render_trace_plot
+from repro.obs.recorder import Recorder
 
 ARCHITECTURE = "SP-DT-LF"
 VARIANTS = ("none", "dc2", "resyn3", "map3")
 
 
-def trace_case(optimization, width=None, config=None):
-    """Collect static and dynamic SP_i traces for one Fig. 5 panel."""
+def trace_case(optimization, width=None, config=None, telemetry=False):
+    """Collect static and dynamic SP_i traces for one Fig. 5 panel.
+
+    With ``telemetry=True`` each method runs under its own
+    :class:`~repro.obs.Recorder` and the result gains a ``records``
+    entry with per-phase timings alongside the trace sizes.
+    """
     config = config or bench_config()
     width = width or config["fig5_size"]
     aig = benchmark_multiplier(ARCHITECTURE, width, optimization)
     traces = {}
     peaks = {}
     status = {}
+    records = {}
     for method, label in (("dyposub", "dynamic"), ("revsca-static", "static")):
+        recorder = Recorder() if telemetry else None
         result = run_method(method, aig, budget=config["budget"],
-                            time_budget=config["time"], record_trace=True)
+                            time_budget=config["time"], record_trace=True,
+                            recorder=recorder)
         traces[label] = result.trace
         peaks[label] = result.stats.get("max_poly_size", 0)
         status[label] = result.status
-    return {"aig": aig, "traces": traces, "peaks": peaks, "status": status,
+        if telemetry:
+            records[label] = result_record(result, recorder)
+    case = {"aig": aig, "traces": traces, "peaks": peaks, "status": status,
             "width": width, "optimization": optimization}
+    if telemetry:
+        case["records"] = records
+    return case
 
 
 def main(argv=None):
+    parser = argparse.ArgumentParser(prog="repro.bench.fig5")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write per-panel traces with per-phase "
+                             "timings as JSON (e.g. BENCH_FIG5.json)")
+    args = parser.parse_args(argv)
     config = bench_config()
     width = config["fig5_size"]
     print(f"# Fig. 5 reproduction: {ARCHITECTURE} {width}x{width} "
           f"(scale={config['scale']})", flush=True)
     summary = []
+    panels = []
     for optimization in VARIANTS:
         print(f"  tracing {optimization}...", file=sys.stderr, flush=True)
-        case = trace_case(optimization, config=config)
+        case = trace_case(optimization, config=config,
+                          telemetry=args.json is not None)
+        if args.json:
+            panels.append({
+                "architecture": ARCHITECTURE,
+                "size": f"{case['width']}x{case['width']}",
+                "optimization": optimization,
+                "nodes": case["aig"].num_ands,
+                "methods": case["records"],
+            })
         label = "-" if optimization == "none" else optimization
         print()
         print(render_trace_plot(
@@ -70,6 +102,11 @@ def main(argv=None):
         ["Optimiz.", "Peak(dynamic)", "Peak(static)", "Ratio",
          "Dynamic", "Static"],
         summary, title="Fig. 5 peak summary"))
+    if args.json:
+        payload = {"bench": "fig5", "config": config, "cases": panels}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}", file=sys.stderr)
     return 0
 
 

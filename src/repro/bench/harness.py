@@ -98,10 +98,32 @@ METHODS = {
 }
 
 
-def run_method(method, aig, budget, time_budget, **kwargs):
+def run_method(method, aig, budget, time_budget, recorder=None, **kwargs):
     """Run one verification method with budgets; returns the result."""
     fn = METHODS[method]
-    return fn(aig, monomial_budget=budget, time_budget=time_budget, **kwargs)
+    return fn(aig, monomial_budget=budget, time_budget=time_budget,
+              recorder=recorder, **kwargs)
+
+
+def result_record(result, recorder=None):
+    """JSON-serializable record of one verification run.
+
+    When ``recorder`` is an enabled :class:`repro.obs.Recorder`, its
+    per-phase wall-clock totals and counters are folded in — this is
+    what the ``--json`` flags of the bench mains write out.
+    """
+    record = {
+        "method": result.method,
+        "status": result.status,
+        "seconds": round(result.seconds, 6),
+        "stats": dict(result.stats),
+        "sizes": result.sizes(),
+    }
+    if recorder is not None and recorder.enabled:
+        summary = recorder.summary()
+        record["phases"] = summary["phases"]
+        record["counters"] = summary["counters"]
+    return record
 
 
 def runtime_cell(result):

@@ -62,12 +62,16 @@ def render_trace_plot(traces, height=18, width=72, log_scale=True,
                       title=None):
     """Plot SP_i-size traces (the paper's Fig. 5) as ASCII art.
 
-    ``traces`` maps label -> list of sizes per rewriting step.  Uses a
-    log y-axis by default because static and dynamic orders differ by
-    orders of magnitude.
+    ``traces`` maps label -> per-step sizes: either a plain list of ints
+    or a structured :class:`repro.core.result.Trace` (anything with a
+    ``sizes()`` method).  Uses a log y-axis by default because static
+    and dynamic orders differ by orders of magnitude.
     """
     import math
 
+    traces = {label: (trace.sizes() if hasattr(trace, "sizes")
+                      else list(trace))
+              for label, trace in traces.items()}
     symbols = "*o+x#@"
     all_points = [v for trace in traces.values() for v in trace if v > 0]
     if not all_points:

@@ -20,15 +20,19 @@ Run with ``python -m repro.bench.table1``.
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 
 from repro.bench.harness import (
     bench_config,
     benchmark_multiplier,
+    result_record,
     run_method,
     runtime_cell,
 )
 from repro.bench.render import render_table
+from repro.obs.recorder import Recorder
 
 # The paper's Table I architecture list (stage abbreviations as in the
 # paper: SP/BP o {AR,WT,DT,BD,OS} o {RC,CK,CL,CU,KS,BK,LF}).
@@ -67,26 +71,50 @@ def table1_cases(config=None):
 
 
 def run_case(architecture, width, optimization, config=None,
-             methods=None):
-    """Run one Table I cell across all methods; returns a result dict."""
+             methods=None, telemetry=False):
+    """Run one Table I cell across all methods; returns a result dict.
+
+    With ``telemetry=True`` every method runs under its own
+    :class:`~repro.obs.Recorder` and the returned dict gains a
+    ``records`` entry of JSON-serializable per-method records with
+    per-phase timings.
+    """
     config = config or bench_config()
     aig = benchmark_multiplier(architecture, width, optimization)
     methods = methods or ("dyposub",) + tuple(m for m, _ in BASELINE_COLUMNS)
     results = {}
+    records = {}
     for method in methods:
-        results[method] = run_method(method, aig,
-                                     budget=config["budget"],
-                                     time_budget=config["time"])
-    return {"aig": aig, "results": results}
+        recorder = Recorder() if telemetry else None
+        result = run_method(method, aig, budget=config["budget"],
+                            time_budget=config["time"], recorder=recorder)
+        results[method] = result
+        if telemetry:
+            records[method] = result_record(result, recorder)
+    case = {"aig": aig, "results": results}
+    if telemetry:
+        case["records"] = records
+    return case
 
 
-def build_rows(config=None, progress=None):
+def build_rows(config=None, progress=None, records=None):
+    """Build the printable rows; with ``records`` (a list), also append
+    one JSON-serializable record per case."""
     config = config or bench_config()
     rows = []
     for architecture, width, optimization in table1_cases(config):
         if progress:
             progress(f"{architecture} {width}x{width} {optimization}")
-        case = run_case(architecture, width, optimization, config)
+        case = run_case(architecture, width, optimization, config,
+                        telemetry=records is not None)
+        if records is not None:
+            records.append({
+                "architecture": architecture,
+                "size": f"{width}x{width}",
+                "optimization": optimization,
+                "nodes": case["aig"].num_ands,
+                "methods": case["records"],
+            })
         ours = case["results"]["dyposub"]
         row = [
             f"{width}x{width}",
@@ -110,14 +138,26 @@ HEADERS = ["Size", "Benchmark", "Optimiz.", "Nodes", "Vanishing",
 
 
 def main(argv=None):
+    parser = argparse.ArgumentParser(prog="repro.bench.table1")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write per-case results with per-phase "
+                             "timings as JSON (e.g. BENCH_TABLE1.json)")
+    args = parser.parse_args(argv)
     config = bench_config()
     print(f"# Table I reproduction (scale={config['scale']}, "
           f"budget={config['budget']} monomials, "
           f"time={config['time']:.0f}s per case)", flush=True)
-    rows = build_rows(config, progress=lambda s: print(f"  running {s}...",
-                                                       file=sys.stderr,
-                                                       flush=True))
+    records = [] if args.json else None
+    rows = build_rows(config, records=records,
+                      progress=lambda s: print(f"  running {s}...",
+                                               file=sys.stderr,
+                                               flush=True))
     print(render_table(HEADERS, rows, title="Table I: optimized multipliers"))
+    if args.json:
+        payload = {"bench": "table1", "config": config, "cases": records}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}", file=sys.stderr)
     return 0
 
 

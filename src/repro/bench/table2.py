@@ -9,16 +9,20 @@ Run with ``python -m repro.bench.table2``.
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 
 from repro.bench.harness import (
     bench_config,
     cached_aig,
+    result_record,
     run_method,
     runtime_cell,
 )
 from repro.bench.render import render_table
 from repro.bench.table1 import BASELINE_COLUMNS
+from repro.obs.recorder import Recorder
 from repro.industrial import designware_like_multiplier, epfl_like_multiplier
 
 
@@ -39,25 +43,39 @@ def industrial_aig(source, width):
     raise ValueError(f"unknown industrial source {source!r}")
 
 
-def run_case(source, width, config=None, methods=None):
+def run_case(source, width, config=None, methods=None, telemetry=False):
     config = config or bench_config()
     aig = industrial_aig(source, width)
     methods = methods or ("dyposub",) + tuple(m for m, _ in BASELINE_COLUMNS)
     results = {}
+    records = {}
     for method in methods:
-        results[method] = run_method(method, aig,
-                                     budget=config["budget"],
-                                     time_budget=config["time"])
-    return {"aig": aig, "results": results}
+        recorder = Recorder() if telemetry else None
+        result = run_method(method, aig, budget=config["budget"],
+                            time_budget=config["time"], recorder=recorder)
+        results[method] = result
+        if telemetry:
+            records[method] = result_record(result, recorder)
+    case = {"aig": aig, "results": results}
+    if telemetry:
+        case["records"] = records
+    return case
 
 
-def build_rows(config=None, progress=None):
+def build_rows(config=None, progress=None, records=None):
     config = config or bench_config()
     rows = []
     for source, width in table2_cases(config):
         if progress:
             progress(f"{source} {width}x{width}")
-        case = run_case(source, width, config)
+        case = run_case(source, width, config, telemetry=records is not None)
+        if records is not None:
+            records.append({
+                "source": source,
+                "size": f"{width}x{width}",
+                "nodes": case["aig"].num_ands,
+                "methods": case["records"],
+            })
         ours = case["results"]["dyposub"]
         row = [source, f"{width}x{width}", case["aig"].num_ands,
                runtime_cell(ours), "n/a"]
@@ -72,14 +90,26 @@ HEADERS = ["Source", "Size", "Nodes", "Ours(s)", "Com.",
 
 
 def main(argv=None):
+    parser = argparse.ArgumentParser(prog="repro.bench.table2")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write per-case results with per-phase "
+                             "timings as JSON (e.g. BENCH_TABLE2.json)")
+    args = parser.parse_args(argv)
     config = bench_config()
     print(f"# Table II reproduction (scale={config['scale']}, "
           f"budget={config['budget']} monomials, "
           f"time={config['time']:.0f}s per case)", flush=True)
-    rows = build_rows(config, progress=lambda s: print(f"  running {s}...",
-                                                       file=sys.stderr,
-                                                       flush=True))
+    records = [] if args.json else None
+    rows = build_rows(config, records=records,
+                      progress=lambda s: print(f"  running {s}...",
+                                               file=sys.stderr,
+                                               flush=True))
     print(render_table(HEADERS, rows, title="Table II: industrial multipliers"))
+    if args.json:
+        payload = {"bench": "table2", "config": config, "cases": records}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}", file=sys.stderr)
     return 0
 
 

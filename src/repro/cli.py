@@ -1,19 +1,26 @@
-"""Command-line interface: generate, optimize and verify multipliers.
+"""Command-line interface: generate, optimize, verify and report.
 
 Mirrors the way the original DyPoSub tool is driven (AIG in, verdict
-out) while also exposing this package's generators and optimizers::
+out) while also exposing this package's generators, optimizers and the
+observability layer::
 
     python -m repro generate SP-DT-LF 16 -o mult.aag
     python -m repro optimize mult.aag --script resyn3 -o mult_opt.aag
     python -m repro verify mult_opt.aag --width-a 16
     python -m repro verify mult.aag --method static --budget 100000
+    python -m repro verify mult.aag --trace-out run.jsonl --profile -v
+    python -m repro report run.jsonl
     python -m repro inject mult.aag --kind gate-type -o buggy.aag
     python -m repro stats mult.aag
+
+``-v``/``-q`` tune the stdlib logging level of the ``repro.*`` logger
+namespace (default WARNING; ``-v`` INFO, ``-vv`` DEBUG, ``-q`` ERROR).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
 from repro.aig.aiger import read_aag, write_aag
@@ -22,28 +29,40 @@ from repro.genmul.faults import FAULT_KINDS, inject_visible_fault
 from repro.genmul.multiplier import generate_multiplier
 from repro.opt.scripts import OPTIMIZATIONS, optimize
 
+log = logging.getLogger("repro.cli")
+
 
 def build_parser():
+    verbosity = argparse.ArgumentParser(add_help=False)
+    verbosity.add_argument("-v", "--verbose", action="count", default=0,
+                           help="more logging (-v INFO, -vv DEBUG)")
+    verbosity.add_argument("-q", "--quiet", action="count", default=0,
+                           help="less logging (errors only)")
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DyPoSub reproduction: SCA verification of integer "
-                    "multipliers")
+                    "multipliers",
+        parents=[verbosity])
     sub = parser.add_subparsers(dest="command", required=True)
 
-    gen = sub.add_parser("generate", help="generate a multiplier AIG")
+    gen = sub.add_parser("generate", help="generate a multiplier AIG",
+                         parents=[verbosity])
     gen.add_argument("architecture", help="e.g. SP-DT-LF")
     gen.add_argument("width", type=int)
     gen.add_argument("--width-b", type=int, default=None)
     gen.add_argument("-o", "--output", default=None,
                      help="AIGER output path (default: stdout)")
 
-    opt = sub.add_parser("optimize", help="run an optimization script")
+    opt = sub.add_parser("optimize", help="run an optimization script",
+                         parents=[verbosity])
     opt.add_argument("input", help="AIGER input path")
     opt.add_argument("--script", default="resyn3",
                      choices=sorted(OPTIMIZATIONS))
     opt.add_argument("-o", "--output", default=None)
 
-    ver = sub.add_parser("verify", help="formally verify a multiplier AIG")
+    ver = sub.add_parser("verify", help="formally verify a multiplier AIG",
+                         parents=[verbosity])
     ver.add_argument("input", help="AIGER input path")
     ver.add_argument("--width-a", type=int, default=None,
                      help="operand-A width (default: half the inputs)")
@@ -56,16 +75,61 @@ def build_parser():
                      help="wall-clock budget in seconds")
     ver.add_argument("--threshold", type=float, default=0.1,
                      help="Algorithm 2 initial growth threshold")
+    ver.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="stream a JSONL event trace to PATH "
+                          "(replay it with `repro report PATH`)")
+    ver.add_argument("--profile", action="store_true",
+                     help="print a per-phase time breakdown after the "
+                          "verdict")
 
-    inj = sub.add_parser("inject", help="inject a fault (for testing)")
+    rep = sub.add_parser("report",
+                         help="rebuild the SP_i curve and backtracking "
+                              "summary from a recorded JSONL trace",
+                         parents=[verbosity])
+    rep.add_argument("trace", help="JSONL trace file written by "
+                                   "`verify --trace-out`")
+    rep.add_argument("--plot-width", type=int, default=72)
+    rep.add_argument("--plot-height", type=int, default=14)
+
+    inj = sub.add_parser("inject", help="inject a fault (for testing)",
+                         parents=[verbosity])
     inj.add_argument("input")
     inj.add_argument("--kind", default="gate-type", choices=FAULT_KINDS)
     inj.add_argument("--seed", type=int, default=0)
     inj.add_argument("-o", "--output", default=None)
 
-    sta = sub.add_parser("stats", help="print AIG statistics")
+    sta = sub.add_parser("stats", help="print AIG statistics",
+                         parents=[verbosity])
     sta.add_argument("input")
     return parser
+
+
+def configure_logging(verbose=0, quiet=0):
+    """Wire the ``repro.*`` logger namespace to stderr.
+
+    Returns the computed level.  Idempotent: re-invocations (e.g. from
+    tests calling :func:`main` repeatedly) adjust the level instead of
+    stacking handlers.
+    """
+    level = logging.WARNING - 10 * verbose + 10 * quiet
+    level = max(logging.DEBUG, min(logging.ERROR, level))
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+        root.addHandler(handler)
+        root.propagate = False
+    else:
+        # re-entry (tests call main() repeatedly): follow the current
+        # sys.stderr instead of the one captured at first attach; direct
+        # assignment, as setStream() would flush the old (maybe closed)
+        # stream
+        for handler in root.handlers:
+            if isinstance(handler, logging.StreamHandler):
+                handler.stream = sys.stderr
+    root.setLevel(level)
+    return level
 
 
 def _emit(aig, output):
@@ -77,39 +141,76 @@ def _emit(aig, output):
         sys.stdout.write(text)
 
 
+def _cmd_verify(args):
+    from repro.obs.recorder import JsonlSink, Recorder
+
+    aig = read_aag(args.input)
+    kwargs = {}
+    if args.budget is not None:
+        kwargs["monomial_budget"] = args.budget
+    recorder = None
+    if args.trace_out or args.profile:
+        sink = JsonlSink(args.trace_out) if args.trace_out else None
+        recorder = Recorder(sink=sink)
+    result = verify_multiplier(
+        aig, width_a=args.width_a, signed=args.signed,
+        method=args.method, time_budget=args.time_budget,
+        initial_threshold=args.threshold, record_trace=recorder is not None,
+        recorder=recorder, **kwargs)
+    print(result.summary())
+    if recorder is not None:
+        recorder.close()
+        if args.trace_out:
+            log.info("wrote %d events to %s",
+                     len(recorder.events), args.trace_out)
+    if args.profile:
+        from repro.obs.report import render_phase_table, summarize_recorder
+
+        summary = summarize_recorder(recorder)
+        print()
+        print("Per-phase breakdown")
+        print("-------------------")
+        print(render_phase_table(summary["phases"]))
+        sizes = summary["sizes"]
+        if sizes:
+            print(f"SP_i: peak {max(sizes)} monomials over "
+                  f"{len(sizes)} steps, "
+                  f"{summary['backtracks']} backtracks, "
+                  f"{summary['threshold_doublings']} threshold doublings")
+    if result.status == "buggy":
+        a = result.stats.get("counterexample_a")
+        b = result.stats.get("counterexample_b")
+        print(f"counterexample: a={a} b={b}")
+        return 1
+    if result.timed_out:
+        return 2
+    return 0
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    configure_logging(args.verbose, args.quiet)
     if args.command == "generate":
         aig = generate_multiplier(args.architecture, args.width,
                                   args.width_b)
         _emit(aig, args.output)
-        print(f"# {aig.name}: {aig.num_ands} AND nodes", file=sys.stderr)
+        log.info("%s: %d AND nodes", aig.name, aig.num_ands)
         return 0
     if args.command == "optimize":
         aig = read_aag(args.input)
         before = aig.num_ands
         optimized = optimize(aig, args.script)
         _emit(optimized, args.output)
-        print(f"# {args.script}: {before} -> {optimized.num_ands} AND nodes",
-              file=sys.stderr)
+        log.info("%s: %d -> %d AND nodes", args.script, before,
+                 optimized.num_ands)
         return 0
     if args.command == "verify":
-        aig = read_aag(args.input)
-        kwargs = {}
-        if args.budget is not None:
-            kwargs["monomial_budget"] = args.budget
-        result = verify_multiplier(
-            aig, width_a=args.width_a, signed=args.signed,
-            method=args.method, time_budget=args.time_budget,
-            initial_threshold=args.threshold, **kwargs)
-        print(result.summary())
-        if result.status == "buggy":
-            a = result.stats.get("counterexample_a")
-            b = result.stats.get("counterexample_b")
-            print(f"counterexample: a={a} b={b}")
-            return 1
-        if result.timed_out:
-            return 2
+        return _cmd_verify(args)
+    if args.command == "report":
+        from repro.obs.report import report_from_file
+
+        print(report_from_file(args.trace, plot_width=args.plot_width,
+                               plot_height=args.plot_height))
         return 0
     if args.command == "inject":
         aig = read_aag(args.input)

@@ -15,7 +15,7 @@ from repro.core.gatepoly import (
     literal_polynomial,
     node_tail_polynomial,
 )
-from repro.core.result import VerificationResult
+from repro.core.result import Trace, TraceStep, VerificationResult
 from repro.core.rewriting import RewritingEngine
 from repro.core.spec import (
     adder_specification,
@@ -38,7 +38,7 @@ __all__ = [
     "counterexample_for", "find_nonzero_assignment",
     "dynamic_backward_rewriting",
     "cone_polynomial", "literal_polynomial", "node_tail_polynomial",
-    "VerificationResult", "RewritingEngine",
+    "VerificationResult", "Trace", "TraceStep", "RewritingEngine",
     "multiplier_specification", "adder_specification",
     "operand_word_polynomial", "output_word_polynomial",
     "VanishingRuleSet", "rules_from_blocks",

@@ -17,6 +17,8 @@ is what the tests and benchmarks measure.
 
 from __future__ import annotations
 
+import logging
+
 from dataclasses import dataclass, field
 
 from repro.aig.cuts import enumerate_cuts
@@ -31,6 +33,8 @@ from repro.aig.truth import (
     cofactor,
     tt_mask,
 )
+
+log = logging.getLogger("repro.core.atomic")
 
 
 def _polarity_table(base_tt, num_vars):
@@ -159,6 +163,12 @@ def detect_atomic_blocks(aig, cuts=None, max_cuts=24):
         chosen.append(blk)
         claimed |= blk.internal
         roots_used.update(blk.output_vars)
+    log.debug("atomic blocks: %d candidates, %d valid, chose %d FA + %d HA "
+              "covering %d/%d AND nodes",
+              len(candidates), len(valid),
+              sum(1 for blk in chosen if blk.kind == "FA"),
+              sum(1 for blk in chosen if blk.kind == "HA"),
+              len(claimed), aig.num_ands)
     return chosen
 
 

@@ -17,11 +17,15 @@ The partition covers every remaining AND node exactly once.
 
 from __future__ import annotations
 
+import logging
+
 from repro.aig.aig import lit_var
 from repro.aig.ops import fanout_map
 from repro.core.components import atomic_block_component, cone_component
 from repro.core.gatepoly import cone_polynomial
 from repro.core.vanishing import rules_from_blocks
+
+log = logging.getLogger("repro.core.cones")
 
 
 def build_components(aig, blocks, vanishing=None):
@@ -103,6 +107,12 @@ def build_components(aig, blocks, vanishing=None):
         kind = "CGC" if converging else "FFC"
         components.append(cone_component(index, kind, root, leaves, poly, cone))
         index += 1
+    log.debug("partition: %d components (%d atomic, %d CGC, %d FFC) "
+              "over %d remaining AND nodes",
+              len(components), len(blocks),
+              sum(1 for c in components if c.kind == "CGC"),
+              sum(1 for c in components if c.kind == "FFC"),
+              len(remaining))
     return components, vanishing
 
 

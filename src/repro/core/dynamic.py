@@ -28,6 +28,7 @@ def dynamic_backward_rewriting(engine, initial_threshold=0.1,
     """
     if initial_threshold <= 0:
         raise VerificationError("threshold must be positive")
+    engine.last_threshold = initial_threshold
     while not engine.finished():
         if not engine.candidates():
             raise VerificationError("component DAG has a dependency cycle")
@@ -62,14 +63,19 @@ def dynamic_backward_rewriting(engine, initial_threshold=0.1,
             if cached is not _TOO_LARGE:
                 growth = (len(cached) - old_size) / old_size
                 if growth < threshold:
-                    engine.commit(index, cached)
+                    engine.commit(index, cached, threshold=threshold)
                     break
+                engine.note_backtrack(index, growth=round(growth, 4),
+                                      threshold=threshold)
+            else:
+                engine.note_backtrack(index, threshold=threshold)
             # restore SP_i (immutable polynomials make this free) and try
             # the next candidate; double the threshold after a full scan
             j += 1
             if j >= len(sorted_candidates):
                 j = 0
                 threshold *= threshold_factor
+                engine.note_threshold(threshold)
                 finite = [idx for idx in sorted_candidates
                           if attempts.get(idx) is not _TOO_LARGE]
                 if not finite:
@@ -82,6 +88,7 @@ def dynamic_backward_rewriting(engine, initial_threshold=0.1,
                     # Once the threshold allows any growth up to the
                     # budget, accept the least-occurrence viable
                     # candidate; the commit enforces the budget itself.
-                    engine.commit(finite[0], attempts[finite[0]])
+                    engine.commit(finite[0], attempts[finite[0]],
+                                  threshold=threshold)
                     break
     return engine.sp

@@ -1,8 +1,79 @@
-"""Verification results and statistics."""
+"""Verification results, structured rewriting traces and statistics."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One committed backward-rewriting substitution.
+
+    ``threshold`` is the Algorithm 2 growth threshold in force when the
+    substitution was accepted; ``None`` for static-order runs and for
+    no-op retirements of components whose outputs no longer occur.
+    """
+
+    step: int
+    component: int
+    kind: str
+    size: int
+    threshold: float = None
+
+    def as_dict(self):
+        record = {"step": self.step, "component": self.component,
+                  "kind": self.kind, "size": self.size}
+        if self.threshold is not None:
+            record["threshold"] = self.threshold
+        return record
+
+
+class Trace:
+    """Sequence of :class:`TraceStep` records for one rewriting run.
+
+    Iterating yields the structured records; :meth:`sizes` gives the
+    flat ``SP_i``-size curve that the Fig. 5 plots and benchmarks
+    consume (the shape of the old ``list[int]`` trace).
+    """
+
+    __slots__ = ("_steps",)
+
+    def __init__(self, steps=()):
+        self._steps = list(steps)
+
+    def append(self, step):
+        self._steps.append(step)
+
+    def extend(self, steps):
+        self._steps.extend(steps)
+
+    def __len__(self):
+        return len(self._steps)
+
+    def __bool__(self):
+        return bool(self._steps)
+
+    def __iter__(self):
+        return iter(self._steps)
+
+    def __getitem__(self, index):
+        return self._steps[index]
+
+    def __eq__(self, other):
+        if isinstance(other, Trace):
+            return self._steps == other._steps
+        return NotImplemented
+
+    def __repr__(self):
+        return f"Trace({len(self._steps)} steps)"
+
+    def sizes(self):
+        """``SP_i`` size after every committed step (Fig. 5 y-values)."""
+        return [record.size for record in self._steps]
+
+    def as_dicts(self):
+        """JSON-ready list of step records."""
+        return [record.as_dict() for record in self._steps]
 
 
 @dataclass
@@ -24,7 +95,7 @@ class VerificationResult:
     counterexample: dict = None
     seconds: float = 0.0
     stats: dict = field(default_factory=dict)
-    trace: list = field(default_factory=list)
+    trace: Trace = field(default_factory=Trace)
 
     @property
     def ok(self):
@@ -34,13 +105,24 @@ class VerificationResult:
     def timed_out(self):
         return self.status == "timeout"
 
+    def sizes(self):
+        """The recorded ``SP_i``-size curve (empty without a trace)."""
+        if hasattr(self.trace, "sizes"):
+            return self.trace.sizes()
+        return list(self.trace)
+
     def summary(self):
         """One-line human-readable summary for logs and examples."""
         core = f"{self.method}: {self.status} in {self.seconds:.2f}s"
         if self.stats:
+            keys = ["nodes", "components", "atomic_blocks",
+                    "vanishing_removed", "max_poly_size", "steps"]
+            if self.timed_out:
+                # a timeout line must say *which* budget tripped and how
+                # far the run got before it did
+                keys += ["budget_kind", "threshold"]
             extras = []
-            for key in ("nodes", "components", "atomic_blocks",
-                        "vanishing_removed", "max_poly_size", "steps"):
+            for key in keys:
                 if key in self.stats:
                     extras.append(f"{key}={self.stats[key]}")
             if extras:

@@ -22,7 +22,9 @@ from __future__ import annotations
 
 import time
 
+from repro.core.result import Trace, TraceStep
 from repro.errors import BudgetExceeded, VerificationError
+from repro.obs.recorder import NULL
 from repro.poly.polynomial import Polynomial
 
 
@@ -41,7 +43,7 @@ class RewritingEngine:
 
     def __init__(self, spec, components, vanishing, monomial_budget=None,
                  time_budget=None, record_trace=False,
-                 record_certificate=False):
+                 record_certificate=False, recorder=None):
         self.vanishing = vanishing
         self.spec = spec
         self.sp = vanishing.apply(spec)
@@ -55,8 +57,13 @@ class RewritingEngine:
         self.hard_cap = 4 * monomial_budget if monomial_budget else None
         self.time_budget = time_budget
         self.record_trace = record_trace
-        self.trace = []
+        self.trace = Trace()
+        self.obs = recorder if recorder is not None else NULL
         self.steps = 0
+        self.attempt_count = 0
+        self.backtracks = 0
+        self.threshold_doublings = 0
+        self.last_threshold = None
         self.compact_hits = 0
         self.compact_misses = 0
         self.max_size = len(self.sp)
@@ -124,20 +131,40 @@ class RewritingEngine:
         comp = self.components[index]
         if index not in self._candidates:
             raise VerificationError(f"component {index} is not a candidate")
+        self.attempt_count += 1
+        before = len(self.sp)
         new_sp = None
-        if comp.compact is not None:
-            new_sp = self._try_compact(comp)
+        compact = False
+        try:
+            if comp.compact is not None:
+                new_sp = self._try_compact(comp)
+                if new_sp is None:
+                    self.compact_misses += 1
+                else:
+                    self.compact_hits += 1
+                    compact = True
             if new_sp is None:
-                self.compact_misses += 1
-            else:
-                self.compact_hits += 1
-        if new_sp is None:
-            new_sp = self.sp
-            # Follow the insertion order of the substitution map: atomic
-            # blocks eliminate the sum (whose linear form references the
-            # carry variable) before the carry.
-            for var, replacement in comp.substitutions.items():
-                new_sp = self._substitute_normalized(new_sp, var, replacement)
+                new_sp = self.sp
+                # Follow the insertion order of the substitution map:
+                # atomic blocks eliminate the sum (whose linear form
+                # references the carry variable) before the carry.
+                for var, replacement in comp.substitutions.items():
+                    new_sp = self._substitute_normalized(new_sp, var,
+                                                         replacement)
+        except AttemptTooLarge:
+            if self.obs.enabled:
+                self.obs.count("rewrite.attempts")
+                self.obs.count("rewrite.attempts_too_large")
+                self.obs.event("attempt", comp=index, kind=comp.kind,
+                               before=before, too_large=True)
+            raise
+        if self.obs.enabled:
+            size = len(new_sp)
+            self.obs.count("rewrite.attempts")
+            self.obs.observe("rewrite.attempt_size", size)
+            self.obs.event("attempt", comp=index, kind=comp.kind,
+                           before=before, size=size, compact=compact,
+                           growth=round((size - before) / max(before, 1), 4))
         return new_sp
 
     def _substitute_normalized(self, sp, var, replacement):
@@ -169,8 +196,12 @@ class RewritingEngine:
                 raise AttemptTooLarge(len(out))
         return Polynomial({m: c for m, c in out.items() if c}, _trusted=True)
 
-    def commit(self, index, new_sp):
-        """Install the result of :meth:`attempt` and retire the component."""
+    def commit(self, index, new_sp, threshold=None):
+        """Install the result of :meth:`attempt` and retire the component.
+
+        ``threshold`` is the dynamic growth threshold in force when the
+        substitution was accepted (``None`` under the static order).
+        """
         if self.record_certificate:
             comp = self.components[index]
             for var, replacement in comp.substitutions.items():
@@ -181,7 +212,16 @@ class RewritingEngine:
         if size > self.max_size:
             self.max_size = size
         if self.record_trace:
-            self.trace.append(size)
+            self.trace.append(TraceStep(
+                step=self.steps, component=index,
+                kind=self.components[index].kind, size=size,
+                threshold=threshold))
+        if self.obs.enabled:
+            self.obs.count("rewrite.commits")
+            self.obs.observe("rewrite.sp_size", size)
+            self.obs.event("step", i=self.steps, comp=index,
+                           kind=self.components[index].kind, size=size,
+                           threshold=threshold)
         self._candidates.discard(index)
         self._done.add(index)
         for producer in self._producers_of[index]:
@@ -258,6 +298,27 @@ class RewritingEngine:
             raise BudgetExceeded(
                 f"time budget of {self.time_budget}s exhausted",
                 kind="time", steps_done=self.steps, max_size=self.max_size)
+
+    # ------------------------------------------------------------------
+    # Algorithm 2 bookkeeping (called by the dynamic order)
+    # ------------------------------------------------------------------
+
+    def note_backtrack(self, index, growth=None, threshold=None):
+        """Record a restore-from-snapshot: a substitution attempt was
+        rejected and ``SP_i`` rolled back (Algorithm 2, Example 7)."""
+        self.backtracks += 1
+        if self.obs.enabled:
+            self.obs.count("rewrite.backtracks")
+            self.obs.event("backtrack", comp=index, growth=growth,
+                           threshold=threshold)
+
+    def note_threshold(self, value):
+        """Record a threshold doubling after a fully rejected scan."""
+        self.threshold_doublings += 1
+        self.last_threshold = value
+        if self.obs.enabled:
+            self.obs.count("rewrite.threshold_doublings")
+            self.obs.event("threshold", value=value)
 
     def check_time(self):
         """Public wall-clock check for use inside candidate loops."""

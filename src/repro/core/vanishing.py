@@ -24,7 +24,11 @@ exploding on non-trivial multipliers.
 
 from __future__ import annotations
 
+import logging
+
 from repro.poly.polynomial import Polynomial
+
+log = logging.getLogger("repro.core.vanishing")
 
 _MAX_REWRITE_DEPTH = 24
 
@@ -264,4 +268,6 @@ def rules_from_blocks(blocks, extended=True):
                 blk.carry_var, blk.carry_negated,
                 blk.sum_var, blk.sum_negated,
                 literal_product_terms(blk.inputs, negations))
+    log.debug("compiled %d pair rules from %d blocks (extended=%s)",
+              len(rules), len(blocks), extended)
     return rules

@@ -18,6 +18,7 @@ the baseline switch used by the benchmark harness (see
 
 from __future__ import annotations
 
+import logging
 import time
 
 from repro.aig.ops import cleanup
@@ -30,9 +31,12 @@ from repro.core.rewriting import RewritingEngine
 from repro.core.spec import multiplier_specification
 from repro.core.vanishing import VanishingRuleSet, rules_from_blocks
 from repro.errors import BudgetExceeded, VerificationError
+from repro.obs.recorder import NULL
 
 
 DEFAULT_MONOMIAL_BUDGET = 5_000_000
+
+log = logging.getLogger("repro.core.verifier")
 
 
 def verify_multiplier(aig, width_a=None, width_b=None, signed=False,
@@ -42,7 +46,8 @@ def verify_multiplier(aig, width_a=None, width_b=None, signed=False,
                       want_counterexample=True, initial_threshold=0.1,
                       use_atomic_blocks=True, use_vanishing=True,
                       use_compact=True, extended_rules=True,
-                      use_implications=True, record_certificate=False):
+                      use_implications=True, record_certificate=False,
+                      recorder=None):
     """Formally verify a multiplier AIG.
 
     ``method`` is ``"dyposub"`` (dynamic backward rewriting) or
@@ -55,10 +60,16 @@ def verify_multiplier(aig, width_a=None, width_b=None, signed=False,
     cancels); pass ``None`` for a truly unbounded run or a small value
     to emulate the paper's time-out column.
 
+    ``recorder`` is an optional :class:`repro.obs.Recorder`; when given,
+    every pipeline phase is timed as a span and the rewriting engine
+    streams per-attempt/per-step events into it.  The default records
+    nothing and leaves the computation bit-identical.
+
     Returns a :class:`VerificationResult`; never raises on timeout —
     budget exhaustion is reported as ``status="timeout"``.
     """
     start = time.monotonic()
+    rec = recorder if recorder is not None else NULL
     if width_a is None:
         if aig.num_inputs % 2:
             raise VerificationError(
@@ -68,15 +79,24 @@ def verify_multiplier(aig, width_a=None, width_b=None, signed=False,
         width_b = aig.num_inputs - width_a
 
     aig = cleanup(aig)
-    spec = multiplier_specification(aig, width_a, width_b, signed=signed)
+    if rec.enabled:
+        rec.event("run_begin", method=method, nodes=aig.num_ands,
+                  width_a=width_a, width_b=width_b, signed=signed)
+    with rec.span("spec"):
+        spec = multiplier_specification(aig, width_a, width_b, signed=signed)
 
-    blocks = detect_atomic_blocks(aig) if (use_atomic_blocks or use_vanishing) else []
-    if use_vanishing:
-        vanishing = rules_from_blocks(blocks, extended=extended_rules)
-    else:
-        vanishing = VanishingRuleSet()
+    with rec.span("atomic"):
+        blocks = (detect_atomic_blocks(aig)
+                  if (use_atomic_blocks or use_vanishing) else [])
+    with rec.span("vanishing"):
+        if use_vanishing:
+            vanishing = rules_from_blocks(blocks, extended=extended_rules)
+        else:
+            vanishing = VanishingRuleSet()
     component_blocks = blocks if use_atomic_blocks else []
-    components, vanishing = build_components(aig, component_blocks, vanishing)
+    with rec.span("components"):
+        components, vanishing = build_components(aig, component_blocks,
+                                                 vanishing)
     if not use_compact:
         for comp in components:
             comp.compact = None
@@ -84,8 +104,12 @@ def verify_multiplier(aig, width_a=None, width_b=None, signed=False,
     if use_vanishing and use_implications:
         from repro.core.implications import add_implication_rules
 
-        implication_rules = add_implication_rules(vanishing, aig, blocks,
-                                                  components)
+        with rec.span("implications"):
+            implication_rules = add_implication_rules(vanishing, aig, blocks,
+                                                      components)
+    log.debug("%s: %d nodes, %d blocks, %d components, %d rules",
+              method, aig.num_ands, len(blocks), len(components),
+              len(vanishing))
 
     stats = {
         "nodes": aig.num_ands,
@@ -104,20 +128,30 @@ def verify_multiplier(aig, width_a=None, width_b=None, signed=False,
                              monomial_budget=monomial_budget,
                              time_budget=time_budget,
                              record_trace=record_trace,
-                             record_certificate=record_certificate)
+                             record_certificate=record_certificate,
+                             recorder=rec)
     try:
-        if method == "dyposub":
-            remainder = dynamic_backward_rewriting(
-                engine, initial_threshold=initial_threshold)
-        elif method == "static":
-            remainder = engine.run_static()
-        else:
-            raise VerificationError(
-                f"unknown method {method!r} (know 'dyposub', 'static')")
+        with rec.span("rewrite"):
+            if method == "dyposub":
+                remainder = dynamic_backward_rewriting(
+                    engine, initial_threshold=initial_threshold)
+            elif method == "static":
+                remainder = engine.run_static()
+            else:
+                raise VerificationError(
+                    f"unknown method {method!r} (know 'dyposub', 'static')")
     except BudgetExceeded as exc:
         seconds = time.monotonic() - start
         stats.update(_engine_stats(engine))
         stats["budget_kind"] = exc.kind
+        if engine.last_threshold is not None:
+            stats["threshold"] = engine.last_threshold
+        if rec.enabled:
+            rec.event("run_end", status="timeout", seconds=round(seconds, 6),
+                      budget_kind=exc.kind, steps=engine.steps,
+                      max_poly_size=engine.max_size)
+        log.info("%s: timeout (%s) after %.2fs, %d steps, peak %d",
+                 method, exc.kind, seconds, engine.steps, engine.max_size)
         return VerificationResult(status="timeout", method=method,
                                   seconds=seconds, stats=stats,
                                   trace=engine.trace)
@@ -135,6 +169,13 @@ def verify_multiplier(aig, width_a=None, width_b=None, signed=False,
     if leftover:
         raise VerificationError(
             f"remainder still references internal variables {sorted(leftover)[:5]}")
+    status = "correct" if remainder.is_zero() else "buggy"
+    if rec.enabled:
+        rec.event("run_end", status=status, seconds=round(seconds, 6),
+                  steps=engine.steps, max_poly_size=engine.max_size)
+    log.info("%s: %s in %.2fs (%d steps, peak %d monomials, "
+             "%d backtracks)", method, status, seconds, engine.steps,
+             engine.max_size, engine.backtracks)
     if remainder.is_zero():
         return VerificationResult(status="correct", method=method,
                                   remainder=remainder, seconds=seconds,
@@ -155,6 +196,9 @@ def verify_multiplier(aig, width_a=None, width_b=None, signed=False,
 def _engine_stats(engine):
     return {
         "steps": engine.steps,
+        "attempts": engine.attempt_count,
+        "backtracks": engine.backtracks,
+        "threshold_doublings": engine.threshold_doublings,
         "max_poly_size": engine.max_size,
         "vanishing_removed": engine.vanishing.total_removed,
         "vanishing_rules": len(engine.vanishing),

@@ -32,7 +32,8 @@ from repro.errors import BudgetExceeded, VerificationError
 
 
 def reduce_specification(aig, spec, method="dyposub", monomial_budget=None,
-                         time_budget=None, record_trace=False):
+                         time_budget=None, record_trace=False,
+                         recorder=None):
     """Reduce ``spec`` by backward rewriting over ``aig``.
 
     Returns ``(remainder, stats, trace)``.  The remainder is the unique
@@ -55,7 +56,8 @@ def reduce_specification(aig, spec, method="dyposub", monomial_budget=None,
     engine = RewritingEngine(spec, components, vanishing,
                              monomial_budget=monomial_budget,
                              time_budget=time_budget,
-                             record_trace=record_trace)
+                             record_trace=record_trace,
+                             recorder=recorder)
     if method == "dyposub":
         remainder = dynamic_backward_rewriting(engine)
     elif method == "static":

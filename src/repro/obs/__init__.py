@@ -1,0 +1,30 @@
+"""Observability: structured tracing, phase metrics and run reports.
+
+See :mod:`repro.obs.recorder` for the recorder interface (spans,
+counters, histograms, JSONL sink) and :mod:`repro.obs.report` for
+rebuilding Fig.-5-style reports from recorded runs.
+"""
+
+from repro.obs.recorder import (
+    NULL,
+    Histogram,
+    JsonlSink,
+    NullRecorder,
+    Recorder,
+    read_events,
+    recording_to,
+)
+from repro.obs.report import (
+    render_phase_table,
+    render_report,
+    report_from_file,
+    summarize_events,
+    summarize_recorder,
+)
+
+__all__ = [
+    "NULL", "NullRecorder", "Recorder", "Histogram", "JsonlSink",
+    "recording_to", "read_events",
+    "summarize_events", "summarize_recorder",
+    "render_report", "render_phase_table", "report_from_file",
+]

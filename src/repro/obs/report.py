@@ -1,0 +1,148 @@
+"""Run reports reconstructed from recorded event streams.
+
+``python -m repro report run.jsonl`` replays the JSONL trace written by
+``python -m repro verify --trace-out run.jsonl`` and rebuilds, without
+re-running the verification:
+
+* the paper's Fig.-5-style curve — ``SP_i`` size at every committed
+  rewriting step (from the ``step`` events);
+* the backtracking summary — restore-from-snapshot rejections and
+  threshold doublings of Algorithm 2 (from ``backtrack`` /
+  ``threshold`` events);
+* the per-phase wall-clock breakdown (from the ``span`` events).
+
+The same machinery renders the live ``--profile`` output from an
+in-memory :class:`~repro.obs.recorder.Recorder`.
+"""
+
+from __future__ import annotations
+
+
+def summarize_events(events):
+    """Fold a list of event dicts into a report-ready summary dict."""
+    summary = {
+        "meta": {},
+        "status": None,
+        "seconds": None,
+        "phases": {},
+        "steps": [],
+        "sizes": [],
+        "thresholds": [],
+        "backtracks": 0,
+        "threshold_doublings": 0,
+        "attempts": 0,
+        "opt_passes": [],
+        "counters": {},
+    }
+    for event in events:
+        kind = event.get("ev")
+        if kind == "run_begin":
+            summary["meta"] = {k: v for k, v in event.items()
+                               if k not in ("ev", "t")}
+        elif kind == "run_end":
+            summary["status"] = event.get("status")
+            summary["seconds"] = event.get("seconds")
+        elif kind == "span":
+            path = event.get("path", event.get("name", "?"))
+            summary["phases"][path] = (summary["phases"].get(path, 0.0)
+                                       + event.get("dur", 0.0))
+        elif kind == "step":
+            summary["steps"].append(event)
+            summary["sizes"].append(event.get("size", 0))
+        elif kind == "attempt":
+            summary["attempts"] += 1
+        elif kind == "backtrack":
+            summary["backtracks"] += 1
+        elif kind == "threshold":
+            summary["threshold_doublings"] += 1
+            summary["thresholds"].append(event.get("value"))
+        elif kind == "opt_pass":
+            summary["opt_passes"].append(event)
+        elif kind == "summary":
+            summary["counters"] = event.get("counters", {})
+            # a recorded summary is authoritative for aggregate phase
+            # timings (span events may have been trimmed)
+            for path, total in event.get("phases", {}).items():
+                summary["phases"].setdefault(path, total)
+    return summary
+
+
+def summarize_recorder(recorder):
+    """Build the same summary directly from a live recorder."""
+    return summarize_events(recorder.events + [
+        {"ev": "summary", **recorder.summary()}])
+
+
+def render_phase_table(phases, total=None):
+    """ASCII table of per-phase wall-clock time."""
+    from repro.bench.render import render_table
+
+    if not phases:
+        return "(no span events recorded)"
+    if total is None:
+        # top-level spans (no dot in the path) partition the run
+        total = sum(dur for path, dur in phases.items() if "." not in path)
+    rows = []
+    for path, dur in sorted(phases.items(), key=lambda kv: -kv[1]):
+        share = f"{100.0 * dur / total:.1f}%" if total else "-"
+        rows.append([path, f"{dur:.4f}", share])
+    return render_table(["phase", "seconds", "share"], rows)
+
+
+def render_report(summary, plot_width=72, plot_height=14):
+    """Human-readable run report (the ``repro report`` output)."""
+    from repro.bench.render import render_table, render_trace_plot
+
+    lines = []
+    meta = summary["meta"]
+    if meta:
+        pairs = ", ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+        lines.append(f"# run: {pairs}")
+    if summary["status"] is not None:
+        seconds = summary["seconds"]
+        timing = f" in {seconds:.2f}s" if seconds is not None else ""
+        lines.append(f"# outcome: {summary['status']}{timing}")
+    sizes = summary["sizes"]
+    if sizes:
+        lines.append("")
+        lines.append(render_trace_plot(
+            {"SP_i": sizes}, width=plot_width, height=plot_height,
+            title="SP_i size per committed rewriting step (Fig. 5)"))
+        lines.append(f"peak SP_i size: {max(sizes)} monomials "
+                     f"over {len(sizes)} steps")
+    else:
+        lines.append("(no step events: run recorded without rewriting "
+                     "instrumentation)")
+    lines.append("")
+    lines.append(render_table(
+        ["metric", "value"],
+        [["substitution attempts", summary["attempts"]],
+         ["committed steps", len(summary["steps"])],
+         ["backtracks (snapshot restores)", summary["backtracks"]],
+         ["threshold doublings", summary["threshold_doublings"]],
+         ["final threshold",
+          summary["thresholds"][-1] if summary["thresholds"] else "-"]],
+        title="Backward-rewriting dynamics"))
+    if summary["opt_passes"]:
+        rows = [[p.get("script", "?"), p.get("pass", "?"),
+                 p.get("before", "-"), p.get("after", "-"),
+                 p.get("after", 0) - p.get("before", 0)]
+                for p in summary["opt_passes"]]
+        lines.append("")
+        lines.append(render_table(
+            ["script", "pass", "nodes before", "nodes after", "delta"],
+            rows, title="Optimization passes"))
+    if summary["phases"]:
+        lines.append("")
+        lines.append("Per-phase wall clock")
+        lines.append("--------------------")
+        lines.append(render_phase_table(summary["phases"]))
+    return "\n".join(lines)
+
+
+def report_from_file(path, plot_width=72, plot_height=14):
+    """Read a JSONL trace and render the full report."""
+    from repro.obs.recorder import read_events
+
+    return render_report(summarize_events(read_events(path)),
+                         plot_width=plot_width, plot_height=plot_height)

@@ -9,62 +9,93 @@ zero-cost variants that restructure without shrinking).
 Every script asserts nothing about the result beyond function
 preservation — which the test suite checks by simulation and the SCA
 verifier proves formally.
+
+Scripts accept an optional ``recorder`` (:mod:`repro.obs`); each pass is
+then timed as a span and its AND-node delta emitted as an ``opt_pass``
+event, so optimization trajectories land in JSONL traces and the
+benchmark JSON output.  The same deltas are logged on the
+``repro.opt`` logger at DEBUG level.
 """
 
 from __future__ import annotations
 
+import logging
+
 from repro.aig.ops import cleanup
+from repro.obs.recorder import NULL
 from repro.opt.balance import balance
 from repro.opt.dce import dce
 from repro.opt.refactor import refactor, rewrite
 
+log = logging.getLogger("repro.opt")
 
-def resyn3(aig):
+
+def _run_pipeline(aig, script_name, passes, recorder=None):
+    """Apply ``passes`` (label, callable) in order with telemetry."""
+    rec = recorder if recorder is not None else NULL
+    aig = cleanup(aig)
+    for label, fn in passes:
+        before = aig.num_ands
+        with rec.span(f"opt.{label}", script=script_name):
+            aig = fn(aig)
+        after = aig.num_ands
+        if rec.enabled:
+            rec.event("opt_pass", script=script_name, **{"pass": label},
+                      before=before, after=after)
+        log.debug("%s/%s: %d -> %d AND nodes (%+d)",
+                  script_name, label, before, after, after - before)
+    return aig
+
+
+def resyn3(aig, recorder=None):
     """Balance / resynthesize pipeline after abc's ``resyn3``:
     ``b; rs; rs -K 6; b; rsz; rsz -K 6; b`` — here realized with this
     package's refactor (structural cuts) and rewrite passes."""
-    aig = cleanup(aig)
-    aig = balance(aig)
-    aig = refactor(aig, k=6)
-    aig = refactor(aig, k=8)
-    aig = balance(aig)
-    aig = refactor(aig, k=6, zero_cost=True)
-    aig = rewrite(aig, zero_cost=True)
-    aig = balance(aig)
-    return dce(aig)
+    return _run_pipeline(aig, "resyn3", (
+        ("balance", balance),
+        ("refactor-k6", lambda g: refactor(g, k=6)),
+        ("refactor-k8", lambda g: refactor(g, k=8)),
+        ("balance2", balance),
+        ("refactor-k6z", lambda g: refactor(g, k=6, zero_cost=True)),
+        ("rewrite-z", lambda g: rewrite(g, zero_cost=True)),
+        ("balance3", balance),
+        ("dce", dce),
+    ), recorder)
 
 
-def dc2(aig):
+def dc2(aig, recorder=None):
     """Heavier pipeline after abc's ``dc2``:
     ``b; rw; rf; b; rw; rwz; b; rfz; rwz; b``."""
-    aig = cleanup(aig)
-    aig = balance(aig)
-    aig = rewrite(aig)
-    aig = refactor(aig, k=8)
-    aig = balance(aig)
-    aig = rewrite(aig)
-    aig = rewrite(aig, zero_cost=True)
-    aig = balance(aig)
-    aig = refactor(aig, k=8, zero_cost=True)
-    aig = rewrite(aig, zero_cost=True)
-    aig = balance(aig)
-    return dce(aig)
+    return _run_pipeline(aig, "dc2", (
+        ("balance", balance),
+        ("rewrite", rewrite),
+        ("refactor-k8", lambda g: refactor(g, k=8)),
+        ("balance2", balance),
+        ("rewrite2", rewrite),
+        ("rewrite-z", lambda g: rewrite(g, zero_cost=True)),
+        ("balance3", balance),
+        ("refactor-k8z", lambda g: refactor(g, k=8, zero_cost=True)),
+        ("rewrite-z2", lambda g: rewrite(g, zero_cost=True)),
+        ("balance4", balance),
+        ("dce", dce),
+    ), recorder)
 
 
-def compress2(aig):
+def compress2(aig, recorder=None):
     """A lighter script (abc's ``compress2`` flavor), provided for
     ablation studies."""
-    aig = cleanup(aig)
-    aig = balance(aig)
-    aig = rewrite(aig)
-    aig = refactor(aig, k=6)
-    aig = balance(aig)
-    aig = rewrite(aig, zero_cost=True)
-    aig = balance(aig)
-    return dce(aig)
+    return _run_pipeline(aig, "compress2", (
+        ("balance", balance),
+        ("rewrite", rewrite),
+        ("refactor-k6", lambda g: refactor(g, k=6)),
+        ("balance2", balance),
+        ("rewrite-z", lambda g: rewrite(g, zero_cost=True)),
+        ("balance3", balance),
+        ("dce", dce),
+    ), recorder)
 
 
-def map3(aig):
+def map3(aig, recorder=None):
     """Technology-mapping round trip onto ≤3-input cells.
 
     Our ISOP/decompose-based ``dc2``/``resyn3`` reimplementations
@@ -77,19 +108,28 @@ def map3(aig):
     """
     from repro.opt.techmap import techmap_roundtrip
 
-    return dce(techmap_roundtrip(cleanup(aig)))
+    return _run_pipeline(aig, "map3", (
+        ("techmap-roundtrip", techmap_roundtrip),
+        ("dce", dce),
+    ), recorder)
 
 
-def xor_reassociate(aig):
+def xor_reassociate(aig, recorder=None):
     """Re-associate XOR trees (kept as a separate named pass so its
     boundary effect can be ablated)."""
     from repro.opt.xor_balance import xor_balance
 
-    return xor_balance(cleanup(aig))
+    return _run_pipeline(aig, "xor", (
+        ("xor-balance", xor_balance),
+    ), recorder)
+
+
+def _identity(aig, recorder=None):
+    return cleanup(aig)
 
 
 OPTIMIZATIONS = {
-    "none": cleanup,
+    "none": _identity,
     "resyn3": resyn3,
     "dc2": dc2,
     "compress2": compress2,
@@ -98,7 +138,7 @@ OPTIMIZATIONS = {
 }
 
 
-def optimize(aig, script):
+def optimize(aig, script, recorder=None):
     """Apply a named optimization script (``none`` is the identity)."""
     try:
         pipeline = OPTIMIZATIONS[script]
@@ -106,4 +146,4 @@ def optimize(aig, script):
         raise ValueError(
             f"unknown optimization {script!r} (know {sorted(OPTIMIZATIONS)})"
         ) from None
-    return pipeline(aig)
+    return pipeline(aig, recorder=recorder)

@@ -80,4 +80,4 @@ class TestBudgets:
     def test_trace_recording(self, mult_4x4_array):
         result = verify_revsca_static(mult_4x4_array, record_trace=True)
         assert result.trace
-        assert max(result.trace) <= result.stats["max_poly_size"]
+        assert max(result.sizes()) <= result.stats["max_poly_size"]

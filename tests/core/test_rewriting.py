@@ -65,7 +65,11 @@ class TestStaticOrder:
         engine = make_engine(record_trace=True)
         engine.run_static()
         assert len(engine.trace) == engine.steps
-        assert max(engine.trace) <= engine.max_size
+        assert max(engine.trace.sizes()) <= engine.max_size
+        # structured records carry the committed component and step index
+        assert [record.step for record in engine.trace] == list(
+            range(1, engine.steps + 1))
+        assert all(record.threshold is None for record in engine.trace)
 
 
 class TestDynamicOrder:

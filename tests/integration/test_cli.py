@@ -61,3 +61,54 @@ class TestCli:
         assert main(["generate", "SP-AR-RC", "2"]) == 0
         out = capsys.readouterr().out
         assert out.startswith("aag ")
+
+
+class TestObservabilityCli:
+    def test_trace_out_writes_valid_jsonl(self, tmp_path, capsys):
+        src = tmp_path / "m.aag"
+        trace = tmp_path / "run.jsonl"
+        main(["generate", "SP-AR-RC", "4", "-o", str(src)])
+        assert main(["verify", str(src), "--trace-out", str(trace)]) == 0
+        from repro.obs import read_events
+
+        events = read_events(str(trace))
+        kinds = [event["ev"] for event in events]
+        assert kinds[0] == "run_begin"
+        assert kinds[-1] == "summary"
+        assert "run_end" in kinds
+        assert "step" in kinds and "span" in kinds
+
+    def test_profile_prints_phase_breakdown(self, tmp_path, capsys):
+        src = tmp_path / "m.aag"
+        main(["generate", "SP-DT-LF", "4", "-o", str(src)])
+        assert main(["verify", str(src), "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-phase breakdown" in out
+        assert "rewrite" in out
+        assert "SP_i: peak" in out
+
+    def test_report_roundtrip(self, tmp_path, capsys):
+        src = tmp_path / "m.aag"
+        trace = tmp_path / "run.jsonl"
+        main(["generate", "SP-DT-LF", "4", "-o", str(src)])
+        main(["verify", str(src), "--trace-out", str(trace)])
+        capsys.readouterr()
+        assert main(["report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "# outcome: correct" in out
+        assert "SP_i size per committed rewriting step" in out
+        assert "Backward-rewriting dynamics" in out
+
+    def test_verbose_logging_goes_to_stderr(self, tmp_path, capsys):
+        src = tmp_path / "m.aag"
+        assert main(["generate", "SP-AR-RC", "4", "-o", str(src),
+                     "-v"]) == 0
+        err = capsys.readouterr().err
+        assert "repro.cli" in err
+        assert "AND nodes" in err
+
+    def test_quiet_suppresses_info(self, tmp_path, capsys):
+        src = tmp_path / "m.aag"
+        assert main(["generate", "SP-AR-RC", "4", "-o", str(src),
+                     "-q"]) == 0
+        assert "repro.cli" not in capsys.readouterr().err

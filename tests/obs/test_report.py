@@ -1,0 +1,107 @@
+"""Tests for repro.obs.report: event folding and report rendering."""
+
+import pytest
+
+from repro.core import verify_multiplier
+from repro.genmul import generate_multiplier
+from repro.obs import (
+    Recorder,
+    read_events,
+    recording_to,
+    render_phase_table,
+    render_report,
+    report_from_file,
+    summarize_events,
+    summarize_recorder,
+)
+from repro.opt.scripts import optimize
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    """One instrumented dynamic verification of an 8x8 Dadda."""
+    aig = generate_multiplier("SP-DT-LF", 8)
+    recorder = Recorder()
+    result = verify_multiplier(aig, record_trace=True, recorder=recorder)
+    return result, recorder
+
+
+class TestSummarize:
+    def test_summary_matches_result(self, traced_run):
+        result, recorder = traced_run
+        summary = summarize_recorder(recorder)
+        assert summary["meta"]["method"] == "dyposub"
+        assert summary["status"] == result.status == "correct"
+        assert summary["sizes"] == result.sizes()
+        assert len(summary["steps"]) == result.stats["steps"]
+        assert summary["attempts"] == result.stats["attempts"]
+        assert summary["backtracks"] == result.stats["backtracks"]
+        assert (summary["threshold_doublings"]
+                == result.stats["threshold_doublings"])
+
+    def test_phases_cover_the_pipeline(self, traced_run):
+        _, recorder = traced_run
+        summary = summarize_recorder(recorder)
+        for phase in ("spec", "atomic", "components", "rewrite"):
+            assert phase in summary["phases"], phase
+            assert summary["phases"][phase] >= 0.0
+
+    def test_summarize_events_equals_file_replay(self, traced_run, tmp_path):
+        _, recorder = traced_run
+        path = tmp_path / "replay.jsonl"
+        sink = recording_to(str(path))
+        for event in recorder.events:
+            sink._emit(event)
+        sink.close()
+        replayed = summarize_events(read_events(str(path)))
+        live = summarize_recorder(recorder)
+        assert replayed["sizes"] == live["sizes"]
+        assert replayed["backtracks"] == live["backtracks"]
+        assert replayed["status"] == live["status"]
+
+    def test_empty_event_list(self):
+        summary = summarize_events([])
+        assert summary["sizes"] == []
+        assert summary["status"] is None
+
+
+class TestRender:
+    def test_report_contains_curve_and_dynamics(self, traced_run):
+        _, recorder = traced_run
+        text = render_report(summarize_recorder(recorder))
+        assert "SP_i size per committed rewriting step" in text
+        assert "Backward-rewriting dynamics" in text
+        assert "backtracks (snapshot restores)" in text
+        assert "Per-phase wall clock" in text
+
+    def test_phase_table_shares_sum_to_100(self, traced_run):
+        _, recorder = traced_run
+        table = render_phase_table(summarize_recorder(recorder)["phases"])
+        shares = [float(line.split()[-1].rstrip("%"))
+                  for line in table.splitlines()
+                  if line.strip().endswith("%")]
+        assert shares, table
+        assert sum(shares) == pytest.approx(100.0, abs=1.0)
+
+    def test_phase_table_without_spans(self):
+        assert "no span events" in render_phase_table({})
+
+    def test_report_from_file(self, tmp_path):
+        aig = generate_multiplier("SP-AR-RC", 4)
+        path = tmp_path / "run.jsonl"
+        recorder = recording_to(str(path))
+        verify_multiplier(aig, record_trace=True, recorder=recorder)
+        recorder.close()
+        text = report_from_file(str(path))
+        assert "# outcome: correct" in text
+        assert "peak SP_i size:" in text
+
+    def test_opt_passes_render(self, tmp_path):
+        recorder = Recorder()
+        optimize(generate_multiplier("SP-AR-RC", 4), "resyn3",
+                 recorder=recorder)
+        summary = summarize_recorder(recorder)
+        assert summary["opt_passes"]
+        text = render_report(summary)
+        assert "Optimization passes" in text
+        assert "resyn3" in text
