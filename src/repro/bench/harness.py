@@ -62,13 +62,49 @@ def cache_dir():
 
 
 def cached_aig(key, builder):
-    """Fetch an AIG from the cache, building and storing it on a miss."""
+    """Fetch an AIG from the cache, building and storing it on a miss.
+
+    The store is a temp-file + atomic rename, so parallel benchmark
+    workers racing on the same key never observe a partially written
+    AIGER file.
+    """
     path = cache_dir() / f"{key}.aag"
     if path.exists():
         return read_aag(str(path))
     aig = cleanup(builder())
-    write_aag(aig, str(path))
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    with open(tmp, "w", encoding="ascii") as handle:
+        handle.write(write_aag(aig))
+    os.replace(tmp, path)
     return aig
+
+
+def parallel_map(worker, items, jobs=1, progress=None, labels=None):
+    """Map ``worker`` over ``items``, returning results in item order.
+
+    With ``jobs > 1`` the items are fanned out to a pool of worker
+    processes (items and results must be picklable; ``worker`` must be
+    a module-level function).  ``progress``, when given with ``labels``,
+    is called with ``labels[i]`` as item ``i`` starts (serial) or
+    completes (parallel — completion is the only ordered event a pool
+    can report).
+    """
+    if jobs <= 1 or len(items) <= 1:
+        out = []
+        for index, item in enumerate(items):
+            if progress is not None and labels is not None:
+                progress(labels[index])
+            out.append(worker(item))
+        return out
+    import multiprocessing
+
+    results = []
+    with multiprocessing.Pool(processes=min(jobs, len(items))) as pool:
+        for index, result in enumerate(pool.imap(worker, items)):
+            if progress is not None and labels is not None:
+                progress(labels[index])
+            results.append(result)
+    return results
 
 
 def benchmark_multiplier(architecture, width, optimization="none"):

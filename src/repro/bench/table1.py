@@ -27,6 +27,7 @@ import sys
 from repro.bench.harness import (
     bench_config,
     benchmark_multiplier,
+    parallel_map,
     result_record,
     run_method,
     runtime_cell,
@@ -97,38 +98,56 @@ def run_case(architecture, width, optimization, config=None,
     return case
 
 
-def build_rows(config=None, progress=None, records=None):
+def _case_worker(job):
+    """Module-level (hence picklable) worker: one Table I cell in, its
+    printable row and optional JSON record out — only plain data crosses
+    the process boundary."""
+    architecture, width, optimization, config, telemetry = job
+    case = run_case(architecture, width, optimization, config,
+                    telemetry=telemetry)
+    record = None
+    if telemetry:
+        record = {
+            "architecture": architecture,
+            "size": f"{width}x{width}",
+            "optimization": optimization,
+            "nodes": case["aig"].num_ands,
+            "methods": case["records"],
+        }
+    ours = case["results"]["dyposub"]
+    row = [
+        f"{width}x{width}",
+        architecture,
+        "-" if optimization == "none" else optimization,
+        case["aig"].num_ands,
+        ours.stats.get("vanishing_removed", 0) if not ours.timed_out else "-",
+        ours.stats.get("max_poly_size", 0),
+        runtime_cell(ours),
+        "n/a",  # commercial tool (closed source)
+    ]
+    for method, _tag in BASELINE_COLUMNS:
+        row.append(runtime_cell(case["results"][method]))
+    return row, record
+
+
+def build_rows(config=None, progress=None, records=None, jobs=1):
     """Build the printable rows; with ``records`` (a list), also append
-    one JSON-serializable record per case."""
+    one JSON-serializable record per case.  ``jobs > 1`` fans the
+    independent cases out to worker processes."""
     config = config or bench_config()
+    cases = table1_cases(config)
+    jobs_args = [(architecture, width, optimization, config,
+                  records is not None)
+                 for architecture, width, optimization in cases]
+    labels = [f"{architecture} {width}x{width} {optimization}"
+              for architecture, width, optimization in cases]
+    pairs = parallel_map(_case_worker, jobs_args, jobs=jobs,
+                         progress=progress, labels=labels)
     rows = []
-    for architecture, width, optimization in table1_cases(config):
-        if progress:
-            progress(f"{architecture} {width}x{width} {optimization}")
-        case = run_case(architecture, width, optimization, config,
-                        telemetry=records is not None)
-        if records is not None:
-            records.append({
-                "architecture": architecture,
-                "size": f"{width}x{width}",
-                "optimization": optimization,
-                "nodes": case["aig"].num_ands,
-                "methods": case["records"],
-            })
-        ours = case["results"]["dyposub"]
-        row = [
-            f"{width}x{width}",
-            architecture,
-            "-" if optimization == "none" else optimization,
-            case["aig"].num_ands,
-            ours.stats.get("vanishing_removed", 0) if not ours.timed_out else "-",
-            ours.stats.get("max_poly_size", 0),
-            runtime_cell(ours),
-            "n/a",  # commercial tool (closed source)
-        ]
-        for method, _tag in BASELINE_COLUMNS:
-            row.append(runtime_cell(case["results"][method]))
+    for row, record in pairs:
         rows.append(row)
+        if records is not None and record is not None:
+            records.append(record)
     return rows
 
 
@@ -142,13 +161,19 @@ def main(argv=None):
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="also write per-case results with per-phase "
                              "timings as JSON (e.g. BENCH_TABLE1.json)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run cases in N parallel worker processes "
+                             "(per-case seconds then contend for cores; "
+                             "use 1 for timing-faithful runs)")
     args = parser.parse_args(argv)
     config = bench_config()
     print(f"# Table I reproduction (scale={config['scale']}, "
           f"budget={config['budget']} monomials, "
-          f"time={config['time']:.0f}s per case)", flush=True)
+          f"time={config['time']:.0f}s per case"
+          + (f", jobs={args.jobs}" if args.jobs > 1 else "") + ")",
+          flush=True)
     records = [] if args.json else None
-    rows = build_rows(config, records=records,
+    rows = build_rows(config, records=records, jobs=args.jobs,
                       progress=lambda s: print(f"  running {s}...",
                                                file=sys.stderr,
                                                flush=True))

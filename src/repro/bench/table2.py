@@ -16,6 +16,7 @@ import sys
 from repro.bench.harness import (
     bench_config,
     cached_aig,
+    parallel_map,
     result_record,
     run_method,
     runtime_cell,
@@ -62,26 +63,40 @@ def run_case(source, width, config=None, methods=None, telemetry=False):
     return case
 
 
-def build_rows(config=None, progress=None, records=None):
+def _case_worker(job):
+    """Module-level (picklable) worker: one Table II cell -> (row,
+    record) of plain data."""
+    source, width, config, telemetry = job
+    case = run_case(source, width, config, telemetry=telemetry)
+    record = None
+    if telemetry:
+        record = {
+            "source": source,
+            "size": f"{width}x{width}",
+            "nodes": case["aig"].num_ands,
+            "methods": case["records"],
+        }
+    ours = case["results"]["dyposub"]
+    row = [source, f"{width}x{width}", case["aig"].num_ands,
+           runtime_cell(ours), "n/a"]
+    for method, _tag in BASELINE_COLUMNS:
+        row.append(runtime_cell(case["results"][method]))
+    return row, record
+
+
+def build_rows(config=None, progress=None, records=None, jobs=1):
     config = config or bench_config()
+    cases = table2_cases(config)
+    jobs_args = [(source, width, config, records is not None)
+                 for source, width in cases]
+    labels = [f"{source} {width}x{width}" for source, width in cases]
+    pairs = parallel_map(_case_worker, jobs_args, jobs=jobs,
+                         progress=progress, labels=labels)
     rows = []
-    for source, width in table2_cases(config):
-        if progress:
-            progress(f"{source} {width}x{width}")
-        case = run_case(source, width, config, telemetry=records is not None)
-        if records is not None:
-            records.append({
-                "source": source,
-                "size": f"{width}x{width}",
-                "nodes": case["aig"].num_ands,
-                "methods": case["records"],
-            })
-        ours = case["results"]["dyposub"]
-        row = [source, f"{width}x{width}", case["aig"].num_ands,
-               runtime_cell(ours), "n/a"]
-        for method, _tag in BASELINE_COLUMNS:
-            row.append(runtime_cell(case["results"][method]))
+    for row, record in pairs:
         rows.append(row)
+        if records is not None and record is not None:
+            records.append(record)
     return rows
 
 
@@ -94,13 +109,19 @@ def main(argv=None):
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="also write per-case results with per-phase "
                              "timings as JSON (e.g. BENCH_TABLE2.json)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run cases in N parallel worker processes "
+                             "(per-case seconds then contend for cores; "
+                             "use 1 for timing-faithful runs)")
     args = parser.parse_args(argv)
     config = bench_config()
     print(f"# Table II reproduction (scale={config['scale']}, "
           f"budget={config['budget']} monomials, "
-          f"time={config['time']:.0f}s per case)", flush=True)
+          f"time={config['time']:.0f}s per case"
+          + (f", jobs={args.jobs}" if args.jobs > 1 else "") + ")",
+          flush=True)
     records = [] if args.json else None
-    rows = build_rows(config, records=records,
+    rows = build_rows(config, records=records, jobs=args.jobs,
                       progress=lambda s: print(f"  running {s}...",
                                                file=sys.stderr,
                                                flush=True))

@@ -61,9 +61,11 @@ def build_parser():
                      choices=sorted(OPTIMIZATIONS))
     opt.add_argument("-o", "--output", default=None)
 
-    ver = sub.add_parser("verify", help="formally verify a multiplier AIG",
+    ver = sub.add_parser("verify", help="formally verify multiplier AIGs",
                          parents=[verbosity])
-    ver.add_argument("input", help="AIGER input path")
+    ver.add_argument("inputs", nargs="+", metavar="input",
+                     help="AIGER input path(s); several paths switch to "
+                          "batch mode with one verdict line per file")
     ver.add_argument("--width-a", type=int, default=None,
                      help="operand-A width (default: half the inputs)")
     ver.add_argument("--signed", action="store_true")
@@ -81,6 +83,12 @@ def build_parser():
     ver.add_argument("--profile", action="store_true",
                      help="print a per-phase time breakdown after the "
                           "verdict")
+    ver.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="batch mode: verify inputs in N parallel "
+                          "worker processes")
+    ver.add_argument("--json", default=None, metavar="PATH",
+                     help="write per-input records (verdict, stats, "
+                          "per-phase timings) as one merged JSON file")
 
     rep = sub.add_parser("report",
                          help="rebuild the SP_i curve and backtracking "
@@ -141,15 +149,81 @@ def _emit(aig, output):
         sys.stdout.write(text)
 
 
+def _verify_kwargs(args):
+    kwargs = {"width_a": args.width_a, "signed": args.signed,
+              "method": args.method, "time_budget": args.time_budget,
+              "initial_threshold": args.threshold}
+    if args.budget is not None:
+        kwargs["monomial_budget"] = args.budget
+    return kwargs
+
+
+def _verify_worker(job):
+    """Module-level (picklable) batch worker: verify one AIG under its
+    own recorder, return only plain data."""
+    from repro.bench.harness import result_record
+    from repro.obs.recorder import Recorder
+
+    path, kwargs = job
+    recorder = Recorder()
+    result = verify_multiplier(read_aag(path), recorder=recorder, **kwargs)
+    record = result_record(result, recorder)
+    record["input"] = path
+    record["summary"] = result.summary()
+    record["timed_out"] = result.timed_out
+    if result.status == "buggy":
+        record["counterexample"] = {
+            "a": result.stats.get("counterexample_a"),
+            "b": result.stats.get("counterexample_b"),
+        }
+    return record
+
+
+def _cmd_verify_batch(args):
+    """Several inputs: one verdict line each, optional merged JSON,
+    optional process-parallel fan-out."""
+    import json
+
+    from repro.bench.harness import parallel_map
+
+    if args.trace_out or args.profile:
+        print("verify: --trace-out/--profile need a single input",
+              file=sys.stderr)
+        return 2
+    kwargs = _verify_kwargs(args)
+    jobs_args = [(path, kwargs) for path in args.inputs]
+    records = parallel_map(_verify_worker, jobs_args, jobs=args.jobs)
+    exit_code = 0
+    for record in records:
+        print(f"{record['input']}: {record['summary']}")
+        if record["status"] == "buggy":
+            cex = record["counterexample"]
+            print(f"  counterexample: a={cex['a']} b={cex['b']}")
+            exit_code = max(exit_code, 1)
+        elif record["timed_out"]:
+            exit_code = max(exit_code, 2)
+    if args.json:
+        payload = {"command": "verify", "inputs": args.inputs,
+                   "records": records}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        log.info("wrote %d records to %s", len(records), args.json)
+    return exit_code
+
+
 def _cmd_verify(args):
+    import json
+
     from repro.obs.recorder import JsonlSink, Recorder
 
-    aig = read_aag(args.input)
+    if len(args.inputs) > 1:
+        return _cmd_verify_batch(args)
+    aig = read_aag(args.inputs[0])
     kwargs = {}
     if args.budget is not None:
         kwargs["monomial_budget"] = args.budget
     recorder = None
-    if args.trace_out or args.profile:
+    if args.trace_out or args.profile or args.json:
         sink = JsonlSink(args.trace_out) if args.trace_out else None
         recorder = Recorder(sink=sink)
     result = verify_multiplier(
@@ -158,6 +232,17 @@ def _cmd_verify(args):
         initial_threshold=args.threshold, record_trace=recorder is not None,
         recorder=recorder, **kwargs)
     print(result.summary())
+    if args.json:
+        from repro.bench.harness import result_record
+
+        record = result_record(result, recorder)
+        record["input"] = args.inputs[0]
+        record["summary"] = result.summary()
+        record["timed_out"] = result.timed_out
+        payload = {"command": "verify", "inputs": args.inputs,
+                   "records": [record]}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
     if recorder is not None:
         recorder.close()
         if args.trace_out:

@@ -121,8 +121,8 @@ def add_implication_rules(rules, aig, blocks, components, cap=128):
         interesting.update(comp.output_vars)
     existing = set()
     for var, partner_list in rules._by_var.items():
-        for partner, _terms in partner_list:
-            existing.add(frozenset((var, partner)))
+        for partner_bit, _pair_mask, _terms in partner_list:
+            existing.add(frozenset((var, partner_bit.bit_length() - 1)))
     added = 0
     for (u, pu), (v, pv) in sorted(derive_zero_pairs(aig, blocks,
                                                      interesting, cap=cap)):

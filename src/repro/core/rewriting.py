@@ -113,8 +113,13 @@ class RewritingEngine:
 
     def occurrence_counts(self):
         """Occurrences of every candidate's outputs in ``SP_i``
-        (Algorithm 2, lines 4-5) in a single scan."""
-        counts = self.sp.occurrence_counts()
+        (Algorithm 2, lines 4-5).
+
+        Reads the polynomial's incremental occurrence index — built once
+        on the initial ``SP_0`` and carried across every commit — so the
+        cost is O(candidates), not a scan of ``SP_i``.
+        """
+        counts = self.sp.occurrence_index()
         result = {}
         for idx in self._candidates:
             comp = self.components[idx]
@@ -178,20 +183,20 @@ class RewritingEngine:
         """
         rules = self.vanishing
         rep_terms = replacement._terms
+        bit = 1 << var
         out = {}
         touched = []
         for mono, coeff in sp._terms.items():
-            if var in mono:
+            if mono & bit:
                 touched.append((mono, coeff))
             else:
                 out[mono] = coeff
         if not touched:
             return sp
         cap = self.hard_cap
+        rep_items = rep_terms.items()
         for mono, coeff in touched:
-            rest = mono - {var}
-            for rep_mono, rep_coeff in rep_terms.items():
-                rules.reduce_into(out, rest | rep_mono, coeff * rep_coeff)
+            rules.reduce_products_into(out, mono ^ bit, rep_items, coeff)
             if cap is not None and len(out) > cap:
                 raise AttemptTooLarge(len(out))
         return Polynomial({m: c for m, c in out.items() if c}, _trusted=True)
@@ -206,6 +211,10 @@ class RewritingEngine:
             comp = self.components[index]
             for var, replacement in comp.substitutions.items():
                 self.certificate_steps.append((var, replacement))
+        # Carry the var->occurrence-count index across the step from the
+        # substitution delta (only changed monomials are decoded), so the
+        # dynamic order's candidate sort stays O(candidates) per step.
+        new_sp.adopt_occurrence_index(self.sp)
         self.sp = new_sp
         self.steps += 1
         size = len(new_sp)
@@ -253,18 +262,20 @@ class RewritingEngine:
         contains ``G`` exactly; returns None when the pattern is absent."""
         g_coeffs, f_poly = comp.compact
         (var_a, coeff_a), (var_b, coeff_b) = sorted(g_coeffs.items())
+        bit_a = 1 << var_a
+        bit_b = 1 << var_b
         part_a = {}
         part_b = {}
         rest = {}
         for mono, coeff in self.sp.terms():
-            in_a = var_a in mono
-            in_b = var_b in mono
+            in_a = mono & bit_a
+            in_b = mono & bit_b
             if in_a and in_b:
                 return None
             if in_a:
-                part_a[mono - {var_a}] = coeff
+                part_a[mono ^ bit_a] = coeff
             elif in_b:
-                part_b[mono - {var_b}] = coeff
+                part_b[mono ^ bit_b] = coeff
             else:
                 rest[mono] = coeff
         if not part_a and not part_b:

@@ -26,11 +26,22 @@ from __future__ import annotations
 
 import logging
 
+from repro.poly.monomial import monomial_from_iterable, monomial_vars
 from repro.poly.polynomial import Polynomial
 
 log = logging.getLogger("repro.core.vanishing")
 
 _MAX_REWRITE_DEPTH = 24
+
+# rep_items describing the single product ``base | 0`` with coefficient 1
+_ONE_PRODUCT = ((0, 1),)
+
+
+def _extra_mask(extra):
+    """Rule right-hand sides accept variable iterables or packed masks."""
+    if isinstance(extra, int):
+        return extra
+    return monomial_from_iterable(extra)
 
 
 class VanishingRuleSet:
@@ -40,19 +51,25 @@ class VanishingRuleSet:
     terms: every monomial ``m ⊇ {a, b}`` is replaced by
     ``sum(coeff * (m - {a, b}) | extra_vars)``.  The empty list deletes
     the monomial (the classic vanishing case).
+
+    Everything is compiled to bitmasks: whether *any* rule can fire on a
+    monomial is one ``&`` against the trigger mask, and firing a rule is
+    two more bitwise ops — this check runs on every monomial the
+    rewriting engine ever creates.
     """
 
-    _MEMO_LIMIT = 300_000
-
     def __init__(self, pairs=()):
-        # var -> list of (partner_var, terms)
+        # var -> list of (partner_bit, pair_mask, terms); terms are
+        # (coeff, extra_mask) pairs
         self._by_var = {}
-        self._trigger_set = frozenset()
+        # the same structures keyed by the trigger var's *bit* (1 << var)
+        # so the hot loop never needs bit_length to index them
+        self._by_low = {}
+        # trigger bit -> union of that var's partner bits, so the rule
+        # scan can skip the rule list with one & when no partner occurs
+        self._union_by_low = {}
+        self._trigger_mask = 0
         self._count = 0
-        # normal-form cache: monomial -> tuple of (monomial, coeff-factor)
-        # plus its removal counters; monomials recur heavily across the
-        # dynamic engine's attempts, so caching pays for itself quickly
-        self._memo = {}
         self.removed = 0
         self.rewritten = 0
         for carry_var, carry_neg, sum_var, sum_neg in pairs:
@@ -61,7 +78,7 @@ class VanishingRuleSet:
     @property
     def trigger_set(self):
         """Variables that can trigger a rule (for fast monomial checks)."""
-        return self._trigger_set
+        return frozenset(monomial_vars(self._trigger_mask))
 
     def __len__(self):
         return self._count
@@ -72,16 +89,24 @@ class VanishingRuleSet:
 
     def add_rule(self, var_a, var_b, terms):
         """Register ``var_a * var_b = sum(coeff * extra_vars)`` (with the
-        pair removed from the monomial before the extras are added)."""
+        pair removed from the monomial before the extras are added).
+        ``extra_vars`` entries may be variable iterables or packed
+        bitmasks."""
         if var_a == var_b:
             raise ValueError("pair rules need two distinct variables")
-        terms = [(coeff, frozenset(extra)) for coeff, extra in terms if coeff]
+        pair_mask = (1 << var_a) | (1 << var_b)
+        terms = [(coeff, _extra_mask(extra)) for coeff, extra in terms
+                 if coeff]
         for coeff, extra in terms:
-            if {var_a, var_b} <= extra:
+            if extra & pair_mask == pair_mask:
                 raise ValueError("rule right-hand side reproduces its trigger")
-        self._by_var.setdefault(var_a, []).append((var_b, terms))
-        self._trigger_set = self._trigger_set | {var_a}
-        self._memo.clear()
+        bit_a = 1 << var_a
+        entry = (1 << var_b, pair_mask, terms)
+        self._by_var.setdefault(var_a, []).append(entry)
+        self._by_low.setdefault(bit_a, []).append(entry)
+        self._union_by_low[bit_a] = (
+            self._union_by_low.get(bit_a, 0) | (1 << var_b))
+        self._trigger_mask |= bit_a
         self._count += 1
 
     def add_ha_product_rule(self, carry_var, carry_neg, sum_var, sum_neg):
@@ -145,13 +170,18 @@ class VanishingRuleSet:
     # ------------------------------------------------------------------
 
     def _violated(self, mono):
-        hits = mono & self._trigger_set
+        hits = mono & self._trigger_mask
         if not hits:
             return None
-        for var in hits:
-            for partner, terms in self._by_var[var]:
-                if partner in mono:
-                    return var, partner, terms
+        by_low = self._by_low
+        union_by_low = self._union_by_low
+        while hits:
+            low = hits & -hits
+            if mono & union_by_low[low]:
+                for partner_bit, pair_mask, terms in by_low[low]:
+                    if mono & partner_bit:
+                        return pair_mask, terms
+            hits ^= low
         return None
 
     def apply(self, poly):
@@ -161,69 +191,89 @@ class VanishingRuleSet:
         if all(self._violated(m) is None for m in poly._terms):
             return poly
         out = {}
-        for mono, coeff in poly.terms():
-            self.reduce_into(out, mono, coeff)
+        self.reduce_products_into(out, 0, poly._terms.items(), 1)
         return Polynomial({m: c for m, c in out.items() if c}, _trusted=True)
 
     def reduce_into(self, out, mono, coeff, depth=0):
-        """Accumulate the normal form of ``coeff * mono`` into ``out``.
-
-        Public so the rewriting engine can normalize freshly created
-        monomials during substitution without re-scanning ``SP_i``.
-        Normal forms are memoized per monomial.
-        """
-        if not (mono & self._trigger_set):
+        """Accumulate the normal form of ``coeff * mono`` into ``out``."""
+        if not (mono & self._trigger_mask):
             out[mono] = out.get(mono, 0) + coeff
             return
-        cached = self._memo.get(mono)
-        if cached is None:
-            local = {}
-            removed_before = self.removed
-            rewritten_before = self.rewritten
-            self._reduce_monomial(mono, 1, local, depth)
-            cached = (tuple(local.items()),
-                      self.removed - removed_before,
-                      self.rewritten - rewritten_before)
-            if len(self._memo) < self._MEMO_LIMIT:
-                self._memo[mono] = cached
-            # counters for the defining computation were already applied
-            terms, _removed, _rewritten = cached
-            for result_mono, factor in terms:
-                value = out.get(result_mono, 0) + coeff * factor
-                if value:
-                    out[result_mono] = value
-                else:
-                    out.pop(result_mono, None)
-            return
-        terms, removed, rewritten = cached
+        self.reduce_products_into(out, mono, _ONE_PRODUCT, coeff,
+                                  depth=depth)
+
+    def reduce_products_into(self, out, base, rep_items, coeff_base,
+                             depth=0):
+        """Accumulate the normal forms of ``coeff_base * rep_coeff *
+        (base | rep_mono)`` into ``out`` for every ``(rep_mono,
+        rep_coeff)`` in ``rep_items``.
+
+        Public so the rewriting engine can normalize all products of one
+        substituted monomial in a single call, without re-scanning
+        ``SP_i``.  Implemented as one explicit-stack loop with the rule
+        scan inlined: this runs on every monomial the engine ever
+        creates, and profiling shows normal forms almost never recur
+        (fresh products differ in some variable), so a memo would be
+        pure overhead — raw per-monomial cost is everything here.
+        """
+        trigger = self._trigger_mask
+        by_low = self._by_low
+        union_by_low = self._union_by_low
+        out_get = out.get
+        removed = 0
+        rewritten = 0
+        stack = []
+        push = stack.append
+        for rep_mono, rep_coeff in rep_items:
+            mono = base | rep_mono
+            if mono & trigger:
+                push((mono, coeff_base * rep_coeff, depth))
+            else:
+                out[mono] = out_get(mono, 0) + coeff_base * rep_coeff
+        while stack:
+            mono, coeff, depth = stack.pop()
+            truncated = depth > _MAX_REWRITE_DEPTH
+            while True:
+                # first violated rule, scanning trigger bits low-to-high
+                # (same order as rule compilation relies on)
+                rule = None
+                if not truncated:
+                    hits = mono & trigger
+                    while hits:
+                        low = hits & -hits
+                        if mono & union_by_low[low]:
+                            for entry in by_low[low]:
+                                if mono & entry[0]:
+                                    rule = entry
+                                    break
+                            if rule is not None:
+                                break
+                        hits ^= low
+                if rule is None:
+                    value = out_get(mono, 0) + coeff
+                    if value:
+                        out[mono] = value
+                    else:
+                        out.pop(mono, None)
+                    break
+                pair_mask = rule[1]
+                terms = rule[2]
+                if not terms:
+                    removed += 1
+                    break
+                rewritten += 1
+                if len(terms) == 1 and terms[0][0] == 1:
+                    # shrinking chain: iterate in place (depth unchanged,
+                    # matching the classic single-rewrite semantics)
+                    mono = (mono & ~pair_mask) | terms[0][1]
+                    continue
+                base = mono & ~pair_mask
+                next_depth = depth + 1
+                for term_coeff, extra in terms:
+                    push((base | extra, coeff * term_coeff, next_depth))
+                break
         self.removed += removed
         self.rewritten += rewritten
-        for result_mono, factor in terms:
-            value = out.get(result_mono, 0) + coeff * factor
-            if value:
-                out[result_mono] = value
-            else:
-                out.pop(result_mono, None)
-
-    def _reduce_monomial(self, mono, coeff, out, depth):
-        while True:
-            rule = None if depth > _MAX_REWRITE_DEPTH else self._violated(mono)
-            if rule is None:
-                out[mono] = out.get(mono, 0) + coeff
-                return
-            var_a, var_b, terms = rule
-            base = mono - {var_a, var_b}
-            if not terms:
-                self.removed += 1
-                return
-            self.rewritten += 1
-            if len(terms) == 1 and terms[0][0] == 1:
-                mono = base | terms[0][1]
-                continue
-            for term_coeff, extra in terms:
-                self._reduce_monomial(base | extra, coeff * term_coeff,
-                                      out, depth + 1)
-            return
 
     def stats(self):
         return {"rules": self._count,
@@ -238,11 +288,11 @@ class VanishingRuleSet:
 
 
 def literal_product_terms(input_vars, input_negations):
-    """Expansion of ``X'*Y'*...`` as ``(coeff, var-set)`` pairs."""
+    """Expansion of ``X'*Y'*...`` as ``(coeff, monomial-mask)`` pairs."""
     product = Polynomial.one()
     for var, neg in zip(input_vars, input_negations):
         product = product * Polynomial.literal(var, neg)
-    return [(coeff, frozenset(mono)) for mono, coeff in product.terms()]
+    return [(coeff, mono) for mono, coeff in product.terms()]
 
 
 def rules_from_blocks(blocks, extended=True):

@@ -10,6 +10,7 @@ from repro.poly.monomial import (
     monomial_from_iterable,
     monomial_key,
     monomial_mul,
+    monomial_vars,
 )
 from repro.poly.polynomial import Polynomial
 from repro.poly.parse import VariablePool, parse_polynomial
@@ -18,5 +19,5 @@ __all__ = [
     "CONST_MONOMIAL", "Polynomial", "VariablePool", "parse_polynomial",
     "monomial", "monomial_from_iterable", "monomial_mul", "monomial_degree",
     "monomial_contains", "monomial_divide_by_var", "monomial_key",
-    "format_monomial",
+    "monomial_vars", "format_monomial",
 ]

@@ -3,27 +3,46 @@
 A monomial is a product of *distinct* Boolean variables: because every
 circuit signal only takes values in ``{0, 1}``, powers collapse
 (``x**2 = x``; in Gröbner-basis terms the field polynomials ``x**2 - x``
-are part of the ideal, see Section II-B of the paper).  We therefore
-represent a monomial as a ``frozenset`` of variable indices; the empty
-set is the constant monomial ``1``.
+are part of the ideal, see Section II-B of the paper).
 
-These helpers are deliberately thin — the rewriting engine manipulates
-raw frozensets for speed — but they centralize construction, ordering
-and printing.
+A monomial is represented as a **packed integer bitmask**: bit ``v`` is
+set iff variable ``v`` divides the monomial, and ``0`` is the constant
+monomial ``1``.  Python's arbitrary-precision integers make this exact
+for any variable index, while turning the hot operations of backward
+rewriting into single machine-level integer ops:
+
+* product (idempotent union)  ``a | b``
+* membership                  ``(m >> v) & 1``
+* removal (division)          ``m & ~(1 << v)``
+* degree                      ``m.bit_count()``
+
+Hashing an int is both faster and cheaper to compare than hashing a
+``frozenset``, which is what makes the dict-of-monomials polynomial
+representation fast (every substitution step is dominated by dict
+probes keyed on monomials).
+
+These helpers centralize construction, decoding, ordering and printing;
+the rewriting engine manipulates raw ints for speed.
 """
 
 from __future__ import annotations
 
-CONST_MONOMIAL = frozenset()
+CONST_MONOMIAL = 0
 
 
 def monomial(*variables):
     """Build a monomial from variable indices (idempotent by construction)."""
-    return frozenset(variables)
+    mask = 0
+    for var in variables:
+        mask |= 1 << var
+    return mask
 
 
 def monomial_from_iterable(variables):
-    return frozenset(variables)
+    mask = 0
+    for var in variables:
+        mask |= 1 << var
+    return mask
 
 
 def monomial_mul(a, b):
@@ -32,22 +51,31 @@ def monomial_mul(a, b):
 
 
 def monomial_degree(m):
-    return len(m)
+    return m.bit_count()
 
 
 def monomial_contains(m, var):
-    return var in m
+    return (m >> var) & 1 == 1
 
 
 def monomial_divide_by_var(m, var):
     """Remove ``var`` from the monomial (it must be present)."""
-    return m - {var}
+    return m & ~(1 << var)
+
+
+def monomial_vars(m):
+    """Decode a bitmask into its variable indices, ascending."""
+    while m:
+        low = m & -m
+        yield low.bit_length() - 1
+        m ^= low
 
 
 def monomial_key(m):
     """A total order usable for deterministic printing: by degree, then
-    by the sorted variable tuple."""
-    return (len(m), tuple(sorted(m)))
+    by the sorted variable tuple (identical to the historical frozenset
+    order, so printed polynomials are unchanged)."""
+    return (m.bit_count(), tuple(monomial_vars(m)))
 
 
 def format_monomial(m, names=None):
@@ -55,5 +83,5 @@ def format_monomial(m, names=None):
     if not m:
         return "1"
     if names is None:
-        return "*".join(f"v{v}" for v in sorted(m))
-    return "*".join(str(names.get(v, f"v{v}")) for v in sorted(m))
+        return "*".join(f"v{v}" for v in monomial_vars(m))
+    return "*".join(str(names.get(v, f"v{v}")) for v in monomial_vars(m))

@@ -6,29 +6,56 @@ coefficients and multilinear monomials (Section II-B).  Python's
 arbitrary-precision integers make the large coefficients of wide
 specification polynomials (``2**255`` for a 128x128 multiplier) exact.
 
+The internal representation is a dict mapping **packed bitmask
+monomials** (see :mod:`repro.poly.monomial`) to non-zero integer
+coefficients: monomial product is ``|``, membership a shift-and-test,
+and dict probes hash a machine int instead of a frozenset.  Construction
+from variable iterables and all decoding helpers are preserved, so code
+outside the kernel treats monomials as opaque keys.
+
 Instances are immutable: every operation returns a new polynomial.  This
 is what makes the snapshot/backtrack step of dynamic backward rewriting
-(Algorithm 2, lines 7 and 15) a constant-time reference copy.
+(Algorithm 2, lines 7 and 15) a constant-time reference copy.  Each
+instance can also carry a lazily-built **occurrence index** (variable ->
+number of monomials containing it); the rewriting engine threads the
+index through substitution steps so Algorithm 2's candidate sort never
+re-scans the whole polynomial.
 """
 
 from __future__ import annotations
 
 from repro.errors import PolynomialError
-from repro.poly.monomial import CONST_MONOMIAL, format_monomial, monomial_key
+from repro.poly.monomial import (
+    CONST_MONOMIAL,
+    format_monomial,
+    monomial_from_iterable,
+    monomial_key,
+    monomial_vars,
+)
+
+
+def _as_mask(monomial):
+    """Coerce a monomial argument: ints are already packed bitmasks,
+    anything else is an iterable of variable indices."""
+    if isinstance(monomial, int):
+        return monomial
+    return monomial_from_iterable(monomial)
 
 
 class Polynomial:
     """An immutable multilinear integer polynomial.
 
-    The internal representation is a dict mapping ``frozenset`` monomials
-    to non-zero integer coefficients.  Use the classmethod constructors;
+    The internal representation is a dict mapping bitmask monomials to
+    non-zero integer coefficients.  Use the classmethod constructors;
     the raw-dict constructor trusts its argument (no zero-coefficient or
-    type checks) and is intended for internal hot paths.
+    type checks, keys must already be bitmasks) and is intended for
+    internal hot paths.
     """
 
-    __slots__ = ("_terms",)
+    __slots__ = ("_terms", "_occ")
 
     def __init__(self, terms=None, _trusted=False):
+        self._occ = None
         if terms is None:
             self._terms = {}
         elif _trusted:
@@ -38,7 +65,7 @@ class Polynomial:
             for mono, coeff in dict(terms).items():
                 if not isinstance(coeff, int):
                     raise PolynomialError(f"non-integer coefficient {coeff!r}")
-                mono = frozenset(mono)
+                mono = _as_mask(mono)
                 if coeff:
                     clean[mono] = clean.get(mono, 0) + coeff
                     if not clean[mono]:
@@ -67,14 +94,15 @@ class Polynomial:
 
     @classmethod
     def variable(cls, var):
-        return cls({frozenset((var,)): 1}, _trusted=True)
+        return cls({1 << var: 1}, _trusted=True)
 
     @classmethod
     def from_terms(cls, terms):
-        """Build from ``(coefficient, variable-iterable)`` pairs."""
+        """Build from ``(coefficient, monomial)`` pairs; a monomial is a
+        variable iterable or an already-packed bitmask."""
         acc = {}
         for coeff, variables in terms:
-            mono = frozenset(variables)
+            mono = _as_mask(variables)
             acc[mono] = acc.get(mono, 0) + coeff
         return cls({m: c for m, c in acc.items() if c}, _trusted=True)
 
@@ -82,7 +110,7 @@ class Polynomial:
     def literal(cls, var, negated):
         """The polynomial of an AIG literal: ``x`` or ``1 - x`` (eq. (1))."""
         if negated:
-            return cls({CONST_MONOMIAL: 1, frozenset((var,)): -1}, _trusted=True)
+            return cls({CONST_MONOMIAL: 1, 1 << var: -1}, _trusted=True)
         return cls.variable(var)
 
     # ------------------------------------------------------------------
@@ -100,42 +128,108 @@ class Polynomial:
         return bool(self._terms)
 
     def terms(self):
-        """Iterate ``(monomial, coefficient)`` pairs (arbitrary order)."""
+        """Iterate ``(monomial, coefficient)`` pairs (arbitrary order).
+
+        Monomials are packed bitmasks; decode with
+        :func:`repro.poly.monomial.monomial_vars` when variable indices
+        are needed.
+        """
         return self._terms.items()
 
     def coefficient(self, monomial):
-        """Coefficient of a monomial (0 when absent)."""
-        return self._terms.get(frozenset(monomial), 0)
+        """Coefficient of a monomial (0 when absent); accepts a variable
+        iterable or a packed bitmask."""
+        return self._terms.get(_as_mask(monomial), 0)
 
     def constant_term(self):
         return self._terms.get(CONST_MONOMIAL, 0)
 
     def support(self):
         """Set of variables occurring in the polynomial."""
-        out = set()
+        if self._occ is not None:
+            return set(self._occ)
+        union = 0
         for mono in self._terms:
-            out |= mono
-        return out
+            union |= mono
+        return set(monomial_vars(union))
 
     def degree(self):
         if not self._terms:
             return 0
-        return max(len(m) for m in self._terms)
+        return max(m.bit_count() for m in self._terms)
+
+    # ------------------------------------------------------------------
+    # Occurrence index
+    # ------------------------------------------------------------------
+
+    def occurrence_index(self):
+        """Variable -> number of monomials containing it.
+
+        Built lazily in one scan and cached; the rewriting engine keeps
+        the index alive across substitution steps with
+        :meth:`adopt_occurrence_index`, so on the hot path this is a
+        dict lookup, not a scan.  The returned dict is the live cache —
+        callers must not mutate it.
+        """
+        occ = self._occ
+        if occ is None:
+            occ = {}
+            get = occ.get
+            for mono in self._terms:
+                while mono:
+                    low = mono & -mono
+                    var = low.bit_length() - 1
+                    occ[var] = get(var, 0) + 1
+                    mono ^= low
+            self._occ = occ
+        return occ
+
+    def adopt_occurrence_index(self, previous):
+        """Derive this polynomial's occurrence index from ``previous``'s.
+
+        ``previous`` is the polynomial this one was produced from by a
+        substitution (or any term-set delta).  Only the monomials that
+        appeared or disappeared are decoded — O(|delta| * degree) plus
+        two C-level key-set differences — instead of re-scanning every
+        monomial.  No-op when this polynomial already has an index.
+        """
+        if self._occ is not None or previous is self:
+            return
+        counts = dict(previous.occurrence_index())
+        old_terms = previous._terms
+        new_terms = self._terms
+        for mono in old_terms.keys() - new_terms.keys():
+            while mono:
+                low = mono & -mono
+                var = low.bit_length() - 1
+                left = counts[var] - 1
+                if left:
+                    counts[var] = left
+                else:
+                    del counts[var]
+                mono ^= low
+        for mono in new_terms.keys() - old_terms.keys():
+            while mono:
+                low = mono & -mono
+                var = low.bit_length() - 1
+                counts[var] = counts.get(var, 0) + 1
+                mono ^= low
+        self._occ = counts
 
     def occurrences(self, var):
         """Number of monomials containing ``var`` (Algorithm 2, line 5)."""
-        return sum(1 for m in self._terms if var in m)
+        return self.occurrence_index().get(var, 0)
 
     def occurrence_counts(self):
-        """Occurrence count for every variable, in one scan."""
-        counts = {}
-        for mono in self._terms:
-            for var in mono:
-                counts[var] = counts.get(var, 0) + 1
-        return counts
+        """Occurrence count for every variable (a defensive copy of the
+        index; prefer :meth:`occurrence_index` on hot paths)."""
+        return dict(self.occurrence_index())
 
     def contains_var(self, var):
-        return any(var in m for m in self._terms)
+        if self._occ is not None:
+            return var in self._occ
+        bit = 1 << var
+        return any(m & bit for m in self._terms)
 
     # ------------------------------------------------------------------
     # Ring operations
@@ -162,10 +256,27 @@ class Polynomial:
         return Polynomial({m: -c for m, c in self._terms.items()}, _trusted=True)
 
     def __sub__(self, other):
-        return self + (-self._coerce(other))
+        # single merge pass — no intermediate negated polynomial
+        other = self._coerce(other)
+        result = dict(self._terms)
+        for mono, coeff in other._terms.items():
+            total = result.get(mono, 0) - coeff
+            if total:
+                result[mono] = total
+            else:
+                result.pop(mono, None)
+        return Polynomial(result, _trusted=True)
 
     def __rsub__(self, other):
-        return self._coerce(other) + (-self)
+        other = self._coerce(other)
+        result = dict(other._terms)
+        for mono, coeff in self._terms.items():
+            total = result.get(mono, 0) - coeff
+            if total:
+                result[mono] = total
+            else:
+                result.pop(mono, None)
+        return Polynomial(result, _trusted=True)
 
     def __mul__(self, other):
         if isinstance(other, int):
@@ -215,12 +326,13 @@ class Polynomial:
         This is a single backward-rewriting step: dividing ``SP_i`` by the
         node polynomial ``x - tail`` is equivalent to substituting ``x``
         with ``tail`` (Section II-B).  Idempotence (``x**2 = x``) is
-        applied automatically through the set-union monomial product.
+        applied automatically through the bitwise-or monomial product.
         """
+        bit = 1 << var
         touched = []
         result = {}
         for mono, coeff in self._terms.items():
-            if var in mono:
+            if mono & bit:
                 touched.append((mono, coeff))
             else:
                 result[mono] = coeff
@@ -229,7 +341,7 @@ class Polynomial:
         rep_terms = replacement._terms if isinstance(replacement, Polynomial) \
             else self._coerce(replacement)._terms
         for mono, coeff in touched:
-            rest = mono - {var}
+            rest = mono ^ bit
             for rm, rc in rep_terms.items():
                 new_mono = rest | rm
                 total = result.get(new_mono, 0) + coeff * rc
@@ -245,19 +357,21 @@ class Polynomial:
         ``mapping`` maps variable -> Polynomial.  Simultaneous semantics:
         replacement polynomials are not re-examined for mapped variables.
         """
+        mapped = 0
+        for var in mapping:
+            mapped |= 1 << var
         result = {}
-        one = Polynomial.one()
         for mono, coeff in self._terms.items():
-            hit_vars = [v for v in mono if v in mapping]
-            if not hit_vars:
+            hit = mono & mapped
+            if not hit:
                 total = result.get(mono, 0) + coeff
                 if total:
                     result[mono] = total
                 else:
                     result.pop(mono, None)
                 continue
-            product = Polynomial({mono - set(hit_vars): coeff}, _trusted=True)
-            for v in hit_vars:
+            product = Polynomial({mono ^ hit: coeff}, _trusted=True)
+            for v in monomial_vars(hit):
                 product = product * mapping[v]
             for pm, pc in product._terms.items():
                 total = result.get(pm, 0) + pc
@@ -282,7 +396,7 @@ class Polynomial:
             if image is None:
                 deleted += 1
                 continue
-            if image is not mono and image != mono:
+            if image != mono:
                 rewritten += 1
             total = result.get(image, 0) + coeff
             if total:
@@ -305,13 +419,16 @@ class Polynomial:
         total = 0
         for mono, coeff in self._terms.items():
             value = coeff
-            for var in mono:
-                bit = assignment[var]
+            while mono:
+                low = mono & -mono
+                bit = assignment[low.bit_length() - 1]
                 if bit not in (0, 1):
-                    raise PolynomialError(f"non-Boolean value {bit!r} for v{var}")
+                    raise PolynomialError(
+                        f"non-Boolean value {bit!r} for v{low.bit_length() - 1}")
                 if not bit:
                     value = 0
                     break
+                mono ^= low
             total += value
         return total
 

@@ -1,0 +1,71 @@
+"""Process-parallel fan-out: ``--jobs N`` must be a pure speed knob.
+
+The host this suite runs on may have a single core, so these tests do
+not assert wall-clock speedups; they assert the property that makes the
+knob safe to use anywhere: fanning work out over ``N`` processes yields
+exactly the same results, in the same order, as the serial path.
+"""
+
+import json
+import re
+
+from repro import cli
+from repro.aig.aiger import write_aag
+from repro.bench.harness import parallel_map
+from repro.genmul.multiplier import generate_multiplier
+
+
+def _square(value):
+    return value * value
+
+
+class TestParallelMap:
+    def test_serial_and_pooled_agree(self):
+        items = list(range(12))
+        serial = parallel_map(_square, items, jobs=1)
+        pooled = parallel_map(_square, items, jobs=3)
+        assert pooled == serial == [v * v for v in items]
+
+    def test_progress_labels_in_order(self):
+        seen = []
+        parallel_map(_square, [1, 2, 3], jobs=2,
+                     progress=seen.append, labels=["a", "b", "c"])
+        assert seen == ["a", "b", "c"]
+
+    def test_single_item_stays_in_process(self):
+        # len(items) <= 1 short-circuits the pool entirely
+        assert parallel_map(_square, [7], jobs=8) == [49]
+
+
+def _strip_timings(record):
+    clean = dict(record)
+    clean.pop("seconds", None)
+    clean.pop("phases", None)
+    clean["summary"] = re.sub(r" in \d+\.\d+s", " in <t>",
+                              clean["summary"])
+    return clean
+
+
+class TestBatchVerifyEquivalence:
+    def test_jobs_do_not_change_records(self, tmp_path, capsys):
+        paths = []
+        for arch in ("SP-AR-RC", "SP-DT-LF"):
+            path = tmp_path / f"{arch}.aag"
+            path.write_text(write_aag(generate_multiplier(arch, 4)),
+                            encoding="ascii")
+            paths.append(str(path))
+
+        payloads = {}
+        for jobs in (1, 2):
+            out = tmp_path / f"jobs{jobs}.json"
+            code = cli.main(["verify", *paths, "--jobs", str(jobs),
+                             "--json", str(out)])
+            assert code == 0
+            payloads[jobs] = json.loads(out.read_text(encoding="utf-8"))
+            capsys.readouterr()
+
+        assert payloads[1]["inputs"] == payloads[2]["inputs"] == paths
+        serial = [_strip_timings(r) for r in payloads[1]["records"]]
+        pooled = [_strip_timings(r) for r in payloads[2]["records"]]
+        assert pooled == serial
+        assert [r["status"] for r in serial] == ["correct", "correct"]

@@ -14,7 +14,8 @@ import pytest
 
 from repro.core import verify_multiplier
 from repro.genmul import generate_multiplier
-from repro.poly import Polynomial, VariablePool, parse_polynomial
+from repro.poly import (Polynomial, VariablePool, monomial_vars,
+                        parse_polynomial)
 
 
 class TestFig1Fig2:
@@ -34,8 +35,11 @@ class TestFig1Fig2:
         spec = multiplier_specification(aig, 2, 2)
         # the input product part contributes exactly 4 monomials with
         # coefficients -1, -2, -2, -4 over input pairs
-        input_part = [(sorted(m), c) for m, c in spec.terms()
-                      if m and m <= set(aig.inputs)]
+        input_vars = [sorted(monomial_vars(m)) for m, _c in spec.terms()]
+        inputs = set(aig.inputs)
+        input_part = [(vs, c)
+                      for vs, (m, c) in zip(input_vars, spec.terms())
+                      if m and set(vs) <= inputs]
         coeffs = sorted(c for _m, c in input_part)
         assert coeffs == [-4, -2, -2, -1]
 

@@ -10,7 +10,7 @@ division step.
 
 from hypothesis import given, settings, strategies as st
 
-from repro.poly import Polynomial
+from repro.poly import Polynomial, monomial_vars
 
 VARS = st.integers(min_value=1, max_value=6)
 MONOMIALS = st.frozensets(VARS, max_size=4)
@@ -126,6 +126,6 @@ def test_print_parse_round_trip(p):
     # map names back: v<k> -> k
     remap = {pool.by_name[name]: int(name[1:]) for name in pool.by_name}
     rebuilt = Polynomial.from_terms(
-        (coeff, frozenset(remap[v] for v in mono))
+        (coeff, frozenset(remap[v] for v in monomial_vars(mono)))
         for mono, coeff in parsed.terms())
     assert rebuilt == p
