@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""CI gate: `repro lint` verdicts over a matrix of generated designs.
+
+Builds a matrix of
+
+* clean generated multipliers (several architectures and optimization
+  scripts) — every one must lint **clean**;
+* fault-injected variants (every kind in
+  :data:`repro.genmul.faults.FAULT_KINDS`) — every one must lint
+  **dirty with an RA032** probe finding;
+* byte-level corrupted AIGER files — every one must fail parsing with a
+  typed ``RA00x`` diagnostic carrying a line number,
+
+then runs the linter through the actual CLI (``repro lint --json``) and
+asserts the expected verdict for each case.  Exit code 0 when the whole
+matrix matches, 1 otherwise.
+
+Run locally with::
+
+    PYTHONPATH=src python scripts/lint_matrix.py
+"""
+
+import json
+import pathlib
+import random
+import subprocess
+import sys
+import tempfile
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.aig.aiger import write_aag                     # noqa: E402
+from repro.genmul.faults import FAULT_KINDS, inject_visible_fault  # noqa: E402
+from repro.genmul.multiplier import generate_multiplier   # noqa: E402
+from repro.opt.scripts import optimize                    # noqa: E402
+
+CLEAN_MATRIX = [
+    ("SP-AR-RC", 4, "none"),
+    ("SP-DT-LF", 4, "none"),
+    ("SP-WT-CL", 5, "none"),
+    ("BP-AR-RC", 4, "none"),
+    ("SP-AR-RC", 4, "resyn3"),
+    ("SP-DT-LF", 4, "dc2"),
+    ("SP-AR-RC", 4, "map3"),
+]
+
+
+def run_lint(paths, json_path):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *map(str, paths),
+         "--json", str(json_path)],
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        capture_output=True, text=True, cwd=str(ROOT))
+    return proc.returncode, json.loads(json_path.read_text())
+
+
+def corrupt(text, seed):
+    rng = random.Random(seed)
+    lines = text.splitlines()
+    mode = rng.choice(["truncate", "garbage", "out-of-range"])
+    if mode == "truncate":
+        lines = lines[:rng.randrange(1, max(2, len(lines) // 2))]
+    elif mode == "garbage":
+        lines[rng.randrange(1, len(lines) // 2)] = "xx yy"
+    else:
+        idx = rng.randrange(1, len(lines) // 2)
+        lines[idx] = " ".join("99999" for _ in lines[idx].split())
+    return "\n".join(lines) + "\n"
+
+
+def main():
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = pathlib.Path(tmp)
+
+        clean_paths = []
+        for arch, width, script in CLEAN_MATRIX:
+            aig = optimize(generate_multiplier(arch, width), script)
+            path = tmp / f"clean_{arch}_{width}_{script}.aag"
+            write_aag(aig, str(path))
+            clean_paths.append(path)
+        code, payload = run_lint(clean_paths, tmp / "clean.json")
+        for report in payload["reports"]:
+            if report["verdict"] != "clean":
+                failures.append(f"expected clean: {report['subject']} -> "
+                                f"{report['diagnostics']}")
+        if code != 0:
+            failures.append(f"clean sweep exited {code}, expected 0")
+
+        dirty_paths = []
+        base = generate_multiplier("SP-AR-RC", 4)
+        for kind in FAULT_KINDS:
+            for seed in (0, 1):
+                buggy = inject_visible_fault(base, kind=kind, seed=seed)
+                path = tmp / f"fault_{kind}_{seed}.aag"
+                write_aag(buggy, str(path))
+                dirty_paths.append(path)
+        clean_text = write_aag(base)
+        for seed in range(4):
+            path = tmp / f"corrupt_{seed}.aag"
+            path.write_text(corrupt(clean_text, seed))
+            dirty_paths.append(path)
+        code, payload = run_lint(dirty_paths, tmp / "dirty.json")
+        for report in payload["reports"]:
+            if report["verdict"] != "dirty":
+                failures.append(f"expected dirty: {report['subject']}")
+                continue
+            codes = {d["code"] for d in report["diagnostics"]}
+            subject = report["subject"]
+            if "fault_" in subject and "RA032" not in codes:
+                failures.append(f"{subject}: fault not flagged RA032 "
+                                f"(got {sorted(codes)})")
+            if "corrupt_" in subject and not any(c.startswith("RA00")
+                                                 for c in codes):
+                failures.append(f"{subject}: corruption not flagged RA00x "
+                                f"(got {sorted(codes)})")
+        if code != 1:
+            failures.append(f"dirty sweep exited {code}, expected 1")
+
+        total = len(clean_paths) + len(dirty_paths)
+
+    if failures:
+        print(f"lint matrix: {len(failures)} FAILURE(S) over {total} designs")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"lint matrix: all {total} designs produced the expected verdict "
+          f"({len(CLEAN_MATRIX)} clean, {total - len(CLEAN_MATRIX)} dirty)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

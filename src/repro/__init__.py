@@ -18,12 +18,15 @@ The package is organized as
 * :mod:`repro.gates` — gate-level netlists over a ≤3-input cell library,
 * :mod:`repro.core` — the paper's contribution: reverse engineering,
   vanishing-monomial removal and dynamic backward rewriting,
+* :mod:`repro.analysis` — static design lint, pipeline invariant
+  checking and the diagnostics framework (``repro lint``),
 * :mod:`repro.baselines` — prior-art static SCA verifiers,
 * :mod:`repro.industrial` — DesignWare/EPFL-like benchmark synthesis,
 * :mod:`repro.bench` — the Table I / Table II / Fig. 5 harness.
 """
 
 from repro.aig import Aig, read_aag, write_aag
+from repro.analysis import DiagnosticReport, lint_design, preflight
 from repro.core import VerificationResult, verify_multiplier
 from repro.genmul import (
     MultiplierSpec,
@@ -43,5 +46,6 @@ __all__ = [
     "inject_visible_fault",
     "optimize", "resyn3", "dc2", "techmap",
     "verify_multiplier", "VerificationResult",
+    "lint_design", "preflight", "DiagnosticReport",
     "__version__",
 ]

@@ -8,7 +8,7 @@ and the comment section are preserved where present.
 from __future__ import annotations
 
 from repro.aig.aig import Aig, lit_var
-from repro.errors import AigError
+from repro.errors import AigFormatError
 
 
 def write_aag(aig, path=None):
@@ -38,32 +38,80 @@ def write_aag(aig, path=None):
 
 
 def read_aag(source):
-    """Parse AIGER ASCII text (or read from a path-like if it exists)."""
+    """Parse AIGER ASCII text (or read from a path-like if it exists).
+
+    Malformed input raises :class:`repro.errors.AigFormatError` with the
+    diagnostic code and the offending 1-based line number in the context:
+    RA001 for header/syntax problems, RA002 for truncated files, RA003
+    for literals that are out of range or undefined, RA004 for invalid
+    definitions (complemented or duplicate left-hand sides).
+    """
     text = source
     if "\n" not in source:
         with open(source, "r", encoding="ascii") as handle:
             text = handle.read()
     lines = [line.strip() for line in text.splitlines()]
     if not lines or not lines[0].startswith("aag "):
-        raise AigError("not an AIGER ASCII file")
+        raise AigFormatError("not an AIGER ASCII file (missing 'aag' magic)",
+                             code="RA001", line=1)
     header = lines[0].split()
     if len(header) != 6:
-        raise AigError(f"malformed header: {lines[0]!r}")
-    _, max_var, num_in, num_latch, num_out, num_and = header
-    max_var, num_in = int(max_var), int(num_in)
-    num_latch, num_out, num_and = int(num_latch), int(num_out), int(num_and)
+        raise AigFormatError(
+            f"malformed header (expected 'aag M I L O A'): {lines[0]!r}",
+            code="RA001", line=1)
+    try:
+        max_var, num_in, num_latch, num_out, num_and = (
+            int(field) for field in header[1:])
+    except ValueError:
+        raise AigFormatError(
+            f"non-integer header field in {lines[0]!r}",
+            code="RA001", line=1) from None
+    if min(max_var, num_in, num_latch, num_out, num_and) < 0:
+        raise AigFormatError(
+            f"negative header field in {lines[0]!r}", code="RA001", line=1)
     if num_latch:
-        raise AigError("latches are not supported (combinational AIGs only)")
+        raise AigFormatError(
+            "latches are not supported (combinational AIGs only)",
+            code="RA001", line=1)
+    if num_in + num_and > max_var:
+        raise AigFormatError(
+            f"header claims {num_in} inputs + {num_and} ANDs but only "
+            f"{max_var} variables", code="RA001", line=1)
 
     body = lines[1:]
-    input_lits = [int(body[i]) for i in range(num_in)]
-    output_lits = [int(body[num_in + i]) for i in range(num_out)]
+    needed = num_in + num_out + num_and
+    if len(body) < needed:
+        raise AigFormatError(
+            f"truncated file: header promises {needed} definition line(s), "
+            f"found {len(body)}", code="RA002", line=len(lines))
+    max_lit = 2 * max_var + 1
+
+    def body_int(index, token):
+        try:
+            value = int(token)
+        except ValueError:
+            raise AigFormatError(
+                f"non-integer literal {token!r}", code="RA001",
+                line=index + 2) from None
+        if not 0 <= value <= max_lit:
+            raise AigFormatError(
+                f"literal {value} out of range (max variable {max_var})",
+                code="RA003", line=index + 2)
+        return value
+
+    input_lits = [body_int(i, body[i]) for i in range(num_in)]
+    output_lits = [body_int(num_in + i, body[num_in + i])
+                   for i in range(num_out)]
     and_rows = []
     for i in range(num_and):
-        parts = body[num_in + num_out + i].split()
+        index = num_in + num_out + i
+        parts = body[index].split()
         if len(parts) != 3:
-            raise AigError(f"malformed AND row: {body[num_in + num_out + i]!r}")
-        and_rows.append(tuple(int(p) for p in parts))
+            raise AigFormatError(
+                f"malformed AND row (expected 'lhs rhs0 rhs1'): "
+                f"{body[index]!r}", code="RA001", line=index + 2)
+        and_rows.append((tuple(body_int(index, p) for p in parts),
+                         index + 2))
 
     aig = Aig()
     # AIGER permits arbitrary variable numbering; build a remap table from
@@ -71,20 +119,32 @@ def read_aag(source):
     old2new = {0: 0}
     for idx, in_lit in enumerate(input_lits):
         if in_lit & 1:
-            raise AigError("complemented input definition")
+            raise AigFormatError(
+                f"complemented input definition {in_lit}",
+                code="RA004", line=idx + 2)
+        if in_lit == 0 or lit_var(in_lit) in old2new:
+            raise AigFormatError(
+                f"input literal {in_lit} redefines a variable",
+                code="RA004", line=idx + 2)
         old2new[lit_var(in_lit)] = aig.add_input()
 
     # AND rows may come in any topological-consistent order; sort by lhs.
-    and_rows.sort(key=lambda row: row[0])
-    for lhs, rhs0, rhs1 in and_rows:
+    and_rows.sort(key=lambda row: row[0][0])
+    for (lhs, rhs0, rhs1), line_no in and_rows:
         if lhs & 1:
-            raise AigError("complemented AND definition")
-        new0 = _remap(old2new, rhs0)
-        new1 = _remap(old2new, rhs1)
+            raise AigFormatError(
+                f"complemented AND definition {lhs}",
+                code="RA004", line=line_no)
+        if lhs == 0 or lit_var(lhs) in old2new:
+            raise AigFormatError(
+                f"AND literal {lhs} redefines a variable",
+                code="RA004", line=line_no)
+        new0 = _remap(old2new, rhs0, line_no)
+        new1 = _remap(old2new, rhs1, line_no)
         old2new[lit_var(lhs)] = aig.add_and(new0, new1)
 
-    for out in output_lits:
-        aig.add_output(_remap(old2new, out))
+    for idx, out in enumerate(output_lits):
+        aig.add_output(_remap(old2new, out, num_in + idx + 2))
 
     # Symbol table.
     sym_start = num_in + num_out + num_and
@@ -99,8 +159,10 @@ def read_aag(source):
     return aig
 
 
-def _remap(old2new, literal):
+def _remap(old2new, literal, line_no):
     var = literal >> 1
     if var not in old2new:
-        raise AigError(f"literal {literal} references undefined variable")
+        raise AigFormatError(
+            f"literal {literal} references undefined variable v{var}",
+            code="RA003", line=line_no)
     return old2new[var] ^ (literal & 1)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.aig.aig import Aig, lit_var, lit_is_negated, FALSE
+from repro.aig.aig import Aig, lit_var
 from repro.errors import AigError
 
 

@@ -1,0 +1,48 @@
+"""Static analysis: design lint, pipeline invariants, diagnostics.
+
+The correctness-tooling layer of the pipeline.  Three parts:
+
+* :mod:`repro.analysis.diagnostics` — a compiler-style diagnostics core:
+  stable error codes (``RA0xx`` structural, ``RP0xx`` pipeline),
+  severities, node/wire/line locations, text rendering and JSON /
+  SARIF-style export;
+* :mod:`repro.analysis.lint` — static analyzers over AIGs and gate
+  netlists plus a cheap random-simulation probe that flags "this is not
+  an n x n multiplier" before any polynomial work starts;
+* :mod:`repro.analysis.invariants` — cross-phase invariant checkers run
+  inside the verifier behind ``--check-invariants``.
+
+``repro lint <design>`` is the CLI entry point; ``repro verify`` and the
+benchmark harness run the structural subset as a pre-flight so broken
+designs are reported and skipped instead of crashing deep inside spec
+construction or backward rewriting.
+"""
+
+from repro.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+    report_from_error,
+)
+from repro.analysis.invariants import (
+    InvariantMonitor,
+    check_component_coverage,
+    check_vanishing_rules,
+)
+from repro.analysis.lint import (
+    lint_aig,
+    lint_design,
+    lint_netlist,
+    preflight,
+    probe_multiplier,
+)
+
+__all__ = [
+    "CODES", "Diagnostic", "DiagnosticReport", "Severity",
+    "report_from_error",
+    "lint_aig", "lint_netlist", "lint_design", "preflight",
+    "probe_multiplier",
+    "InvariantMonitor", "check_component_coverage",
+    "check_vanishing_rules",
+]

@@ -25,8 +25,6 @@ from __future__ import annotations
 
 import time
 
-from repro.aig.aig import lit_is_negated, lit_var
-from repro.aig.ops import cleanup
 from repro.baselines.common import prepare
 from repro.core.atomic import detect_atomic_blocks
 from repro.core.cones import build_components

@@ -13,7 +13,6 @@ from __future__ import annotations
 import time
 
 from repro.aig.ops import cleanup
-from repro.core.cones import build_components
 from repro.core.counterexample import counterexample_for
 from repro.core.result import VerificationResult
 from repro.core.rewriting import RewritingEngine

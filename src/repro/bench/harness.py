@@ -24,7 +24,9 @@ import pathlib
 from repro.aig.aiger import read_aag, write_aag
 from repro.aig.ops import cleanup
 from repro.baselines import BASELINES
+from repro.core.result import VerificationResult
 from repro.core.verifier import verify_multiplier
+from repro.errors import ConfigError, DesignLintError
 from repro.genmul.multiplier import generate_multiplier
 from repro.opt.scripts import optimize
 
@@ -45,7 +47,9 @@ def bench_config():
     """Resolve the benchmark configuration from the environment."""
     scale = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
     if scale not in _SCALES:
-        raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}")
+        raise ConfigError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}",
+            scale=scale)
     config = dict(_SCALES[scale])
     config["scale"] = scale
     if "REPRO_BENCH_BUDGET" in os.environ:
@@ -135,10 +139,23 @@ METHODS = {
 
 
 def run_method(method, aig, budget, time_budget, recorder=None, **kwargs):
-    """Run one verification method with budgets; returns the result."""
+    """Run one verification method with budgets; returns the result.
+
+    A design that fails the verifier's pre-flight lint is reported as
+    ``status="invalid"`` (with the diagnostics in ``stats``) instead of
+    crashing the benchmark sweep — one broken case must not take down a
+    whole table run.
+    """
     fn = METHODS[method]
-    return fn(aig, monomial_budget=budget, time_budget=time_budget,
-              recorder=recorder, **kwargs)
+    try:
+        return fn(aig, monomial_budget=budget, time_budget=time_budget,
+                  recorder=recorder, **kwargs)
+    except DesignLintError as exc:
+        return VerificationResult(
+            status="invalid", method=method,
+            stats={"diagnostics": exc.report.as_dicts()
+                   if exc.report is not None else [],
+                   "error": str(exc)})
 
 
 def result_record(result, recorder=None):
@@ -167,6 +184,8 @@ def runtime_cell(result):
     budget exhaustion)."""
     if result.timed_out:
         return "TO"
+    if result.status == "invalid":
+        return "INVALID"
     if result.status == "buggy":
         return f"BUG({result.seconds:.2f})"
     return f"{result.seconds:.2f}"

@@ -23,6 +23,7 @@ from repro.bench.harness import (
 )
 from repro.bench.render import render_table
 from repro.bench.table1 import BASELINE_COLUMNS
+from repro.errors import ConfigError
 from repro.obs.recorder import Recorder
 from repro.industrial import designware_like_multiplier, epfl_like_multiplier
 
@@ -41,7 +42,8 @@ def industrial_aig(source, width):
     if source == "EPFL-like":
         return cached_aig(f"epfl_{width}x{width}",
                           lambda: epfl_like_multiplier(width))
-    raise ValueError(f"unknown industrial source {source!r}")
+    raise ConfigError(f"unknown industrial source {source!r}",
+                      source=source)
 
 
 def run_case(source, width, config=None, methods=None, telemetry=False):

@@ -9,9 +9,15 @@ observability layer::
     python -m repro verify mult_opt.aag --width-a 16
     python -m repro verify mult.aag --method static --budget 100000
     python -m repro verify mult.aag --trace-out run.jsonl --profile -v
+    python -m repro verify mult.aag --check-invariants
+    python -m repro lint mult.aag --json findings.json
     python -m repro report run.jsonl
     python -m repro inject mult.aag --kind gate-type -o buggy.aag
     python -m repro stats mult.aag
+
+Exit codes of ``verify``: 0 correct, 1 buggy, 2 timeout, 3 the design
+failed pre-flight lint.  ``lint`` exits 0 when every input is clean and
+1 when any has findings (errors or warnings).
 
 ``-v``/``-q`` tune the stdlib logging level of the ``repro.*`` logger
 namespace (default WARNING; ``-v`` INFO, ``-vv`` DEBUG, ``-q`` ERROR).
@@ -89,6 +95,30 @@ def build_parser():
     ver.add_argument("--json", default=None, metavar="PATH",
                      help="write per-input records (verdict, stats, "
                           "per-phase timings) as one merged JSON file")
+    ver.add_argument("--check-invariants", action="store_true",
+                     help="validate the pipeline's own invariants while "
+                          "verifying (coverage, rule table, substitution "
+                          "order, SP_i signatures)")
+    ver.add_argument("--no-preflight", action="store_true",
+                     help="skip the structural pre-flight lint")
+
+    lnt = sub.add_parser("lint",
+                         help="static analysis: lint multiplier AIGs "
+                              "without verifying them",
+                         parents=[verbosity])
+    lnt.add_argument("inputs", nargs="+", metavar="input",
+                     help="AIGER input path(s)")
+    lnt.add_argument("--width-a", type=int, default=None,
+                     help="operand-A width (default: inferred from port "
+                          "names or an even input split)")
+    lnt.add_argument("--no-probe", action="store_true",
+                     help="skip the random-simulation multiplier probe")
+    lnt.add_argument("--seed", type=int, default=0,
+                     help="probe PRNG seed")
+    lnt.add_argument("--json", default=None, metavar="PATH",
+                     help="write the merged reports as JSON")
+    lnt.add_argument("--sarif", default=None, metavar="PATH",
+                     help="write the findings as a SARIF 2.1.0 document")
 
     rep = sub.add_parser("report",
                          help="rebuild the SP_i curve and backtracking "
@@ -152,7 +182,9 @@ def _emit(aig, output):
 def _verify_kwargs(args):
     kwargs = {"width_a": args.width_a, "signed": args.signed,
               "method": args.method, "time_budget": args.time_budget,
-              "initial_threshold": args.threshold}
+              "initial_threshold": args.threshold,
+              "check_invariants": args.check_invariants,
+              "preflight": not args.no_preflight}
     if args.budget is not None:
         kwargs["monomial_budget"] = args.budget
     return kwargs
@@ -160,13 +192,29 @@ def _verify_kwargs(args):
 
 def _verify_worker(job):
     """Module-level (picklable) batch worker: verify one AIG under its
-    own recorder, return only plain data."""
+    own recorder, return only plain data.
+
+    An input that fails pre-flight lint is reported as an ``invalid``
+    record (with its diagnostics) instead of crashing the batch.
+    """
     from repro.bench.harness import result_record
+    from repro.errors import DesignLintError, ReproError
     from repro.obs.recorder import Recorder
 
     path, kwargs = job
     recorder = Recorder()
-    result = verify_multiplier(read_aag(path), recorder=recorder, **kwargs)
+    try:
+        aig = read_aag(path)
+        result = verify_multiplier(aig, recorder=recorder, **kwargs)
+    except DesignLintError as exc:
+        report = exc.report
+        return {"input": path, "status": "invalid", "timed_out": False,
+                "summary": f"invalid: {exc}",
+                "diagnostics": report.as_dicts() if report else []}
+    except ReproError as exc:
+        return {"input": path, "status": "invalid", "timed_out": False,
+                "summary": f"invalid: {exc}",
+                "diagnostics": [exc.as_dict()]}
     record = result_record(result, recorder)
     record["input"] = path
     record["summary"] = result.summary()
@@ -202,6 +250,12 @@ def _cmd_verify_batch(args):
             exit_code = max(exit_code, 1)
         elif record["timed_out"]:
             exit_code = max(exit_code, 2)
+        elif record["status"] == "invalid":
+            for diag in record.get("diagnostics", []):
+                print(f"  {diag.get('code', '?')} "
+                      f"{diag.get('severity', 'error')}: "
+                      f"{diag.get('message', '')}")
+            exit_code = max(exit_code, 3)
     if args.json:
         payload = {"command": "verify", "inputs": args.inputs,
                    "records": records}
@@ -216,9 +270,18 @@ def _cmd_verify(args):
 
     from repro.obs.recorder import JsonlSink, Recorder
 
+    from repro.errors import DesignLintError, ReproError
+
     if len(args.inputs) > 1:
         return _cmd_verify_batch(args)
-    aig = read_aag(args.inputs[0])
+    try:
+        aig = read_aag(args.inputs[0])
+    except ReproError as exc:
+        from repro.analysis import report_from_error
+
+        print(report_from_error(exc, subject=args.inputs[0]).render(),
+              file=sys.stderr)
+        return 3
     kwargs = {}
     if args.budget is not None:
         kwargs["monomial_budget"] = args.budget
@@ -226,11 +289,24 @@ def _cmd_verify(args):
     if args.trace_out or args.profile or args.json:
         sink = JsonlSink(args.trace_out) if args.trace_out else None
         recorder = Recorder(sink=sink)
-    result = verify_multiplier(
-        aig, width_a=args.width_a, signed=args.signed,
-        method=args.method, time_budget=args.time_budget,
-        initial_threshold=args.threshold, record_trace=recorder is not None,
-        recorder=recorder, **kwargs)
+    try:
+        result = verify_multiplier(
+            aig, width_a=args.width_a, signed=args.signed,
+            method=args.method, time_budget=args.time_budget,
+            initial_threshold=args.threshold,
+            record_trace=recorder is not None,
+            check_invariants=args.check_invariants,
+            preflight=not args.no_preflight,
+            recorder=recorder, **kwargs)
+    except DesignLintError as exc:
+        if exc.report is not None:
+            exc.report.subject = exc.report.subject or args.inputs[0]
+            print(exc.report.render(), file=sys.stderr)
+        else:
+            print(f"verify: {exc}", file=sys.stderr)
+        if recorder is not None:
+            recorder.close()
+        return 3
     print(result.summary())
     if args.json:
         from repro.bench.harness import result_record
@@ -272,6 +348,45 @@ def _cmd_verify(args):
     return 0
 
 
+def _cmd_lint(args):
+    """Lint one or more designs; exit 0 when all are clean."""
+    import json
+
+    from repro.analysis import lint_design, report_from_error
+    from repro.errors import ReproError
+
+    reports = []
+    for path in args.inputs:
+        try:
+            aig = read_aag(path)
+        except ReproError as exc:
+            report = report_from_error(exc, subject=path)
+        else:
+            report = lint_design(aig, width_a=args.width_a,
+                                 probe=not args.no_probe, seed=args.seed)
+            report.subject = path
+        reports.append(report)
+        print(report.render())
+    if args.json:
+        payload = {"command": "lint",
+                   "reports": [report.as_dict() for report in reports]}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        log.info("wrote %d report(s) to %s", len(reports), args.json)
+    if args.sarif:
+        merged = reports[0] if len(reports) == 1 else None
+        if merged is None:
+            from repro.analysis import DiagnosticReport
+
+            merged = DiagnosticReport(subject="batch")
+            for report in reports:
+                merged.extend(report)
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            json.dump(merged.to_sarif(), handle, indent=2)
+        log.info("wrote SARIF to %s", args.sarif)
+    return 0 if all(report.clean for report in reports) else 1
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     configure_logging(args.verbose, args.quiet)
@@ -291,6 +406,8 @@ def main(argv=None):
         return 0
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "report":
         from repro.obs.report import report_from_file
 

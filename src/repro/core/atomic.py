@@ -219,3 +219,30 @@ def ha_pairs(blocks):
     material of the vanishing-monomial rules."""
     return [(blk.carry_var, blk.carry_negated, blk.sum_var, blk.sum_negated)
             for blk in blocks if blk.kind == "HA"]
+
+
+def block_coverage(aig, blocks):
+    """Atomic-block coverage statistics, validating disjointness.
+
+    Returns ``{"blocks", "covered", "ands", "fraction"}``.  Two blocks
+    claiming the same AND node would make the downstream component
+    partition ambiguous, so an overlap raises
+    :class:`repro.errors.PipelineInvariantError` (RP001) — the
+    ``--check-invariants`` guard over ``detect_atomic_blocks``'s
+    non-overlap contract.
+    """
+    from repro.errors import PipelineInvariantError
+
+    claimed = {}
+    for index, blk in enumerate(blocks):
+        for var in blk.internal:
+            if var in claimed:
+                raise PipelineInvariantError(
+                    f"AND node v{var} claimed by two atomic blocks "
+                    f"({blocks[claimed[var]].describe()} and "
+                    f"{blk.describe()})",
+                    code="RP001", context={"node": var})
+            claimed[var] = index
+    total = aig.num_ands
+    return {"blocks": len(blocks), "covered": len(claimed), "ands": total,
+            "fraction": round(len(claimed) / total, 4) if total else 0.0}

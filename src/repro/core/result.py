@@ -86,7 +86,10 @@ class VerificationResult:
     * ``"buggy"`` — the remainder is non-zero; ``counterexample`` (when
       requested) maps input variables to bits witnessing the bug;
     * ``"timeout"`` — the monomial or wall-clock budget tripped, the
-      reproduction's analogue of the paper's 24 h TO entries.
+      reproduction's analogue of the paper's 24 h TO entries;
+    * ``"invalid"`` — the design failed pre-flight lint and was never
+      verified (benchmark harness only; ``stats["diagnostics"]`` holds
+      the findings).
     """
 
     status: str

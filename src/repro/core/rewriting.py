@@ -43,7 +43,7 @@ class RewritingEngine:
 
     def __init__(self, spec, components, vanishing, monomial_budget=None,
                  time_budget=None, record_trace=False,
-                 record_certificate=False, recorder=None):
+                 record_certificate=False, recorder=None, monitor=None):
         self.vanishing = vanishing
         self.spec = spec
         self.sp = vanishing.apply(spec)
@@ -59,6 +59,9 @@ class RewritingEngine:
         self.record_trace = record_trace
         self.trace = Trace()
         self.obs = recorder if recorder is not None else NULL
+        # Optional repro.analysis.invariants.InvariantMonitor: checks
+        # substitution-order legality and SP_i signatures at each commit.
+        self.monitor = monitor
         self.steps = 0
         self.attempt_count = 0
         self.backtracks = 0
@@ -207,6 +210,8 @@ class RewritingEngine:
         ``threshold`` is the dynamic growth threshold in force when the
         substitution was accepted (``None`` under the static order).
         """
+        if self.monitor is not None:
+            self.monitor.on_commit(index, self.components[index], new_sp)
         if self.record_certificate:
             comp = self.components[index]
             for var, replacement in comp.substitutions.items():

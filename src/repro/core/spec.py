@@ -18,7 +18,6 @@ with positive node variables.
 
 from __future__ import annotations
 
-from repro.aig.aig import lit_is_negated, lit_var
 from repro.errors import VerificationError
 from repro.poly.polynomial import Polynomial
 

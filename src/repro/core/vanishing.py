@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import logging
 
+from repro.errors import RuleError
 from repro.poly.monomial import monomial_from_iterable, monomial_vars
 from repro.poly.polynomial import Polynomial
 
@@ -93,13 +94,16 @@ class VanishingRuleSet:
         ``extra_vars`` entries may be variable iterables or packed
         bitmasks."""
         if var_a == var_b:
-            raise ValueError("pair rules need two distinct variables")
+            raise RuleError("pair rules need two distinct variables",
+                            var=var_a)
         pair_mask = (1 << var_a) | (1 << var_b)
         terms = [(coeff, _extra_mask(extra)) for coeff, extra in terms
                  if coeff]
         for coeff, extra in terms:
             if extra & pair_mask == pair_mask:
-                raise ValueError("rule right-hand side reproduces its trigger")
+                raise RuleError(
+                    "rule right-hand side reproduces its trigger",
+                    var_a=var_a, var_b=var_b)
         bit_a = 1 << var_a
         entry = (1 << var_b, pair_mask, terms)
         self._by_var.setdefault(var_a, []).append(entry)

@@ -30,7 +30,7 @@ from repro.core.result import VerificationResult
 from repro.core.rewriting import RewritingEngine
 from repro.core.spec import multiplier_specification
 from repro.core.vanishing import VanishingRuleSet, rules_from_blocks
-from repro.errors import BudgetExceeded, VerificationError
+from repro.errors import BudgetExceeded, DesignLintError, VerificationError
 from repro.obs.recorder import NULL
 
 
@@ -47,7 +47,8 @@ def verify_multiplier(aig, width_a=None, width_b=None, signed=False,
                       use_atomic_blocks=True, use_vanishing=True,
                       use_compact=True, extended_rules=True,
                       use_implications=True, record_certificate=False,
-                      recorder=None):
+                      recorder=None, preflight=True,
+                      check_invariants=False):
     """Formally verify a multiplier AIG.
 
     ``method`` is ``"dyposub"`` (dynamic backward rewriting) or
@@ -65,6 +66,16 @@ def verify_multiplier(aig, width_a=None, width_b=None, signed=False,
     streams per-attempt/per-step events into it.  The default records
     nothing and leaves the computation bit-identical.
 
+    ``preflight=True`` (the default) runs the O(nodes) structural +
+    interface lint (:mod:`repro.analysis`) before any polynomial work;
+    a malformed design raises :class:`~repro.errors.DesignLintError`
+    carrying the diagnostics instead of failing deep inside spec
+    construction or rewriting.  ``check_invariants=True`` additionally
+    validates the pipeline's own invariants — component coverage,
+    vanishing-table well-formedness, substitution-order legality, and
+    ``SP_i`` signature spot-checks at every commit — raising
+    :class:`~repro.errors.PipelineInvariantError` on violation.
+
     Returns a :class:`VerificationResult`; never raises on timeout —
     budget exhaustion is reported as ``status="timeout"``.
     """
@@ -73,15 +84,27 @@ def verify_multiplier(aig, width_a=None, width_b=None, signed=False,
     if width_a is None:
         if aig.num_inputs % 2:
             raise VerificationError(
-                "cannot infer operand widths from an odd input count")
+                "cannot infer operand widths from an odd input count",
+                code="RA030", context={"inputs": aig.num_inputs})
         width_a = aig.num_inputs // 2
     if width_b is None:
         width_b = aig.num_inputs - width_a
 
-    aig = cleanup(aig)
     if rec.enabled:
         rec.event("run_begin", method=method, nodes=aig.num_ands,
                   width_a=width_a, width_b=width_b, signed=signed)
+    if preflight:
+        from repro.analysis.lint import preflight as run_preflight
+
+        with rec.span("preflight"):
+            report = run_preflight(aig, width_a, recorder=rec)
+        if report.errors:
+            raise DesignLintError(
+                f"design failed pre-flight lint with "
+                f"{len(report.errors)} error(s): "
+                f"{report.errors[0].message}", report=report)
+
+    aig = cleanup(aig)
     with rec.span("spec"):
         spec = multiplier_specification(aig, width_a, width_b, signed=signed)
 
@@ -107,6 +130,22 @@ def verify_multiplier(aig, width_a=None, width_b=None, signed=False,
         with rec.span("implications"):
             implication_rules = add_implication_rules(vanishing, aig, blocks,
                                                       components)
+    monitor = None
+    if check_invariants:
+        from repro.analysis.invariants import (InvariantMonitor,
+                                               check_component_coverage,
+                                               check_vanishing_rules)
+        from repro.core.atomic import block_coverage
+
+        with rec.span("invariants"):
+            blocks_cov = block_coverage(aig, blocks)
+            covered = check_component_coverage(aig, components)
+            rule_count = check_vanishing_rules(vanishing)
+            monitor = InvariantMonitor(aig, spec, components, recorder=rec)
+        if rec.enabled:
+            rec.event("invariants_checked", covered_nodes=covered,
+                      rules=rule_count,
+                      block_fraction=blocks_cov["fraction"])
     log.debug("%s: %d nodes, %d blocks, %d components, %d rules",
               method, aig.num_ands, len(blocks), len(components),
               len(vanishing))
@@ -129,7 +168,7 @@ def verify_multiplier(aig, width_a=None, width_b=None, signed=False,
                              time_budget=time_budget,
                              record_trace=record_trace,
                              record_certificate=record_certificate,
-                             recorder=rec)
+                             recorder=rec, monitor=monitor)
     try:
         with rec.span("rewrite"):
             if method == "dyposub":
@@ -168,7 +207,11 @@ def verify_multiplier(aig, width_a=None, width_b=None, signed=False,
     leftover = remainder.support() - set(aig.inputs)
     if leftover:
         raise VerificationError(
-            f"remainder still references internal variables {sorted(leftover)[:5]}")
+            f"remainder still references internal variables "
+            f"{sorted(leftover)[:5]}",
+            code="RP005", context={"variables": sorted(leftover)[:8]})
+    if monitor is not None:
+        stats["invariants"] = monitor.summary()
     status = "correct" if remainder.is_zero() else "buggy"
     if rec.enabled:
         rec.event("run_end", status=status, seconds=round(seconds, 6),

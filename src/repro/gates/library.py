@@ -10,6 +10,7 @@ the mapper still accepts them, mirroring a rich industrial library.
 from __future__ import annotations
 
 from repro.aig.truth import tt_mask
+from repro.errors import UnknownCellError
 
 # name -> (num_inputs, truth table over inputs (in0 = LSB of minterm))
 CELLS = {
@@ -60,7 +61,7 @@ def cell_truth_table(name):
     if name.startswith("LUT") and "_" in name:
         head, _, hexpart = name.partition("_")
         return int(head[3:]), int(hexpart, 16)
-    raise KeyError(f"unknown cell {name!r}")
+    raise UnknownCellError(f"unknown cell {name!r}", cell=name)
 
 
 def is_known_cell(name):

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.aig.aig import Aig
-from repro.aig.truth import tt_mask
 from repro.errors import NetlistError
 from repro.gates.library import cell_name_for, cell_truth_table
 from repro.opt.decompose import synthesize_best

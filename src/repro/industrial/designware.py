@@ -23,7 +23,6 @@ from repro.aig.ops import cleanup
 from repro.genmul.multiplier import generate_multiplier
 from repro.opt.balance import balance
 from repro.opt.refactor import rewrite
-from repro.opt.scripts import compress2
 from repro.opt.techmap import techmap
 
 

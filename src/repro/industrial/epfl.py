@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.aig.ops import cleanup
 from repro.genmul.multiplier import generate_multiplier
-from repro.opt.scripts import compress2, dc2, resyn3
+from repro.opt.scripts import dc2, resyn3
 from repro.opt.techmap import techmap_roundtrip
 
 

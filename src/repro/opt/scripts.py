@@ -22,6 +22,7 @@ from __future__ import annotations
 import logging
 
 from repro.aig.ops import cleanup
+from repro.errors import ConfigError
 from repro.obs.recorder import NULL
 from repro.opt.balance import balance
 from repro.opt.dce import dce
@@ -143,7 +144,7 @@ def optimize(aig, script, recorder=None):
     try:
         pipeline = OPTIMIZATIONS[script]
     except KeyError:
-        raise ValueError(
-            f"unknown optimization {script!r} (know {sorted(OPTIMIZATIONS)})"
-        ) from None
+        raise ConfigError(
+            f"unknown optimization {script!r} (know {sorted(OPTIMIZATIONS)})",
+            script=script) from None
     return pipeline(aig, recorder=recorder)

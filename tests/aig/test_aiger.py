@@ -6,7 +6,6 @@ from repro.aig.aig import Aig
 from repro.aig.aiger import read_aag, write_aag
 from repro.aig.simulate import exhaustive_equal
 from repro.errors import AigError
-from repro.genmul import generate_multiplier
 
 
 class TestRoundTrip:

@@ -7,7 +7,6 @@ from repro.aig.cuts import enumerate_cuts, nontrivial_cuts
 from repro.aig.truth import (
     AND2,
     MAJ3,
-    XNOR3,
     XOR2,
     XOR3,
     cofactor,

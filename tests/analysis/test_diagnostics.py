@@ -1,0 +1,127 @@
+"""Tests for the diagnostics core: codes, reports, export formats."""
+
+import json
+
+import pytest
+
+from repro.analysis import CODES, Diagnostic, DiagnosticReport, Severity
+from repro.analysis.diagnostics import report_from_error
+from repro.errors import AigFormatError, DesignLintError
+
+
+class TestCatalogue:
+    def test_all_codes_have_severity_and_title(self):
+        for code, (severity, title) in CODES.items():
+            assert severity in Severity.ORDER
+            assert title
+            assert code[:2] in ("RA", "RP")
+            assert code[2:].isdigit()
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic(code="ZZ999", message="nope")
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic(code="RA010", message="x", severity="fatal")
+
+    def test_default_severity_from_catalogue(self):
+        assert Diagnostic(code="RA011", message="x").severity == "info"
+        assert Diagnostic(code="RA023", message="x").severity == "warning"
+        assert Diagnostic(code="RA010", message="x").severity == "error"
+
+
+class TestDiagnostic:
+    def test_render_includes_code_severity_location(self):
+        diag = Diagnostic(code="RA014", message="bad fan-in", node=7)
+        text = diag.render()
+        assert "RA014" in text
+        assert "error" in text
+        assert "v7" in text
+        assert "bad fan-in" in text
+
+    def test_line_location(self):
+        diag = Diagnostic(code="RA002", message="truncated", line=4)
+        assert "line 4" in diag.render()
+
+    def test_as_dict_drops_empty_locations(self):
+        record = Diagnostic(code="RA010", message="m").as_dict()
+        assert "node" not in record
+        assert "line" not in record
+        assert record["code"] == "RA010"
+
+
+class TestReport:
+    def test_verdict_and_findings(self):
+        report = DiagnosticReport(subject="d")
+        assert report.clean and report.verdict == "clean"
+        report.add("RA011", "dead nodes")          # info does not dirty
+        assert report.clean
+        report.add("RA023", "floating net", wire=3)
+        assert not report.clean and report.verdict == "dirty"
+        assert len(report.findings) == 1
+        report.add("RA021", "double driven", wire=3)
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 1
+
+    def test_sorted_orders_by_severity(self):
+        report = DiagnosticReport()
+        report.add("RA011", "note")
+        report.add("RA023", "warn")
+        report.add("RA010", "err")
+        severities = [d.severity for d in report.sorted()]
+        assert severities == ["error", "warning", "info"]
+
+    def test_add_splits_context_from_locations(self):
+        report = DiagnosticReport()
+        diag = report.add("RA014", "m", node=4, literal=99)
+        assert diag.node == 4
+        assert diag.context == {"literal": 99}
+
+    def test_render_mentions_counts(self):
+        report = DiagnosticReport(subject="mult")
+        report.add("RA010", "broken")
+        text = report.render()
+        assert "mult" in text and "1 errors" in text and "RA010" in text
+
+    def test_json_roundtrip(self, tmp_path):
+        report = DiagnosticReport(subject="d")
+        report.add("RA014", "bad", node=2)
+        path = tmp_path / "out.json"
+        report.to_json(path)
+        loaded = json.loads(path.read_text())
+        assert loaded["verdict"] == "dirty"
+        assert loaded["diagnostics"][0]["code"] == "RA014"
+        assert loaded["diagnostics"][0]["node"] == 2
+
+    def test_sarif_shape(self):
+        report = DiagnosticReport(subject="d")
+        report.add("RA014", "bad", node=2)
+        report.add("RA011", "note")
+        sarif = report.to_sarif()
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert rule_ids == {"RA014", "RA011"}
+        levels = {r["ruleId"]: r["level"] for r in run["results"]}
+        assert levels["RA014"] == "error"
+        assert levels["RA011"] == "note"
+
+
+class TestReportFromError:
+    def test_typed_error_becomes_finding(self):
+        error = AigFormatError("truncated", code="RA002", line=7)
+        report = report_from_error(error, subject="f.aag")
+        assert not report.clean
+        diag = report.diagnostics[0]
+        assert diag.code == "RA002"
+        assert diag.line == 7
+
+    def test_nested_report_is_merged(self):
+        inner = DiagnosticReport()
+        inner.add("RA014", "bad fan-in", node=3)
+        error = DesignLintError("preflight failed", report=inner)
+        report = report_from_error(error)
+        codes = {d.code for d in report}
+        assert "RA000" in codes and "RA014" in codes

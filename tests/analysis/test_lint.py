@@ -1,0 +1,233 @@
+"""Design lint: zero findings on clean designs, 100% on broken ones."""
+
+import pytest
+
+from repro.aig.aiger import read_aag, write_aag
+from repro.analysis import lint_aig, lint_design, lint_netlist
+from repro.analysis.lint import check_multiplier_interface, infer_widths
+from repro.errors import AigFormatError
+from repro.gates.netlist import Cell
+from repro.genmul.faults import FAULT_KINDS, inject_visible_fault
+from repro.genmul.multiplier import generate_multiplier
+from repro.opt.scripts import OPTIMIZATIONS, optimize
+
+CLEAN_DESIGNS = [
+    ("SP-AR-RC", 4), ("SP-DT-LF", 4), ("SP-WT-CL", 5),
+    ("BP-AR-RC", 4), ("SP-OS-KS", 6),
+]
+
+
+class TestCleanDesigns:
+    @pytest.mark.parametrize("arch,width", CLEAN_DESIGNS)
+    def test_generated_multipliers_have_no_findings(self, arch, width):
+        report = lint_design(generate_multiplier(arch, width))
+        assert report.clean, report.render()
+
+    @pytest.mark.parametrize("script", sorted(OPTIMIZATIONS))
+    def test_every_opt_pass_emits_lint_clean_aigs(self, script):
+        # Property: optimization must preserve structural sanity and
+        # multiplier behaviour on every script in the registry.
+        aig = generate_multiplier("SP-AR-RC", 4)
+        report = lint_design(optimize(aig, script))
+        assert report.clean, f"{script}: {report.render()}"
+
+    def test_signed_multiplier_probe_is_clean(self):
+        report = lint_design(generate_multiplier("SPS-AR-RC", 4))
+        assert report.clean, report.render()
+
+    def test_aiger_roundtrip_stays_clean(self, tmp_path):
+        aig = generate_multiplier("SP-DT-LF", 4)
+        path = tmp_path / "m.aag"
+        write_aag(aig, str(path))
+        assert lint_design(read_aag(str(path))).clean
+
+
+class TestFaultDetection:
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_every_fault_kind_is_flagged(self, kind, seed):
+        aig = generate_multiplier("SP-AR-RC", 4)
+        buggy = inject_visible_fault(aig, kind=kind, seed=seed)
+        report = lint_design(buggy)
+        assert not report.clean
+        assert any(d.code == "RA032" for d in report.errors), report.render()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_randomly_corrupted_aiger_is_flagged(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        text = write_aag(generate_multiplier("SP-AR-RC", 4))
+        lines = text.splitlines()
+        mode = rng.choice(["truncate", "garbage", "out-of-range"])
+        body_start = 1
+        if mode == "truncate":
+            lines = lines[:rng.randrange(body_start, len(lines) // 2)]
+        elif mode == "garbage":
+            idx = rng.randrange(body_start, len(lines) // 2)
+            lines[idx] = "xx yy zz"
+        else:
+            idx = rng.randrange(body_start, len(lines) // 2)
+            lines[idx] = " ".join("99999" for _ in lines[idx].split())
+        corrupted = "\n".join(lines) + "\n"
+        with pytest.raises(AigFormatError) as excinfo:
+            read_aag(corrupted)
+        assert excinfo.value.code in ("RA001", "RA002", "RA003", "RA004")
+        assert excinfo.value.line is not None
+
+
+class TestStructuralLint:
+    def _mult(self):
+        return generate_multiplier("SP-AR-RC", 4)
+
+    def test_constant_fanin_flagged(self):
+        aig = self._mult()
+        victim = next(iter(aig.and_vars()))
+        aig._fanin1[victim] = 1  # literal 1 = constant TRUE
+        assert any(d.code == "RA012" for d in lint_aig(aig).errors)
+
+    def test_duplicate_nodes_flagged(self):
+        aig = self._mult()
+        ands = list(aig.and_vars())
+        aig._fanin0[ands[1]] = aig._fanin0[ands[0]]
+        aig._fanin1[ands[1]] = aig._fanin1[ands[0]]
+        assert any(d.code == "RA013" for d in lint_aig(aig).errors)
+
+    def test_out_of_range_fanin_flagged(self):
+        aig = self._mult()
+        victim = next(iter(aig.and_vars()))
+        aig._fanin0[victim] = 2 * aig.num_vars + 10
+        assert any(d.code == "RA014" for d in lint_aig(aig).errors)
+
+    def test_topological_violation_flagged(self):
+        aig = self._mult()
+        ands = list(aig.and_vars())
+        # Make an early node read a later one: a cycle-shaped violation.
+        aig._fanin0[ands[0]] = 2 * ands[-1]
+        assert any(d.code == "RA015" for d in lint_aig(aig).errors)
+
+    def test_no_outputs_flagged(self):
+        aig = self._mult()
+        aig._outputs.clear()
+        assert any(d.code == "RA034" for d in lint_aig(aig).errors)
+
+    def test_unreachable_nodes_are_info_only(self):
+        from repro.aig.aig import Aig
+
+        aig = Aig()
+        a = aig.add_input()   # add_input returns the positive literal
+        b = aig.add_input()
+        lit = aig.add_and(a, b)
+        aig.add_and(a, b ^ 1)  # dead node
+        aig.add_output(lit)
+        report = lint_aig(aig)
+        assert report.clean
+        assert any(d.code == "RA011" for d in report)
+
+
+class TestInterface:
+    def test_widths_inferred_from_port_names(self):
+        aig = generate_multiplier("SP-AR-RC", 4, 3)
+        wa, wb, from_names = infer_widths(aig)
+        assert (wa, wb, from_names) == (4, 3, True)
+
+    def test_even_split_fallback(self):
+        from repro.aig.aig import Aig
+
+        aig = Aig()
+        for _ in range(6):
+            aig.add_input()
+        wa, wb, from_names = infer_widths(aig)
+        assert (wa, wb, from_names) == (3, 3, False)
+
+    def test_impossible_split_flagged(self):
+        aig = generate_multiplier("SP-AR-RC", 4)
+        report, wa, wb = check_multiplier_interface(aig, width_a=20)
+        assert wa is None
+        assert any(d.code == "RA030" for d in report.errors)
+
+    def test_missing_product_bits_flagged(self):
+        aig = generate_multiplier("SP-AR-RC", 4)
+        aig._outputs.pop()
+        report, wa, wb = check_multiplier_interface(aig)
+        assert any(d.code == "RA030" for d in report.errors)
+
+
+class TestNetlistLint:
+    def _mapped(self):
+        from repro.opt.techmap import techmap
+
+        return techmap(generate_multiplier("SP-AR-RC", 4))
+
+    def test_clean_mapping_has_no_findings(self):
+        assert lint_netlist(self._mapped()).clean
+
+    def test_unknown_cell_flagged(self):
+        netlist = self._mapped()
+        old = netlist.cells[0]
+        netlist.cells[0] = Cell(old.name, "FROBNICATOR", old.output,
+                                old.inputs)
+        assert any(d.code == "RA022" for d in lint_netlist(netlist).errors)
+
+    def test_multiply_driven_net_flagged(self):
+        netlist = self._mapped()
+        first = netlist.cells[0]
+        netlist.cells.append(Cell("dup", first.cell, first.output,
+                                  first.inputs))
+        report = lint_netlist(netlist)
+        assert any(d.code == "RA021" for d in report.errors)
+
+    def test_undriven_read_flagged(self):
+        netlist = self._mapped()
+        old = netlist.cells[-1]
+        bogus = netlist._next_net + 50
+        netlist.cells[-1] = Cell(old.name, old.cell, old.output,
+                                 (bogus,) + old.inputs[1:])
+        assert any(d.code == "RA025" for d in lint_netlist(netlist).errors)
+
+    def test_arity_mismatch_flagged(self):
+        netlist = self._mapped()
+        old = netlist.cells[-1]
+        netlist.cells[-1] = Cell(old.name, old.cell, old.output,
+                                 old.inputs + (old.inputs[0],))
+        assert any(d.code == "RA024" for d in lint_netlist(netlist).errors)
+
+    def test_floating_net_is_warning(self):
+        netlist = self._mapped()
+        netlist.add_cell("AND2", [netlist.input_nets[0],
+                                  netlist.input_nets[1]])
+        report = lint_netlist(netlist)
+        assert not report.errors
+        assert any(d.code == "RA023" for d in report.warnings)
+
+
+class TestVerifierPreflight:
+    def test_broken_design_raises_design_lint_error(self):
+        from repro.core.verifier import verify_multiplier
+        from repro.errors import DesignLintError
+
+        aig = generate_multiplier("SP-AR-RC", 4)
+        victim = next(iter(aig.and_vars()))
+        aig._fanin0[victim] = 2 * aig.num_vars + 8
+        with pytest.raises(DesignLintError) as excinfo:
+            verify_multiplier(aig, 4, 4)
+        report = excinfo.value.report
+        assert report is not None
+        assert any(d.code == "RA014" for d in report.errors)
+
+    def test_preflight_can_be_disabled(self):
+        from repro.core.verifier import verify_multiplier
+
+        aig = generate_multiplier("SP-AR-RC", 4)
+        result = verify_multiplier(aig, 4, 4, preflight=False)
+        assert result.ok
+
+    def test_bench_harness_reports_invalid_instead_of_crashing(self):
+        from repro.bench.harness import run_method, runtime_cell
+
+        aig = generate_multiplier("SP-AR-RC", 4)
+        aig._outputs.clear()
+        result = run_method("dyposub", aig, budget=10_000, time_budget=30.0)
+        assert result.status == "invalid"
+        assert result.stats["diagnostics"]
+        assert runtime_cell(result) == "INVALID"

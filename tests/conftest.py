@@ -5,7 +5,7 @@ import itertools
 import pytest
 
 from repro.aig.simulate import outputs_as_int, simulate_words
-from repro.genmul import MultiplierSpec, generate_multiplier, multiply_reference
+from repro.genmul import generate_multiplier, multiply_reference
 
 
 def input_word_literals(aig, width_a):

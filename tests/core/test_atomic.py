@@ -5,7 +5,6 @@ Every detected block is checked *semantically*: the carry/sum relation
 cut, under the detected input/output polarities.
 """
 
-import itertools
 
 import pytest
 

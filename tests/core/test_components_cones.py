@@ -4,7 +4,7 @@ import itertools
 
 import pytest
 
-from repro.aig.aig import Aig, lit_var
+from repro.aig.aig import Aig
 from repro.aig.simulate import node_values
 from repro.core.atomic import detect_atomic_blocks
 from repro.core.components import atomic_block_component, cone_component

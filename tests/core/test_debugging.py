@@ -5,7 +5,7 @@ import pytest
 from repro.aig.ops import cleanup
 from repro.core.debugging import localize_fault, sample_failing_inputs
 from repro.core.verifier import verify_multiplier
-from repro.genmul import generate_multiplier, inject_fault
+from repro.genmul import inject_fault
 
 
 def buggy_with_known_target(aig, seed=0):

@@ -1,6 +1,5 @@
 """Tests for implication-derived vanishing rules (carry operators)."""
 
-import itertools
 
 import pytest
 

@@ -10,7 +10,6 @@
 * Example 7 — backtracking beats the pure occurrence order.
 """
 
-import pytest
 
 from repro.core import verify_multiplier
 from repro.genmul import generate_multiplier

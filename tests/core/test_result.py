@@ -1,6 +1,5 @@
 """Tests for the result objects and error types."""
 
-import pytest
 
 from repro.core.result import VerificationResult
 from repro.errors import (

@@ -14,7 +14,7 @@ from repro.core.vanishing import (
     literal_product_terms,
     rules_from_blocks,
 )
-from repro.poly import Polynomial, VariablePool, parse_polynomial
+from repro.poly import Polynomial
 
 VC, VS, X, Y, Z, M = 1, 2, 3, 4, 5, 6
 

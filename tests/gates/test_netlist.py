@@ -5,7 +5,6 @@ import pytest
 from repro.aig.simulate import functionally_equal, random_patterns, simulate
 from repro.errors import NetlistError
 from repro.gates import CELLS, Netlist, cell_name_for, cell_truth_table
-from repro.genmul import generate_multiplier
 from repro.opt import techmap, techmap_roundtrip
 
 

@@ -1,6 +1,5 @@
 """Tests for the industrial benchmark synthesis (Table II substrate)."""
 
-import pytest
 
 from repro.genmul import MultiplierSpec
 from repro.industrial import (

@@ -1,6 +1,5 @@
 """Tests for the command-line interface."""
 
-import pytest
 
 from repro.cli import main
 
@@ -112,3 +111,80 @@ class TestObservabilityCli:
         assert main(["generate", "SP-AR-RC", "4", "-o", str(src),
                      "-q"]) == 0
         assert "repro.cli" not in capsys.readouterr().err
+
+
+class TestLintCommand:
+    def test_clean_design_exits_zero(self, tmp_path, capsys):
+        src = tmp_path / "m.aag"
+        main(["generate", "SP-AR-RC", "4", "-o", str(src)])
+        assert main(["lint", str(src)]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_faulty_design_exits_one_with_ra032(self, tmp_path, capsys):
+        src = tmp_path / "m.aag"
+        bug = tmp_path / "bug.aag"
+        main(["generate", "SP-AR-RC", "4", "-o", str(src)])
+        main(["inject", str(src), "--kind", "gate-type", "-o", str(bug)])
+        assert main(["lint", str(bug)]) == 1
+        out = capsys.readouterr().out
+        assert "RA032" in out and "dirty" in out
+
+    def test_json_and_sarif_export(self, tmp_path):
+        import json
+
+        src = tmp_path / "m.aag"
+        bug = tmp_path / "bug.aag"
+        report_json = tmp_path / "lint.json"
+        report_sarif = tmp_path / "lint.sarif"
+        main(["generate", "SP-AR-RC", "4", "-o", str(src)])
+        main(["inject", str(src), "--kind", "wrong-wire", "-o", str(bug)])
+        main(["lint", str(bug), "--json", str(report_json),
+              "--sarif", str(report_sarif)])
+        payload = json.loads(report_json.read_text())
+        assert payload["reports"][0]["verdict"] == "dirty"
+        codes = [d["code"] for d in payload["reports"][0]["diagnostics"]]
+        assert "RA032" in codes
+        sarif = json.loads(report_sarif.read_text())
+        assert sarif["version"] == "2.1.0"
+
+    def test_unparseable_file_is_a_report_not_a_crash(self, tmp_path, capsys):
+        bad = tmp_path / "bad.aag"
+        bad.write_text("aag 3 2 0 1 1\n2\n4\n6\n")  # truncated
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "RA002" in out
+
+    def test_lint_batch_mixes_clean_and_dirty(self, tmp_path, capsys):
+        src = tmp_path / "m.aag"
+        bug = tmp_path / "bug.aag"
+        main(["generate", "SP-AR-RC", "4", "-o", str(src)])
+        main(["inject", str(src), "--kind", "input-negation",
+              "-o", str(bug)])
+        assert main(["lint", str(src), str(bug)]) == 1
+        out = capsys.readouterr().out
+        assert "clean" in out and "dirty" in out
+
+
+class TestVerifyPreflightCli:
+    def test_invalid_design_exits_three(self, tmp_path, capsys):
+        bad = tmp_path / "bad.aag"
+        bad.write_text("aag 3 2 0 1 1\n2\n4\n6\n")
+        assert main(["verify", str(bad)]) == 3
+        err = capsys.readouterr().err
+        assert "RA002" in err
+
+    def test_check_invariants_flag(self, tmp_path, capsys):
+        src = tmp_path / "m.aag"
+        main(["generate", "SP-AR-RC", "4", "-o", str(src)])
+        assert main(["verify", str(src), "--check-invariants"]) == 0
+        assert "correct" in capsys.readouterr().out
+
+    def test_batch_skips_invalid_inputs(self, tmp_path, capsys):
+        src = tmp_path / "m.aag"
+        bad = tmp_path / "bad.aag"
+        main(["generate", "SP-AR-RC", "4", "-o", str(src)])
+        bad.write_text("not an aiger file\n")
+        assert main(["verify", str(src), str(bad)]) == 3
+        out = capsys.readouterr().out
+        assert "correct" in out and "invalid" in out

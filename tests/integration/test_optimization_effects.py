@@ -1,7 +1,6 @@
 """Integration tests for Section III: optimization vs multiplier
 structure (Example 2 / Fig. 3)."""
 
-import pytest
 
 from repro.aig.ops import cleanup
 from repro.core.atomic import detect_atomic_blocks

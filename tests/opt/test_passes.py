@@ -8,8 +8,6 @@ from repro.genmul import generate_multiplier
 from repro.opt import (
     OPTIMIZATIONS,
     balance,
-    compress2,
-    dc2,
     dce,
     map3,
     optimize,

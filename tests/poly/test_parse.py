@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import PolynomialError
-from repro.poly import Polynomial, VariablePool, parse_polynomial
+from repro.poly import VariablePool, parse_polynomial
 
 
 class TestParser:
