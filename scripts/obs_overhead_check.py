@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""CI gate for the observability layer's two guarantees.
+"""CI gate for the observability layer's three guarantees.
 
 1. **Parity** — running under a live :class:`repro.obs.Recorder` must
    not change the verification outcome: status, stats and the recorded
@@ -9,17 +9,25 @@
    stay within ``--tolerance`` (default 5%) of itself across batches;
    the comparison is min-of-N against min-of-N, which isolates the
    instrumentation-site attribute checks from scheduler noise.
+3. **Schema stability** — the event vocabulary (kind -> field names)
+   produced by a deterministic sweep over the pipeline must match the
+   committed golden snapshot ``tests/obs/event_schema.json``; the
+   run-history store, trend gate and diff tool all consume these
+   events, so a silently changed field is a cross-run data corruption.
+   After an intentional change, regenerate with ``--update-schema``.
 
 Run from the repository root::
 
     PYTHONPATH=src python scripts/obs_overhead_check.py
 
-Exit code 0 on success, 1 on a parity mismatch or overhead regression.
+Exit code 0 on success, 1 on a parity mismatch, overhead regression or
+schema drift.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import tempfile
@@ -30,6 +38,8 @@ from repro.core.verifier import verify_multiplier
 from repro.obs import read_events, recording_to
 
 CASES = (("SP-AR-RC", 8, "none"), ("SP-DT-LF", 8, "none"))
+
+DEFAULT_SCHEMA = os.path.join("tests", "obs", "event_schema.json")
 
 
 def fingerprint(result):
@@ -85,23 +95,144 @@ def check_case(architecture, width, optimization, repeats, tolerance):
     return failures
 
 
+def collect_schema_events():
+    """A deterministic sweep that exercises every event kind the
+    pipeline can emit (see DESIGN.md "Observability")."""
+    from repro.analysis.lint import lint_design
+    from repro.baselines import BASELINES
+    from repro.genmul.faults import inject_visible_fault
+    from repro.obs.live import LiveMonitor
+    from repro.obs.recorder import Recorder
+    from repro.opt.scripts import optimize
+
+    events = []
+
+    # DyPoSub with real backtracking (SP-WT-CL): run_begin, span, step,
+    # attempt (incl. too_large), progress, backtrack, threshold,
+    # invariants_checked, run_end, summary.
+    aig = benchmark_multiplier("SP-WT-CL", 8, "none")
+    recorder = Recorder()
+    verify_multiplier(aig, record_trace=True, check_invariants=True,
+                      recorder=recorder)
+    recorder.close()
+    events += recorder.events
+
+    # Budget exhaustion: the timeout-shaped run_end (budget_kind).
+    aig_dt = benchmark_multiplier("SP-DT-LF", 8, "none")
+    recorder = Recorder()
+    verify_multiplier(aig_dt, monomial_budget=50, recorder=recorder)
+    recorder.close()
+    events += recorder.events
+
+    # Optimization pipeline: opt_pass (+ opt.* spans).
+    recorder = Recorder()
+    optimize(aig_dt, "dc2", recorder=recorder)
+    recorder.close()
+    events += recorder.events
+
+    # Column-wise baseline: column events.
+    recorder = Recorder()
+    BASELINES["columnwise-static"](aig_dt, monomial_budget=200_000,
+                                   recorder=recorder)
+    recorder.close()
+    events += recorder.events
+
+    # Lint on an injected fault: diagnostic events.
+    recorder = Recorder()
+    lint_design(inject_visible_fault(aig_dt, kind="gate-type", seed=0),
+                recorder=recorder)
+    recorder.close()
+    events += recorder.events
+
+    # Live watchdog with an injected clock: stall events.
+    times = [0.0]
+    monitor = LiveMonitor(Recorder(), stall_budget=1.0,
+                          clock=lambda: times[0])
+    monitor.event("progress", step=1, size=10, candidates=2, remaining=3,
+                  backtracks=0)
+    times[0] = 10.0
+    monitor.pulse()
+    events += monitor.events
+    return events
+
+
+def schema_from_events(events):
+    """Event vocabulary: kind -> sorted union of field names (the ``t``
+    timestamp is implicit on every event and excluded)."""
+    schema = {}
+    for event in events:
+        fields = schema.setdefault(event["ev"], set())
+        fields.update(key for key in event if key not in ("ev", "t"))
+    return {kind: sorted(fields) for kind, fields in sorted(schema.items())}
+
+
+def check_schema(schema_path, update=False):
+    """Compare the pipeline's event vocabulary against the golden
+    snapshot; with ``update=True`` rewrite the snapshot instead."""
+    schema = schema_from_events(collect_schema_events())
+    if update:
+        with open(schema_path, "w", encoding="utf-8") as handle:
+            json.dump(schema, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {schema_path} ({len(schema)} event kinds)")
+        return []
+    try:
+        with open(schema_path, "r", encoding="utf-8") as handle:
+            golden = json.load(handle)
+    except FileNotFoundError:
+        return [f"no golden event schema at {schema_path} "
+                f"(generate with --update-schema)"]
+    failures = []
+    for kind in sorted(set(golden) - set(schema)):
+        failures.append(f"event kind {kind!r} is in the golden schema "
+                        f"but was not emitted")
+    for kind in sorted(set(schema) - set(golden)):
+        failures.append(f"event kind {kind!r} is new — update "
+                        f"{schema_path} with --update-schema")
+    for kind in sorted(set(schema) & set(golden)):
+        missing = sorted(set(golden[kind]) - set(schema[kind]))
+        added = sorted(set(schema[kind]) - set(golden[kind]))
+        if missing:
+            failures.append(f"{kind}: field(s) {missing} disappeared")
+        if added:
+            failures.append(f"{kind}: new field(s) {added} — update "
+                            f"{schema_path} with --update-schema")
+    if not failures:
+        print(f"event schema stable ({len(schema)} kinds, "
+              f"{sum(len(f) for f in schema.values())} fields)")
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--repeats", type=int, default=5,
                         help="runs per batch (min is compared)")
     parser.add_argument("--tolerance", type=float, default=0.05,
                         help="allowed relative overhead (0.05 = 5%%)")
+    parser.add_argument("--schema", default=DEFAULT_SCHEMA, metavar="PATH",
+                        help="golden event-schema snapshot to check "
+                             "against")
+    parser.add_argument("--update-schema", action="store_true",
+                        help="regenerate the golden snapshot and exit")
+    parser.add_argument("--skip-schema", action="store_true",
+                        help="only run the parity + overhead checks")
     args = parser.parse_args(argv)
+
+    if args.update_schema:
+        check_schema(args.schema, update=True)
+        return 0
 
     failures = []
     for architecture, width, optimization in CASES:
         failures += check_case(architecture, width, optimization,
                                args.repeats, args.tolerance)
+    if not args.skip_schema:
+        failures += check_schema(args.schema)
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
-    print("observability parity + overhead check passed")
+    print("observability parity + overhead + schema check passed")
     return 0
 
 

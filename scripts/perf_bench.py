@@ -151,8 +151,21 @@ def _phase(seconds, unit, repeats, **extra):
     return record
 
 
-def run_check(baseline_path, tolerance):
-    """Re-measure the small scale and compare normalized costs."""
+def run_check(baseline_path, tolerance, history_paths=()):
+    """Re-measure the small scale and gate it with the EWMA trend
+    detector over an in-memory run history.
+
+    The committed baseline (and any extra ``history_paths`` payloads,
+    oldest first) seed the history; the fresh measurement is the newest
+    point.  Gating matches ``repro obs trends --check``: only the
+    machine-normalized costs are compared, and phases whose baseline
+    wall clock sits under ``CHECK_FLOOR_SECONDS`` are reported as
+    noise-floor instead of gated.
+    """
+    from repro.obs.store import RunStore
+    from repro.obs.trends import (TrendConfig, detect_trends, regressions,
+                                  render_trends)
+
     try:
         with open(baseline_path, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)
@@ -160,34 +173,33 @@ def run_check(baseline_path, tolerance):
         print(f"FAIL: no committed baseline at {baseline_path}",
               file=sys.stderr)
         return 1
-    reference = baseline.get("scales", {}).get("small", {}).get("phases", {})
-    if not reference:
+    if not baseline.get("scales", {}).get("small", {}).get("phases", {}):
         print(f"FAIL: {baseline_path} has no small-scale phases",
               file=sys.stderr)
         return 1
     unit = calibration_seconds()
-    fresh = run_scale("small", unit)["phases"]
-    failures = []
-    for phase, record in sorted(fresh.items()):
-        base = reference.get(phase)
-        if base is None:
-            continue
-        if base["seconds"] < CHECK_FLOOR_SECONDS:
-            print(f"{phase}: below the {CHECK_FLOOR_SECONDS * 1e3:.0f}ms "
-                  f"noise floor, not gated")
-            continue
-        ratio = (record["normalized"] / base["normalized"]
-                 if base["normalized"] else 1.0)
-        verdict = "ok" if ratio <= 1.0 + tolerance else "REGRESSION"
-        print(f"{phase}: baseline {base['normalized']:.2f}u, "
-              f"now {record['normalized']:.2f}u, ratio {ratio:.3f} "
-              f"({verdict})")
-        if verdict != "ok":
-            failures.append(f"{phase} regressed {ratio:.3f}x "
-                            f"(tolerance 1+{tolerance})")
+    fresh = {"bench": "rewriting-microbench",
+             "calibration_seconds": round(unit, 6),
+             "scales": {"small": run_scale("small", unit)}}
+    with RunStore(":memory:") as store:
+        store.ingest_perf_bench(baseline, source=baseline_path)
+        for path in history_paths:
+            with open(path, "r", encoding="utf-8") as handle:
+                store.ingest_perf_bench(json.load(handle), source=path)
+        store.ingest_perf_bench(fresh, source="fresh measurement")
+        config = TrendConfig(tolerance=tolerance,
+                             floor=CHECK_FLOOR_SECONDS)
+        verdicts = [v for v in detect_trends(store, config)
+                    if v["design"] == "microbench-small"
+                    and v["metric"].startswith("metric:normalized:")]
+    print(render_trends(verdicts,
+                        title="perf smoke gate (normalized costs)"))
+    failures = regressions(verdicts)
     if failures:
-        for failure in failures:
-            print(f"FAIL: {failure}", file=sys.stderr)
+        for verdict in failures:
+            phase = verdict["metric"][len("metric:normalized:"):]
+            print(f"FAIL: {phase} regressed {verdict['ratio']:.3f}x "
+                  f"(tolerance 1+{tolerance})", file=sys.stderr)
         return 1
     print("perf smoke gate passed")
     return 0
@@ -205,13 +217,18 @@ def main(argv=None):
                              "committed baseline instead of writing")
     parser.add_argument("--baseline", default=DEFAULT_BASELINE,
                         help="baseline path for --check")
+    parser.add_argument("--history", action="append", default=None,
+                        metavar="PATH",
+                        help="--check: extra microbench payloads to seed "
+                             "the trend history (oldest first, repeatable)")
     parser.add_argument("--tolerance", type=float, default=CHECK_TOLERANCE,
                         help="allowed normalized-cost regression for "
                              "--check (0.25 = 25%%)")
     args = parser.parse_args(argv)
 
     if args.check:
-        return run_check(args.baseline, args.tolerance)
+        return run_check(args.baseline, args.tolerance,
+                         history_paths=args.history or ())
 
     unit = calibration_seconds()
     print(f"calibration unit: {unit * 1e3:.1f}ms", flush=True)

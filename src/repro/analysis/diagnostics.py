@@ -81,6 +81,8 @@ CODES = {
     "RP005": (Severity.ERROR, "remainder references internal variables"),
     # RP01x / RP02x — budgets and the polynomial engine
     "RP010": (Severity.ERROR, "monomial or time budget exceeded"),
+    "RP011": (Severity.WARNING, "rewriting stalled: no commit within the "
+                                "stall budget"),
     "RP020": (Severity.ERROR, "invalid polynomial operation"),
 }
 

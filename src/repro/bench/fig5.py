@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.bench.harness import (
@@ -87,12 +88,18 @@ def main(argv=None):
                         help="trace panels in N parallel worker processes "
                              "(per-case seconds then contend for cores; "
                              "use 1 for timing-faithful runs)")
+    parser.add_argument("--db", default=os.environ.get("REPRO_OBS_DB"),
+                        metavar="PATH",
+                        help="also ingest the per-panel records into this "
+                             "run-history database (default: $REPRO_OBS_DB "
+                             "when set)")
     args = parser.parse_args(argv)
     config = bench_config()
     width = config["fig5_size"]
+    telemetry = args.json is not None or args.db is not None
     print(f"# Fig. 5 reproduction: {ARCHITECTURE} {width}x{width} "
           f"(scale={config['scale']})", flush=True)
-    jobs_args = [(optimization, config, args.json is not None)
+    jobs_args = [(optimization, config, telemetry)
                  for optimization in VARIANTS]
     cases = parallel_map(
         _panel_worker, jobs_args, jobs=args.jobs,
@@ -103,7 +110,7 @@ def main(argv=None):
     panels = []
     for case in cases:
         optimization = case["optimization"]
-        if args.json:
+        if telemetry:
             panels.append({
                 "architecture": ARCHITECTURE,
                 "size": f"{case['width']}x{case['width']}",
@@ -128,11 +135,17 @@ def main(argv=None):
         ["Optimiz.", "Peak(dynamic)", "Peak(static)", "Ratio",
          "Dynamic", "Static"],
         summary, title="Fig. 5 peak summary"))
+    payload = {"bench": "fig5", "config": config, "cases": panels}
     if args.json:
-        payload = {"bench": "fig5", "config": config, "cases": panels}
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote {args.json}", file=sys.stderr)
+    if args.db:
+        from repro.bench.harness import ingest_payload
+
+        run_ids = ingest_payload(payload, args.db)
+        print(f"ingested {len(run_ids)} run(s) into {args.db}",
+              file=sys.stderr)
     return 0
 
 

@@ -172,11 +172,30 @@ def result_record(result, recorder=None):
         "stats": dict(result.stats),
         "sizes": result.sizes(),
     }
+    # certificates are in-memory verification artifacts, not JSON data
+    record["stats"].pop("certificate", None)
+    if result.trace and hasattr(result.trace, "as_dicts"):
+        # per-commit trajectory (component/kind/size/threshold) so
+        # `repro obs diff` works without a full trace file
+        record["commits"] = result.trace.as_dicts()
     if recorder is not None and recorder.enabled:
         summary = recorder.summary()
         record["phases"] = summary["phases"]
         record["counters"] = summary["counters"]
     return record
+
+
+def ingest_payload(payload, db):
+    """Fold a bench ``--json`` payload into the run-history store at
+    ``db``; returns the new run ids.  This is what the ``--db`` flags of
+    the bench mains call so every table/figure run lands in the same
+    history that ``repro obs trends`` gates on."""
+    from repro.obs.store import RunStore, current_git_rev
+
+    with RunStore(db) as store:
+        return store.ingest_bench_payload(
+            payload, git_rev=current_git_rev(),
+            source=payload.get("bench"))
 
 
 def runtime_cell(result):

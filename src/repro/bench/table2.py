@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.bench.harness import (
@@ -115,6 +116,11 @@ def main(argv=None):
                         help="run cases in N parallel worker processes "
                              "(per-case seconds then contend for cores; "
                              "use 1 for timing-faithful runs)")
+    parser.add_argument("--db", default=os.environ.get("REPRO_OBS_DB"),
+                        metavar="PATH",
+                        help="also ingest the per-case records into this "
+                             "run-history database (default: $REPRO_OBS_DB "
+                             "when set)")
     args = parser.parse_args(argv)
     config = bench_config()
     print(f"# Table II reproduction (scale={config['scale']}, "
@@ -122,17 +128,23 @@ def main(argv=None):
           f"time={config['time']:.0f}s per case"
           + (f", jobs={args.jobs}" if args.jobs > 1 else "") + ")",
           flush=True)
-    records = [] if args.json else None
+    records = [] if (args.json or args.db) else None
     rows = build_rows(config, records=records, jobs=args.jobs,
                       progress=lambda s: print(f"  running {s}...",
                                                file=sys.stderr,
                                                flush=True))
     print(render_table(HEADERS, rows, title="Table II: industrial multipliers"))
+    payload = {"bench": "table2", "config": config, "cases": records}
     if args.json:
-        payload = {"bench": "table2", "config": config, "cases": records}
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote {args.json}", file=sys.stderr)
+    if args.db:
+        from repro.bench.harness import ingest_payload
+
+        run_ids = ingest_payload(payload, args.db)
+        print(f"ingested {len(run_ids)} run(s) into {args.db}",
+              file=sys.stderr)
     return 0
 
 

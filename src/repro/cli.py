@@ -9,15 +9,25 @@ observability layer::
     python -m repro verify mult_opt.aag --width-a 16
     python -m repro verify mult.aag --method static --budget 100000
     python -m repro verify mult.aag --trace-out run.jsonl --profile -v
+    python -m repro verify mult.aag --live --stall-budget 5
     python -m repro verify mult.aag --check-invariants
     python -m repro lint mult.aag --json findings.json
     python -m repro report run.jsonl
+    python -m repro obs ingest --db runs.db run.jsonl bench.json
+    python -m repro obs trends --db runs.db --check
+    python -m repro obs diff static.jsonl dynamic.jsonl
+    python -m repro obs dashboard --db runs.db -o report.html
     python -m repro inject mult.aag --kind gate-type -o buggy.aag
     python -m repro stats mult.aag
 
 Exit codes of ``verify``: 0 correct, 1 buggy, 2 timeout, 3 the design
 failed pre-flight lint.  ``lint`` exits 0 when every input is clean and
-1 when any has findings (errors or warnings).
+1 when any has findings (errors or warnings).  ``obs trends --check``
+exits 1 on any regression verdict.
+
+The run-history database path defaults to ``$REPRO_OBS_DB`` (or
+``runs.db``); batch ``verify`` auto-ingests its records whenever a
+database is configured.
 
 ``-v``/``-q`` tune the stdlib logging level of the ``repro.*`` logger
 namespace (default WARNING; ``-v`` INFO, ``-vv`` DEBUG, ``-q`` ERROR).
@@ -27,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import logging
+import os
 import sys
 
 from repro.aig.aiger import read_aag, write_aag
@@ -101,6 +112,19 @@ def build_parser():
                           "order, SP_i signatures)")
     ver.add_argument("--no-preflight", action="store_true",
                      help="skip the structural pre-flight lint")
+    ver.add_argument("--live", action="store_true",
+                     help="render a live one-line progress status and "
+                          "flag stalls (no commit within the stall "
+                          "budget) as RP011 diagnostics")
+    ver.add_argument("--stall-budget", type=float, default=10.0,
+                     metavar="SECONDS",
+                     help="--live watchdog: flag a stall after this "
+                          "many seconds without a commit (default 10)")
+    ver.add_argument("--db", default=os.environ.get("REPRO_OBS_DB"),
+                     metavar="PATH",
+                     help="batch mode: also ingest the per-input records "
+                          "into this run-history database (default: "
+                          "$REPRO_OBS_DB when set)")
 
     lnt = sub.add_parser("lint",
                          help="static analysis: lint multiplier AIGs "
@@ -128,6 +152,66 @@ def build_parser():
                                    "`verify --trace-out`")
     rep.add_argument("--plot-width", type=int, default=72)
     rep.add_argument("--plot-height", type=int, default=14)
+
+    obs = sub.add_parser("obs",
+                         help="cross-run observability: run-history "
+                              "store, trends, diffs, dashboards",
+                         parents=[verbosity])
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    default_db = os.environ.get("REPRO_OBS_DB", "runs.db")
+
+    ing = obs_sub.add_parser("ingest", parents=[verbosity],
+                             help="ingest traces / bench JSON into the "
+                                  "run-history store")
+    ing.add_argument("files", nargs="+", metavar="file",
+                     help="JSONL traces, verify/bench --json payloads, "
+                          "or perf_bench baselines")
+    ing.add_argument("--db", default=default_db, metavar="PATH")
+    ing.add_argument("--design", default=None,
+                     help="design label for JSONL traces (default: "
+                          "file stem)")
+    ing.add_argument("--optimization", default="none")
+    ing.add_argument("--method", default=None)
+    ing.add_argument("--git-rev", default=None,
+                     help="revision label (default: current git HEAD)")
+
+    trd = obs_sub.add_parser("trends", parents=[verbosity],
+                             help="EWMA regression trends over the "
+                                  "run history")
+    trd.add_argument("--db", default=default_db, metavar="PATH")
+    trd.add_argument("--check", action="store_true",
+                     help="exit 1 on any regression verdict (CI gate)")
+    trd.add_argument("--tolerance", type=float, default=0.25,
+                     help="allowed relative regression (0.25 = 25%%)")
+    trd.add_argument("--alpha", type=float, default=0.3,
+                     help="EWMA smoothing weight of newer history")
+    trd.add_argument("--metric", action="append", default=None,
+                     help="restrict to this metric (repeatable); e.g. "
+                          "seconds, max_poly_size, phase:rewrite")
+    trd.add_argument("--json", default=None, metavar="PATH",
+                     help="write the machine-readable verdicts as JSON")
+
+    dif = obs_sub.add_parser("diff", parents=[verbosity],
+                             help="structural diff of two runs "
+                                  "(Fig.-5-style replay)")
+    dif.add_argument("run_a", help="trace JSONL path or run:ID")
+    dif.add_argument("run_b", help="trace JSONL path or run:ID")
+    dif.add_argument("--db", default=default_db, metavar="PATH",
+                     help="store for run:ID references")
+    dif.add_argument("--no-plot", action="store_true",
+                     help="skip the ASCII SP_i overlay plot")
+    dif.add_argument("--json", default=None, metavar="PATH",
+                     help="write the structural diff as JSON")
+
+    dash = obs_sub.add_parser("dashboard", parents=[verbosity],
+                              help="self-contained HTML report + "
+                                   "Prometheus metrics export")
+    dash.add_argument("--db", default=default_db, metavar="PATH")
+    dash.add_argument("-o", "--output", default="obs_dashboard.html",
+                      metavar="PATH", help="HTML output path")
+    dash.add_argument("--prometheus", default=None, metavar="PATH",
+                      help="also write a Prometheus text-format "
+                           "metrics snapshot")
 
     inj = sub.add_parser("inject", help="inject a fault (for testing)",
                          parents=[verbosity])
@@ -205,7 +289,8 @@ def _verify_worker(job):
     recorder = Recorder()
     try:
         aig = read_aag(path)
-        result = verify_multiplier(aig, recorder=recorder, **kwargs)
+        result = verify_multiplier(aig, recorder=recorder,
+                                   record_trace=True, **kwargs)
     except DesignLintError as exc:
         report = exc.report
         return {"input": path, "status": "invalid", "timed_out": False,
@@ -262,7 +347,25 @@ def _cmd_verify_batch(args):
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
         log.info("wrote %d records to %s", len(records), args.json)
+    if args.db:
+        _ingest_records(records, args.db)
     return exit_code
+
+
+def _ingest_records(records, db):
+    """Fold verify records into the run-history store (best effort —
+    a broken database must not change the verify exit code)."""
+    from repro.obs.store import RunStore, current_git_rev
+
+    try:
+        with RunStore(db) as store:
+            run_ids = store.ingest_verify_payload(
+                {"records": records}, git_rev=current_git_rev(),
+                source="verify")
+    except Exception as exc:  # noqa: BLE001 - observability is optional
+        log.warning("could not ingest into %s: %s", db, exc)
+        return
+    log.info("ingested %d run(s) into %s", len(run_ids), db)
 
 
 def _cmd_verify(args):
@@ -286,9 +389,16 @@ def _cmd_verify(args):
     if args.budget is not None:
         kwargs["monomial_budget"] = args.budget
     recorder = None
-    if args.trace_out or args.profile or args.json:
+    monitor = None
+    if args.trace_out or args.profile or args.json or args.live or args.db:
         sink = JsonlSink(args.trace_out) if args.trace_out else None
         recorder = Recorder(sink=sink)
+    if args.live:
+        from repro.obs.live import LiveMonitor
+
+        monitor = LiveMonitor(recorder, stall_budget=args.stall_budget,
+                              stream=sys.stderr)
+        recorder = monitor
     try:
         result = verify_multiplier(
             aig, width_a=args.width_a, signed=args.signed,
@@ -307,18 +417,29 @@ def _cmd_verify(args):
         if recorder is not None:
             recorder.close()
         return 3
+    if monitor is not None:
+        monitor.finish()
+        if monitor.stalls:
+            print(f"live: {len(monitor.stalls)} stall(s) flagged "
+                  f"(RP011, budget {args.stall_budget:g}s)",
+                  file=sys.stderr)
     print(result.summary())
-    if args.json:
+    if args.json or args.db:
         from repro.bench.harness import result_record
 
         record = result_record(result, recorder)
         record["input"] = args.inputs[0]
         record["summary"] = result.summary()
         record["timed_out"] = result.timed_out
-        payload = {"command": "verify", "inputs": args.inputs,
-                   "records": [record]}
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
+        if monitor is not None and monitor.stalls:
+            record["stalls"] = [diag.as_dict() for diag in monitor.stalls]
+        if args.json:
+            payload = {"command": "verify", "inputs": args.inputs,
+                       "records": [record]}
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+        if args.db:
+            _ingest_records([record], args.db)
     if recorder is not None:
         recorder.close()
         if args.trace_out:
@@ -387,6 +508,106 @@ def _cmd_lint(args):
     return 0 if all(report.clean for report in reports) else 1
 
 
+def _obs_view(ref, db, label=None):
+    """Resolve a ``repro obs diff`` operand: ``run:ID`` hits the store,
+    anything else is read as a trace JSONL file."""
+    from repro.obs import diff as obs_diff
+
+    if ref.startswith("run:"):
+        from repro.obs.store import RunStore
+
+        with RunStore(db) as store:
+            return obs_diff.view_from_store(store, int(ref[len("run:"):]),
+                                            label=label)
+    from repro.obs.recorder import read_events_tolerant
+
+    events, skipped = read_events_tolerant(ref)
+    if skipped:
+        log.warning("%s: skipped %d unparseable line(s)", ref, skipped)
+    return obs_diff.view_from_events(events, label=label or ref)
+
+
+def _cmd_obs(args):
+    import json
+
+    from repro.obs.store import RunStore, current_git_rev
+
+    if args.obs_command == "ingest":
+        git_rev = args.git_rev or current_git_rev()
+        total = 0
+        with RunStore(args.db) as store:
+            for path in args.files:
+                try:
+                    run_ids = store.ingest_file(
+                        path, design=args.design,
+                        optimization=args.optimization,
+                        method=args.method, git_rev=git_rev)
+                except (OSError, ValueError) as exc:
+                    print(f"obs ingest: {path}: {exc}", file=sys.stderr)
+                    return 2
+                total += len(run_ids)
+                print(f"{path}: ingested {len(run_ids)} run(s)")
+            print(f"{args.db}: {len(store)} run(s) total")
+        log.info("ingested %d run(s) into %s", total, args.db)
+        return 0
+
+    if args.obs_command == "trends":
+        from repro.obs.trends import (TrendConfig, detect_trends,
+                                      regressions, render_trends)
+
+        config = TrendConfig(tolerance=args.tolerance, alpha=args.alpha)
+        with RunStore(args.db) as store:
+            verdicts = detect_trends(store, config, metrics=args.metric)
+        print(render_trends(verdicts))
+        if args.json:
+            payload = {"command": "obs-trends", "db": args.db,
+                       "tolerance": args.tolerance, "alpha": args.alpha,
+                       "verdicts": verdicts}
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+        bad = regressions(verdicts)
+        if bad:
+            print(f"trends: {len(bad)} regression(s) over tolerance "
+                  f"{args.tolerance:.0%}", file=sys.stderr)
+        if args.check and bad:
+            return 1
+        return 0
+
+    if args.obs_command == "diff":
+        from repro.obs.diff import diff_views, render_diff
+
+        try:
+            view_a = _obs_view(args.run_a, args.db)
+            view_b = _obs_view(args.run_b, args.db)
+        except (OSError, ValueError) as exc:
+            print(f"obs diff: {exc}", file=sys.stderr)
+            return 2
+        diff = diff_views(view_a, view_b)
+        print(render_diff(diff, plot=not args.no_plot))
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump({"command": "obs-diff", **diff}, handle, indent=2)
+        return 0
+
+    if args.obs_command == "dashboard":
+        from repro.obs.dashboard import render_dashboard, render_prometheus
+        from repro.obs.trends import detect_trends
+
+        with RunStore(args.db) as store:
+            trends = detect_trends(store)
+            html = render_dashboard(store, trends=trends)
+            prom = (render_prometheus(store) if args.prometheus else None)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(html)
+        print(f"wrote {args.output}")
+        if args.prometheus:
+            with open(args.prometheus, "w", encoding="utf-8") as handle:
+                handle.write(prom)
+            print(f"wrote {args.prometheus}")
+        return 0
+    raise AssertionError("unreachable")
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     configure_logging(args.verbose, args.quiet)
@@ -408,6 +629,8 @@ def main(argv=None):
         return _cmd_verify(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "report":
         from repro.obs.report import report_from_file
 

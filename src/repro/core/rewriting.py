@@ -242,6 +242,13 @@ class RewritingEngine:
             self._pending_consumers[producer] -= 1
             if self._pending_consumers[producer] == 0 and producer not in self._done:
                 self._candidates.add(producer)
+        if self.obs.enabled:
+            # heartbeat for live watchdogs: the full progress picture
+            # after the DAG update (candidate pool included)
+            self.obs.event("progress", step=self.steps, size=size,
+                           candidates=len(self._candidates),
+                           remaining=self.remaining,
+                           backtracks=self.backtracks)
         self._check_budget()
 
     def substitute(self, index):

@@ -73,6 +73,12 @@ class VanishingRuleSet:
         self._count = 0
         self.removed = 0
         self.rewritten = 0
+        # optional heartbeat (repro.obs.live): called every
+        # ``_pulse_every`` reduce calls so a watchdog keeps breathing
+        # through one giant normalization; None costs one check per call
+        self._pulse = None
+        self._pulse_every = 0
+        self._pulse_acc = 0
         for carry_var, carry_neg, sum_var, sum_neg in pairs:
             self.add_ha_product_rule(carry_var, carry_neg, sum_var, sum_neg)
 
@@ -168,6 +174,13 @@ class VanishingRuleSet:
             # vc*x = C*(1-X') = C - C = 0
             self.add_rule(carry_var, input_var, [])
         # negated-carry combinations expand; intentionally skipped
+
+    def set_pulse(self, fn, every=20_000):
+        """Install a heartbeat: ``fn(every)`` fires after each batch of
+        ``every`` normalization calls (``None`` uninstalls)."""
+        self._pulse = fn
+        self._pulse_every = every
+        self._pulse_acc = 0
 
     # ------------------------------------------------------------------
     # Application
@@ -278,6 +291,11 @@ class VanishingRuleSet:
                 break
         self.removed += removed
         self.rewritten += rewritten
+        if self._pulse is not None:
+            self._pulse_acc += 1
+            if self._pulse_acc >= self._pulse_every:
+                self._pulse_acc = 0
+                self._pulse(self._pulse_every)
 
     def stats(self):
         return {"rules": self._count,

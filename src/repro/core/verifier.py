@@ -149,6 +149,12 @@ def verify_multiplier(aig, width_a=None, width_b=None, signed=False,
     log.debug("%s: %d nodes, %d blocks, %d components, %d rules",
               method, aig.num_ands, len(blocks), len(components),
               len(vanishing))
+    # Live watchdogs (repro.obs.live.LiveMonitor) expose a ``pulse``
+    # heartbeat; thread it into the vanishing reducer so stalls are
+    # caught even inside one long normalization.
+    pulse = getattr(rec, "pulse", None)
+    if pulse is not None:
+        vanishing.set_pulse(pulse)
 
     stats = {
         "nodes": aig.num_ands,

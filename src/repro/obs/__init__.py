@@ -1,8 +1,14 @@
-"""Observability: structured tracing, phase metrics and run reports.
+"""Observability: structured tracing, phase metrics, run reports, and
+the cross-run layer (run-history store, trends, diffs, live watchdog).
 
 See :mod:`repro.obs.recorder` for the recorder interface (spans,
-counters, histograms, JSONL sink) and :mod:`repro.obs.report` for
-rebuilding Fig.-5-style reports from recorded runs.
+counters, histograms, JSONL sink), :mod:`repro.obs.report` for
+rebuilding Fig.-5-style reports from recorded runs,
+:mod:`repro.obs.store` for the SQLite run-history database,
+:mod:`repro.obs.trends` for EWMA regression detection,
+:mod:`repro.obs.diff` for structural trace diffing,
+:mod:`repro.obs.live` for the heartbeat/stall watchdog, and
+:mod:`repro.obs.dashboard` for HTML / Prometheus exports.
 """
 
 from repro.obs.recorder import (
@@ -12,6 +18,7 @@ from repro.obs.recorder import (
     NullRecorder,
     Recorder,
     read_events,
+    read_events_tolerant,
     recording_to,
 )
 from repro.obs.report import (
@@ -21,10 +28,13 @@ from repro.obs.report import (
     summarize_events,
     summarize_recorder,
 )
+from repro.obs.live import LiveMonitor
+from repro.obs.store import RunStore, current_git_rev
 
 __all__ = [
     "NULL", "NullRecorder", "Recorder", "Histogram", "JsonlSink",
-    "recording_to", "read_events",
+    "recording_to", "read_events", "read_events_tolerant",
     "summarize_events", "summarize_recorder",
     "render_report", "render_phase_table", "report_from_file",
+    "LiveMonitor", "RunStore", "current_git_rev",
 ]

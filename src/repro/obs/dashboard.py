@@ -1,0 +1,297 @@
+"""Static HTML dashboard and Prometheus export over the run store.
+
+``repro obs dashboard`` renders the run-history store as one
+self-contained HTML file — no JavaScript, no external assets, just
+inline SVG:
+
+* a stat row (runs, series, designs, latest git revision),
+* per-series trend sparklines (total seconds over run history),
+* the latest ``SP_i``-size curve per series that has commit data
+  (Fig.-5-style, log scale),
+* a phase waterfall of each series' latest run.
+
+``--prometheus`` additionally writes a text-format metrics snapshot
+(one gauge sample per series from its latest run) so an external
+scraper can track the same numbers.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+import time
+
+
+# ---------------------------------------------------------------------
+# SVG primitives
+# ---------------------------------------------------------------------
+
+def _polyline_points(values, width, height, pad=2, log_scale=False):
+    """Map a value series onto SVG polyline coordinates."""
+    if not values:
+        return ""
+    scale = (lambda v: math.log10(max(v, 1))) if log_scale else float
+    scaled = [scale(v) for v in values]
+    lo, hi = min(scaled), max(scaled)
+    if hi == lo:
+        hi = lo + 1.0
+    span_x = max(len(values) - 1, 1)
+    points = []
+    for index, value in enumerate(scaled):
+        x = pad + index * (width - 2 * pad) / span_x
+        y = height - pad - (value - lo) * (height - 2 * pad) / (hi - lo)
+        points.append(f"{x:.1f},{y:.1f}")
+    return " ".join(points)
+
+
+def sparkline_svg(values, width=140, height=32, log_scale=False):
+    """A minimal inline-SVG sparkline with a marker on the newest point."""
+    points = _polyline_points(values, width, height, log_scale=log_scale)
+    if not points:
+        return "<svg class='spark'></svg>"
+    last = points.rsplit(" ", 1)[-1]
+    lx, ly = last.split(",")
+    return (f"<svg class='spark' width='{width}' height='{height}' "
+            f"viewBox='0 0 {width} {height}'>"
+            f"<polyline points='{points}' fill='none' "
+            f"stroke='currentColor' stroke-width='1.5'/>"
+            f"<circle cx='{lx}' cy='{ly}' r='2.5' fill='currentColor'/>"
+            "</svg>")
+
+
+def curve_svg(series, width=560, height=180, log_scale=True):
+    """Overlaid SP_i-size curves; ``series`` maps label -> sizes."""
+    colors = ("#2563eb", "#dc2626", "#059669", "#d97706", "#7c3aed")
+    parts = [f"<svg class='curve' width='{width}' height='{height}' "
+             f"viewBox='0 0 {width} {height}'>",
+             f"<rect width='{width}' height='{height}' fill='none' "
+             "stroke='#d4d4d8'/>"]
+    legend_y = 14
+    for index, (label, sizes) in enumerate(sorted(series.items())):
+        color = colors[index % len(colors)]
+        points = _polyline_points(sizes, width, height, pad=6,
+                                  log_scale=log_scale)
+        if points:
+            parts.append(f"<polyline points='{points}' fill='none' "
+                         f"stroke='{color}' stroke-width='1.5'/>")
+        peak = max(sizes) if sizes else 0
+        parts.append(f"<text x='10' y='{legend_y}' fill='{color}' "
+                     f"font-size='11'>{html.escape(str(label))} "
+                     f"(peak {peak})</text>")
+        legend_y += 14
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def waterfall_svg(phases, width=560, bar=16, gap=4):
+    """Horizontal per-phase time bars (top-level spans only)."""
+    top_level = {path: seconds for path, seconds in phases.items()
+                 if "." not in path}
+    if not top_level:
+        return ""
+    total = sum(top_level.values()) or 1.0
+    rows = sorted(top_level.items(), key=lambda kv: -kv[1])
+    height = len(rows) * (bar + gap)
+    parts = [f"<svg class='waterfall' width='{width}' height='{height}' "
+             f"viewBox='0 0 {width} {height}'>"]
+    y = 0
+    for path, seconds in rows:
+        length = max(seconds / total * (width - 220), 1.0)
+        parts.append(f"<rect x='200' y='{y}' width='{length:.1f}' "
+                     f"height='{bar}' fill='#2563eb' opacity='0.75'/>")
+        parts.append(f"<text x='0' y='{y + bar - 4}' font-size='11'>"
+                     f"{html.escape(path)}</text>")
+        parts.append(f"<text x='{204 + length:.1f}' y='{y + bar - 4}' "
+                     f"font-size='11'>{seconds:.4f}s "
+                     f"({100 * seconds / total:.0f}%)</text>")
+        y += bar + gap
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+# ---------------------------------------------------------------------
+# HTML dashboard
+# ---------------------------------------------------------------------
+
+_STYLE = """
+body { font-family: ui-sans-serif, system-ui, sans-serif; margin: 2rem;
+       color: #18181b; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; font-size: 0.85rem; }
+th, td { padding: 0.3rem 0.7rem; border-bottom: 1px solid #e4e4e7;
+         text-align: left; }
+.stats { display: flex; gap: 2rem; margin: 1rem 0; }
+.stat b { display: block; font-size: 1.3rem; }
+.spark { color: #2563eb; vertical-align: middle; }
+.ok { color: #059669; } .bad { color: #dc2626; }
+.muted { color: #71717a; font-size: 0.8rem; }
+"""
+
+
+def render_dashboard(store, title="repro run history", trends=None):
+    """Self-contained HTML dashboard for a :class:`RunStore`.
+
+    ``trends`` is an optional precomputed verdict list from
+    :func:`repro.obs.trends.detect_trends`; when omitted it is computed
+    here so sparkline rows can show their gate verdict.
+    """
+    from repro.obs.trends import detect_trends
+
+    if trends is None:
+        trends = detect_trends(store)
+    verdict_by_series = {}
+    for verdict in trends:
+        key = (verdict["design"], verdict["optimization"], verdict["method"])
+        if verdict["verdict"] == "regression":
+            verdict_by_series[key] = "regression"
+        else:
+            verdict_by_series.setdefault(key, verdict["verdict"])
+
+    all_runs = store.runs()
+    series = store.series()
+    designs = sorted({design for design, _, _ in series})
+    latest_rev = next((run["git_rev"] for run in reversed(all_runs)
+                       if run.get("git_rev")), None)
+
+    parts = ["<!DOCTYPE html>", "<html><head><meta charset='utf-8'/>",
+             f"<title>{html.escape(title)}</title>",
+             f"<style>{_STYLE}</style></head><body>",
+             f"<h1>{html.escape(title)}</h1>",
+             f"<p class='muted'>generated "
+             f"{time.strftime('%Y-%m-%d %H:%M:%S')} from "
+             f"{html.escape(store.path)}</p>"]
+
+    parts.append("<div class='stats'>")
+    for label, value in (("runs", len(all_runs)),
+                         ("series", len(series)),
+                         ("designs", len(designs)),
+                         ("latest rev", latest_rev or "-")):
+        parts.append(f"<div class='stat'><b>{html.escape(str(value))}</b>"
+                     f"{html.escape(label)}</div>")
+    parts.append("</div>")
+
+    # trend sparklines -------------------------------------------------
+    parts.append("<h2>Trend sparklines (total seconds per run)</h2>")
+    parts.append("<table><tr><th>design</th><th>opt</th><th>method</th>"
+                 "<th>history</th><th>latest</th><th>runs</th>"
+                 "<th>gate</th></tr>")
+    for design, optimization, method in series:
+        history = [v for _, v in store.history(design, optimization,
+                                               method, "seconds")]
+        latest = store.latest(design, optimization, method)
+        verdict = verdict_by_series.get((design, optimization, method), "-")
+        css = "bad" if verdict == "regression" else "ok"
+        latest_cell = "-"
+        if latest is not None and latest.get("seconds") is not None:
+            latest_cell = f"{latest['seconds']:.3f}s"
+            if latest.get("status"):
+                latest_cell += f" ({latest['status']})"
+        parts.append(
+            "<tr>"
+            f"<td>{html.escape(design)}</td>"
+            f"<td>{html.escape(optimization)}</td>"
+            f"<td>{html.escape(method)}</td>"
+            f"<td>{sparkline_svg(history)}</td>"
+            f"<td>{html.escape(latest_cell)}</td>"
+            f"<td>{len(history)}</td>"
+            f"<td class='{css}'>{html.escape(verdict)}</td>"
+            "</tr>")
+    parts.append("</table>")
+
+    # SP_i curves ------------------------------------------------------
+    curves = {}
+    for design, optimization, method in series:
+        latest = store.latest(design, optimization, method)
+        if latest is None or not latest.get("commit_count"):
+            continue
+        sizes = store.sizes(latest["id"])
+        if sizes:
+            curves.setdefault((design, optimization), {})[method] = sizes
+    if curves:
+        parts.append("<h2>SP_i size curves (latest run, log scale)</h2>")
+        for (design, optimization), by_method in sorted(curves.items()):
+            parts.append(f"<h3 class='muted'>{html.escape(design)} / "
+                         f"{html.escape(optimization)}</h3>")
+            parts.append(curve_svg(by_method))
+    # phase waterfalls -------------------------------------------------
+    waterfalls = []
+    for design, optimization, method in series:
+        latest = store.latest(design, optimization, method)
+        if latest is not None and latest.get("phases"):
+            waterfalls.append((design, optimization, method,
+                               latest["phases"]))
+    if waterfalls:
+        parts.append("<h2>Phase waterfalls (latest run)</h2>")
+        for design, optimization, method, phases in waterfalls:
+            parts.append(f"<h3 class='muted'>{html.escape(design)} / "
+                         f"{html.escape(optimization)} / "
+                         f"{html.escape(method)}</h3>")
+            parts.append(waterfall_svg(phases))
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------
+# Prometheus text format
+# ---------------------------------------------------------------------
+
+def _prom_escape(value):
+    return (str(value).replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _labels(design, optimization, method, **extra):
+    pairs = [("design", design), ("optimization", optimization),
+             ("method", method)] + sorted(extra.items())
+    body = ",".join(f'{key}="{_prom_escape(value)}"'
+                    for key, value in pairs)
+    return "{" + body + "}"
+
+
+def render_prometheus(store):
+    """Prometheus text-format snapshot: the latest run of every series.
+
+    Gauges: ``repro_run_seconds``, ``repro_run_steps``,
+    ``repro_run_max_poly_size``, ``repro_run_backtracks``,
+    ``repro_phase_seconds{phase=...}``; plus the ``repro_runs_total``
+    counter over the whole store.
+    """
+    lines = [
+        "# HELP repro_runs_total Verification runs recorded in the store.",
+        "# TYPE repro_runs_total counter",
+        f"repro_runs_total {len(store)}",
+    ]
+    gauges = (("repro_run_seconds", "seconds",
+               "Wall-clock seconds of the latest run."),
+              ("repro_run_steps", "steps",
+               "Committed rewriting steps of the latest run."),
+              ("repro_run_max_poly_size", "max_poly_size",
+               "Peak SP_i size (monomials) of the latest run."),
+              ("repro_run_backtracks", "backtracks",
+               "Algorithm 2 backtracks of the latest run."))
+    samples = {name: [] for name, _, _ in gauges}
+    phase_samples = []
+    for design, optimization, method in store.series():
+        latest = store.latest(design, optimization, method)
+        if latest is None:
+            continue
+        labels = _labels(design, optimization, method)
+        for name, column, _help in gauges:
+            value = latest.get(column)
+            if value is not None:
+                samples[name].append(f"{name}{labels} {value}")
+        for path, seconds in sorted((latest.get("phases") or {}).items()):
+            phase_labels = _labels(design, optimization, method, phase=path)
+            phase_samples.append(
+                f"repro_phase_seconds{phase_labels} {seconds}")
+    for name, _column, help_text in gauges:
+        if samples[name]:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} gauge")
+            lines.extend(samples[name])
+    if phase_samples:
+        lines.append("# HELP repro_phase_seconds Per-phase wall-clock "
+                     "seconds of the latest run.")
+        lines.append("# TYPE repro_phase_seconds gauge")
+        lines.extend(phase_samples)
+    return "\n".join(lines) + "\n"

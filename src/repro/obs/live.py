@@ -1,0 +1,217 @@
+"""Live progress heartbeat and stall watchdog for long verifications.
+
+A :class:`LiveMonitor` wraps any recorder (it satisfies the same
+interface, so the pipeline threads it through unchanged) and watches
+the event stream in real time:
+
+* every engine ``progress`` event — emitted by
+  :meth:`~repro.core.rewriting.RewritingEngine.commit` with the step
+  index, candidate-pool size, current ``SP_i`` size, remaining
+  components and backtrack count — refreshes a single-line terminal
+  status (``verify --live``);
+* the vanishing reducer's *pulse* hook fires between events, so the
+  watchdog keeps breathing even while one giant substitution is being
+  normalized;
+* when no commit lands within ``stall_budget`` seconds, the monitor
+  flags a **stall**: a structured RP011 diagnostic (one per silent
+  gap), a ``stall`` event in the trace, and a visible warning line —
+  instead of a silent hang.
+
+Observation only: the monitor never raises and never changes the run's
+outcome; a stalled run keeps going and finishes (or hits its budget)
+exactly as it would have.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.recorder import Recorder
+
+#: Default seconds without a commit before a stall is flagged.
+DEFAULT_STALL_BUDGET = 10.0
+
+
+class _LiveSpan:
+    """Span wrapper that tracks the current phase for the status line."""
+
+    __slots__ = ("_monitor", "_inner", "_name")
+
+    def __init__(self, monitor, inner, name):
+        self._monitor = monitor
+        self._inner = inner
+        self._name = name
+
+    def __enter__(self):
+        self._monitor._phases.append(self._name)
+        self._inner.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        result = self._inner.__exit__(exc_type, exc, tb)
+        if self._monitor._phases:
+            self._monitor._phases.pop()
+        return result
+
+
+class LiveMonitor:
+    """Recorder wrapper: heartbeat, terminal status line, stall flags.
+
+    ``inner`` is the recorder that actually stores/streams the events
+    (defaults to a fresh in-memory :class:`Recorder`); ``stream`` is
+    where the status line is rendered (None disables rendering, e.g.
+    for tests that only want the watchdog); ``clock`` is injectable so
+    stalls can be tested without sleeping.
+    """
+
+    enabled = True
+
+    def __init__(self, inner=None, stall_budget=DEFAULT_STALL_BUDGET,
+                 refresh=0.2, stream=None, clock=time.monotonic):
+        self.inner = inner if inner is not None else Recorder()
+        self.stall_budget = stall_budget
+        self.refresh = refresh
+        self.stream = stream
+        self.stalls = []
+        self._clock = clock
+        self._start = clock()
+        self._last_commit = self._start
+        self._last_render = 0.0
+        self._stall_open = False
+        self._rendered = False
+        self._phases = []
+        # live state mirrored from the event stream
+        self.step = 0
+        self.total = None
+        self.size = None
+        self.candidates = None
+        self.backtracks = 0
+        self.attempts = 0
+        self.pulses = 0
+
+    # -- recorder interface (observation tees off the delegation) ------
+
+    @property
+    def events(self):
+        return self.inner.events
+
+    def summary(self):
+        return self.inner.summary()
+
+    def event(self, kind, /, **fields):
+        self.inner.event(kind, **fields)
+        self._observe(kind, fields)
+
+    def span(self, name, /, **fields):
+        return _LiveSpan(self, self.inner.span(name, **fields), name)
+
+    def count(self, name, value=1, /):
+        self.inner.count(name, value)
+
+    def observe(self, name, value, /):
+        self.inner.observe(name, value)
+
+    def close(self):
+        self.finish()
+        self.inner.close()
+
+    # -- heartbeat ------------------------------------------------------
+
+    def pulse(self, units=1):
+        """Heartbeat from inside a long computation (the vanishing
+        reducer); checks the stall clock without emitting an event."""
+        self.pulses += 1
+        now = self._clock()
+        self._check_stall(now)
+        self._maybe_render(now)
+
+    def _observe(self, kind, fields):
+        now = self._clock()
+        if kind == "progress":
+            self.step = fields.get("step", self.step)
+            self.size = fields.get("size", self.size)
+            self.candidates = fields.get("candidates", self.candidates)
+            self.backtracks = fields.get("backtracks", self.backtracks)
+            remaining = fields.get("remaining")
+            if remaining is not None:
+                self.total = self.step + remaining
+            self._last_commit = now
+            self._stall_open = False
+        elif kind == "step":
+            self._last_commit = now
+            self._stall_open = False
+        elif kind == "attempt":
+            self.attempts += 1
+        elif kind == "backtrack":
+            self.backtracks += 1
+        elif kind == "run_end":
+            self.finish()
+            return
+        self._check_stall(now)
+        self._maybe_render(now)
+
+    def _check_stall(self, now):
+        gap = now - self._last_commit
+        if gap <= self.stall_budget or self._stall_open:
+            return
+        # one diagnostic per silent gap: re-arm only after the next commit
+        self._stall_open = True
+        from repro.analysis.diagnostics import Diagnostic
+
+        diag = Diagnostic(
+            code="RP011",
+            message=(f"no rewriting commit for {gap:.1f}s "
+                     f"(stall budget {self.stall_budget:g}s) "
+                     f"at step {self.step}"
+                     + (f"/{self.total}" if self.total else "")
+                     + (f", SP_i size {self.size}"
+                        if self.size is not None else "")),
+            context={"seconds_since_commit": round(gap, 3),
+                     "stall_budget": self.stall_budget,
+                     "step": self.step, "size": self.size,
+                     "candidates": self.candidates,
+                     "backtracks": self.backtracks})
+        self.stalls.append(diag)
+        self.inner.event("stall", step=self.step, size=self.size,
+                         seconds_since_commit=round(gap, 3),
+                         budget=self.stall_budget)
+        if self.stream is not None:
+            self._clear_line()
+            self.stream.write(diag.render() + "\n")
+            self.stream.flush()
+
+    # -- terminal rendering --------------------------------------------
+
+    def _status_line(self, now):
+        phase = ".".join(self._phases) or "-"
+        parts = [f"[live] {phase}"]
+        total = f"/{self.total}" if self.total else ""
+        parts.append(f"step {self.step}{total}")
+        if self.size is not None:
+            parts.append(f"SP_i {self.size}")
+        if self.candidates is not None:
+            parts.append(f"cand {self.candidates}")
+        parts.append(f"bt {self.backtracks}")
+        parts.append(f"att {self.attempts}")
+        parts.append(f"{now - self._start:.1f}s")
+        return " | ".join(parts)
+
+    def _maybe_render(self, now):
+        if self.stream is None or now - self._last_render < self.refresh:
+            return
+        self._last_render = now
+        line = self._status_line(now)
+        self.stream.write("\r" + line[:118].ljust(118))
+        self.stream.flush()
+        self._rendered = True
+
+    def _clear_line(self):
+        if self._rendered and self.stream is not None:
+            self.stream.write("\r" + " " * 118 + "\r")
+            self._rendered = False
+
+    def finish(self):
+        """End-of-run cleanup: clear the status line (idempotent)."""
+        if self.stream is not None:
+            self._clear_line()
+            self.stream.flush()

@@ -25,7 +25,10 @@ itself is schema-agnostic.
 from __future__ import annotations
 
 import json
+import logging
 import time
+
+log = logging.getLogger("repro.obs.recorder")
 
 
 class _NullSpan:
@@ -219,12 +222,42 @@ def recording_to(path):
     return Recorder(sink=JsonlSink(path))
 
 
-def read_events(path):
-    """Load a JSONL trace back into a list of event dicts."""
+def read_events_tolerant(path):
+    """Load a JSONL trace, tolerating truncated or corrupt lines.
+
+    A run that crashed or was killed mid-write leaves a partial final
+    line; such traces must still be ingestable by the run-history store.
+    Returns ``(events, skipped)`` where ``skipped`` counts the lines
+    that failed to parse as JSON objects.
+    """
     events = []
+    skipped = 0
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
-            if line:
-                events.append(json.loads(line))
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                skipped += 1
+                continue
+            if isinstance(record, dict):
+                events.append(record)
+            else:
+                skipped += 1
+    return events, skipped
+
+
+def read_events(path):
+    """Load a JSONL trace back into a list of event dicts.
+
+    Truncated/partial lines (crashed runs) are skipped with a warning
+    instead of raising; use :func:`read_events_tolerant` to also get
+    the skipped-line count.
+    """
+    events, skipped = read_events_tolerant(path)
+    if skipped:
+        log.warning("%s: skipped %d unparseable JSONL line(s) "
+                    "(truncated trace?)", path, skipped)
     return events

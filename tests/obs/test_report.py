@@ -63,6 +63,36 @@ class TestSummarize:
         summary = summarize_events([])
         assert summary["sizes"] == []
         assert summary["status"] is None
+        assert summary["stalls"] == 0
+        assert summary["backtracks"] == 0
+        assert summary["phases"] == {}
+
+    def test_single_event(self):
+        summary = summarize_events(
+            [{"ev": "run_begin", "t": 0.0, "method": "static", "nodes": 7}])
+        assert summary["meta"]["method"] == "static"
+        assert summary["sizes"] == []
+        assert summary["status"] is None
+
+    def test_stalls_are_counted_and_rendered(self):
+        events = [
+            {"ev": "run_begin", "t": 0.0, "method": "dyposub"},
+            {"ev": "step", "t": 0.1, "i": 1, "comp": 0, "kind": "FA",
+             "size": 4},
+            {"ev": "stall", "t": 12.0, "step": 1, "size": 4,
+             "seconds_since_commit": 11.5, "budget": 10.0},
+            {"ev": "run_end", "t": 13.0, "status": "correct",
+             "seconds": 13.0},
+        ]
+        summary = summarize_events(events)
+        assert summary["stalls"] == 1
+        assert "stalls flagged (watchdog)" in render_report(summary)
+
+    def test_stall_free_report_omits_the_row(self, traced_run):
+        _, recorder = traced_run
+        summary = summarize_recorder(recorder)
+        assert summary["stalls"] == 0
+        assert "stalls flagged" not in render_report(summary)
 
 
 class TestRender:

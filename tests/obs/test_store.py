@@ -1,0 +1,250 @@
+"""Tests for repro.obs.store: the SQLite run-history database."""
+
+import json
+
+import pytest
+
+from repro.core import verify_multiplier
+from repro.genmul import generate_multiplier
+from repro.obs import Recorder, RunStore, current_git_rev
+
+
+def _events(seconds=1.0, sizes=(4, 9, 3), backtracks=1, status="correct",
+            method="dyposub"):
+    """A minimal synthetic event stream shaped like a real trace."""
+    events = [{"ev": "run_begin", "t": 0.0, "method": method, "nodes": 10,
+               "width_a": 4, "width_b": 4, "signed": False}]
+    for index, size in enumerate(sizes, start=1):
+        events.append({"ev": "step", "t": 0.1 * index, "i": index,
+                       "comp": index - 1, "kind": "FA", "size": size,
+                       "threshold": 0.1})
+    for _ in range(backtracks):
+        events.append({"ev": "backtrack", "t": 0.5, "comp": 0,
+                       "growth": 2.0, "threshold": 0.1})
+    events.append({"ev": "span", "t": 0.0, "name": "rewrite",
+                   "path": "rewrite", "dur": 0.8})
+    events.append({"ev": "run_end", "t": seconds, "status": status,
+                   "seconds": seconds, "steps": len(sizes),
+                   "max_poly_size": max(sizes)})
+    return events
+
+
+class TestEmptyStore:
+    def test_fresh_store_is_empty(self, tmp_path):
+        with RunStore(tmp_path / "runs.db") as store:
+            assert len(store) == 0
+            assert store.runs() == []
+            assert store.series() == []
+            assert store.run(1) is None
+            assert store.latest("x", "none", "dyposub") is None
+
+    def test_in_memory_store(self):
+        with RunStore() as store:
+            assert len(store) == 0
+
+    def test_reopen_preserves_rows(self, tmp_path):
+        path = tmp_path / "runs.db"
+        with RunStore(path) as store:
+            store.add_run("d", "dyposub", seconds=1.0)
+        with RunStore(path) as store:
+            assert len(store) == 1
+
+    def test_unknown_metric_raises(self):
+        with RunStore() as store:
+            store.add_run("d", "dyposub", seconds=1.0)
+            with pytest.raises(ValueError):
+                store.history("d", "none", "dyposub", "bogus")
+
+
+class TestAddRun:
+    def test_add_run_round_trip(self):
+        with RunStore() as store:
+            run_id = store.add_run(
+                "SP-DT-LF 8x8", "dyposub", optimization="dc2",
+                status="correct", seconds=1.5, steps=3, max_poly_size=9,
+                backtracks=1, threshold_doublings=0,
+                phases={"rewrite": 0.8, "spec": 0.1},
+                commits=[{"step": 1, "component": 0, "kind": "FA",
+                          "size": 4, "threshold": 0.1}, 9, 3],
+                metrics={"counter:rewrite.commits": 3},
+                git_rev="abc123", meta={"nodes": 10})
+            run = store.run(run_id)
+            assert run["design"] == "SP-DT-LF 8x8"
+            assert run["optimization"] == "dc2"
+            assert run["status"] == "correct"
+            assert run["git_rev"] == "abc123"
+            assert run["meta"] == {"nodes": 10}
+            assert run["phases"] == {"rewrite": 0.8, "spec": 0.1}
+            assert run["commit_count"] == 3
+            # bare sizes become anonymous commit rows at their index
+            assert store.sizes(run_id) == [4, 9, 3]
+            commits = store.commits(run_id)
+            assert commits[0]["kind"] == "FA"
+            assert commits[1]["component"] is None
+
+    def test_series_and_latest(self):
+        with RunStore() as store:
+            store.add_run("a", "dyposub", seconds=1.0)
+            store.add_run("a", "dyposub", seconds=2.0)
+            store.add_run("b", "static", optimization="dc2", seconds=3.0)
+            assert store.series() == [("a", "none", "dyposub"),
+                                      ("b", "dc2", "static")]
+            assert store.latest("a", "none", "dyposub")["seconds"] == 2.0
+
+    def test_history_orders_and_filters(self):
+        with RunStore() as store:
+            store.add_run("a", "dyposub", seconds=1.0,
+                          phases={"rewrite": 0.5})
+            store.add_run("a", "dyposub", seconds=2.0,
+                          phases={"rewrite": 0.7},
+                          metrics={"normalized:rewrite": 3.0})
+            history = store.history("a", "none", "dyposub", "seconds")
+            assert [value for _, value in history] == [1.0, 2.0]
+            phase = store.history("a", "none", "dyposub", "phase:rewrite")
+            assert [value for _, value in phase] == [0.5, 0.7]
+            metric = store.history("a", "none", "dyposub",
+                                   "metric:normalized:rewrite")
+            assert [value for _, value in metric] == [3.0]
+
+    def test_metric_names_skip_counters(self):
+        with RunStore() as store:
+            store.add_run("a", "dyposub", seconds=1.0, max_poly_size=9,
+                          phases={"rewrite": 0.5},
+                          metrics={"normalized:rewrite": 3.0,
+                                   "counter:rewrite.commits": 12})
+            names = store.metric_names("a", "none", "dyposub")
+            assert names == ["seconds", "max_poly_size", "phase:rewrite",
+                             "metric:normalized:rewrite"]
+
+
+class TestIngestEvents:
+    def test_single_trace(self):
+        with RunStore() as store:
+            run_id = store.ingest_events(_events(), design="m8")
+            run = store.run(run_id)
+            assert run["method"] == "dyposub"
+            assert run["status"] == "correct"
+            assert run["steps"] == 3
+            assert run["max_poly_size"] == 9
+            assert run["backtracks"] == 1
+            assert store.sizes(run_id) == [4, 9, 3]
+            assert run["phases"] == {"rewrite": 0.8}
+
+    def test_single_event_stream(self):
+        # a trace that died right after run_begin must still ingest
+        with RunStore() as store:
+            run_id = store.ingest_events(
+                [{"ev": "run_begin", "t": 0.0, "method": "static",
+                  "nodes": 4}], design="crashed")
+            run = store.run(run_id)
+            assert run["method"] == "static"
+            assert run["status"] is None
+            assert run["steps"] is None
+            assert store.sizes(run_id) == []
+
+    def test_trace_file_tolerates_truncation(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        lines = [json.dumps(event) for event in _events()]
+        lines.append('{"ev": "step", "i": 4, "si')  # killed mid-write
+        path.write_text("\n".join(lines), encoding="utf-8")
+        with RunStore() as store:
+            run_id, skipped = store.ingest_trace_file(path)
+            assert skipped == 1
+            assert store.run(run_id)["design"] == "trace"
+
+    def test_real_run_ingests(self, tmp_path):
+        aig = generate_multiplier("SP-AR-RC", 4)
+        recorder = Recorder()
+        result = verify_multiplier(aig, record_trace=True,
+                                   recorder=recorder)
+        with RunStore() as store:
+            run_id = store.ingest_events(recorder.events, design="sp-ar-rc")
+            run = store.run(run_id)
+            assert run["status"] == "correct"
+            assert run["steps"] == result.stats["steps"]
+            assert store.sizes(run_id) == result.sizes()
+
+
+class TestIngestPayloads:
+    def test_verify_payload(self):
+        payload = {"command": "verify", "records": [{
+            "input": "designs/m8.aag", "method": "dyposub",
+            "status": "correct", "seconds": 1.25,
+            "stats": {"steps": 2, "max_poly_size": 7, "backtracks": 0,
+                      "threshold_doublings": 0, "nodes": 10},
+            "sizes": [5, 7], "phases": {"rewrite": 0.9},
+            "counters": {"rewrite.commits": 2},
+        }]}
+        with RunStore() as store:
+            run_ids = store.ingest_verify_payload(payload)
+            assert len(run_ids) == 1
+            run = store.run(run_ids[0])
+            assert run["design"] == "m8"
+            assert run["max_poly_size"] == 7
+            assert store.sizes(run_ids[0]) == [5, 7]
+            assert run["metrics"] == {"counter:rewrite.commits": 2}
+
+    def test_bench_payload(self):
+        payload = {"bench": "table1", "cases": [{
+            "architecture": "SP-DT-LF", "size": "8x8",
+            "optimization": "dc2",
+            "methods": {
+                "dyposub": {"method": "dyposub", "status": "correct",
+                            "seconds": 1.0, "stats": {"steps": 3}},
+                "revsca-static": None,
+            },
+        }]}
+        with RunStore() as store:
+            run_ids = store.ingest_bench_payload(payload)
+            assert len(run_ids) == 1
+            run = store.run(run_ids[0])
+            assert run["design"] == "SP-DT-LF 8x8"
+            assert run["optimization"] == "dc2"
+
+    def test_perf_bench_payload(self):
+        payload = {"bench": "rewriting-microbench",
+                   "calibration_seconds": 0.05,
+                   "scales": {"small": {"budget": 50_000, "phases": {
+                       "spec_build": {"seconds": 0.01, "normalized": 0.2},
+                       "dynamic_rewrite": {"seconds": 2.0,
+                                           "normalized": 40.0},
+                   }}}}
+        with RunStore() as store:
+            run_ids = store.ingest_perf_bench(payload)
+            run = store.run(run_ids[0])
+            assert run["design"] == "microbench-small"
+            assert run["method"] == "perf_bench"
+            assert run["phases"] == {"spec_build": 0.01,
+                                     "dynamic_rewrite": 2.0}
+            assert run["metrics"] == {"normalized:spec_build": 0.2,
+                                      "normalized:dynamic_rewrite": 40.0}
+
+    def test_ingest_file_sniffs_shapes(self, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        trace.write_text("\n".join(json.dumps(e) for e in _events()),
+                         encoding="utf-8")
+        verify = tmp_path / "verify.json"
+        verify.write_text(json.dumps({"command": "verify", "records": []}),
+                          encoding="utf-8")
+        bench = tmp_path / "bench.json"
+        bench.write_text(json.dumps({"bench": "table2", "cases": []}),
+                         encoding="utf-8")
+        with RunStore() as store:
+            assert len(store.ingest_file(trace)) == 1
+            assert store.ingest_file(verify) == []
+            assert store.ingest_file(bench) == []
+            bogus = tmp_path / "bogus.json"
+            bogus.write_text('{"what": "ever"}', encoding="utf-8")
+            with pytest.raises(ValueError):
+                store.ingest_file(bogus)
+
+
+class TestGitRev:
+    def test_current_git_rev_in_repo(self):
+        rev = current_git_rev()
+        # the repo under test is a git checkout; outside one this
+        # degrades to None rather than raising
+        assert rev is None or (isinstance(rev, str) and rev)
+
+    def test_current_git_rev_outside_repo(self, tmp_path):
+        assert current_git_rev(cwd=tmp_path) is None
