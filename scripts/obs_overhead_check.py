@@ -137,6 +137,27 @@ def collect_schema_events():
     recorder.close()
     events += recorder.events
 
+    # Modular coefficient ring: ring events for every scheduled ring,
+    # and an escalation event when the remainder vanishes mod the first
+    # prime on a buggy design (6ab is 0 mod 3 but non-zero exactly).
+    recorder = Recorder()
+    verify_multiplier(aig_dt, ring="modular", recorder=recorder)
+    recorder.close()
+    events += recorder.events
+
+    from repro.aig.aig import Aig
+    sextuple = Aig()
+    in_a = sextuple.add_input("a0")
+    in_b = sextuple.add_input("b0")
+    gate = sextuple.add_and(in_a, in_b)
+    for k in range(3):
+        sextuple.add_output(gate, name=f"o{k}")
+    recorder = Recorder()
+    verify_multiplier(sextuple, preflight=False, ring="modular",
+                      prime_schedule=(3, 5), recorder=recorder)
+    recorder.close()
+    events += recorder.events
+
     # Lint on an injected fault: diagnostic events.
     recorder = Recorder()
     lint_design(inject_visible_fault(aig_dt, kind="gate-type", seed=0),

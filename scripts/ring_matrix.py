@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""CI gate: exact vs modular verify verdicts over the lint-matrix designs.
+
+Reuses the 19-design matrix of :mod:`lint_matrix` — clean generated
+multipliers, fault-injected variants of every
+:data:`repro.genmul.faults.FAULT_KINDS` kind, and byte-corrupted AIGER
+files — and runs each set through the actual CLI twice: once with
+``--ring exact`` and once with ``--ring modular``.  The gate asserts
+
+* **identical verdicts** per input across the two rings (the modular
+  fast path is an optimization, never a semantic change);
+* the expected absolute verdicts: clean -> ``correct``, fault ->
+  ``buggy``, corrupt -> ``invalid``;
+* every modular ``buggy`` record carries a counterexample (witnesses
+  stay sound under mod-p arithmetic).
+
+Exit code 0 when the whole matrix agrees, 1 otherwise.  Run locally
+with::
+
+    PYTHONPATH=src python scripts/ring_matrix.py
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+sys.path.insert(0, str(SRC))
+
+from lint_matrix import CLEAN_MATRIX, corrupt                  # noqa: E402
+from repro.aig.aiger import write_aag                          # noqa: E402
+from repro.genmul.faults import FAULT_KINDS, inject_visible_fault  # noqa: E402
+from repro.genmul.multiplier import generate_multiplier        # noqa: E402
+from repro.opt.scripts import optimize                         # noqa: E402
+
+
+def run_verify(paths, json_path, ring):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "verify", *map(str, paths),
+         "--ring", ring, "--json", str(json_path)],
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        capture_output=True, text=True, cwd=str(ROOT))
+    if not json_path.exists():
+        raise SystemExit(f"verify --ring {ring} wrote no JSON "
+                         f"(exit {proc.returncode}): {proc.stderr}")
+    payload = json.loads(json_path.read_text())
+    return {record["input"]: record for record in payload["records"]}
+
+
+def build_matrix(tmp):
+    """(path, expected-status) pairs for the full 19-design matrix."""
+    cases = []
+    for arch, width, script in CLEAN_MATRIX:
+        aig = optimize(generate_multiplier(arch, width), script)
+        path = tmp / f"clean_{arch}_{width}_{script}.aag"
+        write_aag(aig, str(path))
+        cases.append((path, "correct"))
+    base = generate_multiplier("SP-AR-RC", 4)
+    for kind in FAULT_KINDS:
+        for seed in (0, 1):
+            buggy = inject_visible_fault(base, kind=kind, seed=seed)
+            path = tmp / f"fault_{kind}_{seed}.aag"
+            write_aag(buggy, str(path))
+            cases.append((path, "buggy"))
+    clean_text = write_aag(base)
+    for seed in range(4):
+        path = tmp / f"corrupt_{seed}.aag"
+        path.write_text(corrupt(clean_text, seed))
+        cases.append((path, "invalid"))
+    return cases
+
+
+def main():
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = pathlib.Path(tmp)
+        cases = build_matrix(tmp)
+        paths = [path for path, _ in cases]
+        exact = run_verify(paths, tmp / "exact.json", "exact")
+        modular = run_verify(paths, tmp / "modular.json", "modular")
+        for path, expected in cases:
+            key = str(path)
+            exact_status = exact[key]["status"]
+            modular_status = modular[key]["status"]
+            if exact_status != modular_status:
+                failures.append(
+                    f"{path.name}: exact={exact_status} but "
+                    f"modular={modular_status}")
+            if exact_status != expected:
+                failures.append(f"{path.name}: expected {expected}, "
+                                f"exact ring said {exact_status}")
+            if modular_status == "buggy":
+                cex = modular[key].get("counterexample") or {}
+                if cex.get("a") is None or cex.get("b") is None:
+                    failures.append(f"{path.name}: modular buggy verdict "
+                                    f"without a counterexample")
+        total = len(cases)
+
+    if failures:
+        print(f"ring matrix: {len(failures)} FAILURE(S) over {total} designs")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"ring matrix: exact and modular agree on all {total} designs "
+          f"({len(CLEAN_MATRIX)} correct, {2 * len(FAULT_KINDS)} buggy, "
+          f"4 invalid)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

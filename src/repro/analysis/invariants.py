@@ -132,9 +132,13 @@ class InvariantMonitor:
     """
 
     def __init__(self, aig, spec, components, samples=2, seed=0,
-                 recorder=None):
+                 recorder=None, ring=None):
         from repro.aig.simulate import node_values
+        from repro.poly.ring import EXACT
 
+        if ring is None:
+            ring = EXACT
+        self.ring = ring
         self.recorder = recorder
         self.checked_commits = 0
         # Substitution-order bookkeeping: consumers of each component.
@@ -159,7 +163,9 @@ class InvariantMonitor:
             assignment = {var: values[var] & 1
                           for var in range(aig.num_vars)}
             self._assignments.append(assignment)
-            self._expected.append(spec.evaluate(assignment))
+            # canonical in the run's coefficient ring, so the comparison
+            # against a mod-p SP_i is a like-for-like one
+            self._expected.append(ring.convert(spec.evaluate(assignment)))
 
     def on_commit(self, index, component, sp):
         """Check one committed substitution (order + signature)."""

@@ -19,12 +19,14 @@ from repro.core.rewriting import RewritingEngine
 from repro.core.spec import multiplier_specification
 from repro.errors import BudgetExceeded
 from repro.obs.recorder import NULL
+from repro.poly.ring import EXACT
 
 
 def run_static_verification(aig, width_a, width_b, components, vanishing,
                             method_name, monomial_budget, time_budget,
                             signed=False, record_trace=False,
-                            want_counterexample=False, recorder=None):
+                            want_counterexample=False, recorder=None,
+                            ring=None):
     """Run the shared static engine over prepared components."""
     start = time.monotonic()
     rec = recorder if recorder is not None else NULL
@@ -37,7 +39,8 @@ def run_static_verification(aig, width_a, width_b, components, vanishing,
                              monomial_budget=monomial_budget,
                              time_budget=time_budget,
                              record_trace=record_trace,
-                             recorder=rec)
+                             recorder=rec,
+                             ring=EXACT if ring is None else ring)
     stats = {
         "nodes": aig.num_ands,
         "components": len(components),

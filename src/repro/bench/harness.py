@@ -129,8 +129,14 @@ def _static(aig, **kw):
     return verify_multiplier(aig, method="static", **kw)
 
 
+def _dyposub_modular(aig, **kw):
+    # multimodular fast path: mod-p rewriting with CRT/exact escalation
+    return verify_multiplier(aig, method="dyposub", ring="modular", **kw)
+
+
 METHODS = {
     "dyposub": _dyposub,            # this paper
+    "dyposub-modular": _dyposub_modular,  # + mod-p coefficient ring
     "revsca-static": BASELINES["revsca-static"],          # [13]
     "polycleaner-static": BASELINES["polycleaner-static"],  # [10]
     "naive-static": BASELINES["naive-static"],            # [5]/[11]

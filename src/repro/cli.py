@@ -41,7 +41,6 @@ import os
 import sys
 
 from repro.aig.aiger import read_aag, write_aag
-from repro.core.verifier import verify_multiplier
 from repro.genmul.faults import FAULT_KINDS, inject_visible_fault
 from repro.genmul.multiplier import generate_multiplier
 from repro.opt.scripts import OPTIMIZATIONS, optimize
@@ -94,6 +93,15 @@ def build_parser():
                      help="wall-clock budget in seconds")
     ver.add_argument("--threshold", type=float, default=0.1,
                      help="Algorithm 2 initial growth threshold")
+    ver.add_argument("--ring", default="exact", metavar="RING",
+                     help="coefficient ring of the rewrite stage: "
+                          "'exact' (default), 'modular' (multimodular "
+                          "fast path, 61-bit primes), or 'modular:P' "
+                          "for an explicit odd prime P")
+    ver.add_argument("--primes", type=int, default=4, metavar="N",
+                     help="--ring modular: try at most N primes before "
+                          "escalating a zero remainder to the exact "
+                          "ring (default 4)")
     ver.add_argument("--trace-out", default=None, metavar="PATH",
                      help="stream a JSONL event trace to PATH "
                           "(replay it with `repro report PATH`)")
@@ -263,17 +271,6 @@ def _emit(aig, output):
         sys.stdout.write(text)
 
 
-def _verify_kwargs(args):
-    kwargs = {"width_a": args.width_a, "signed": args.signed,
-              "method": args.method, "time_budget": args.time_budget,
-              "initial_threshold": args.threshold,
-              "check_invariants": args.check_invariants,
-              "preflight": not args.no_preflight}
-    if args.budget is not None:
-        kwargs["monomial_budget"] = args.budget
-    return kwargs
-
-
 def _verify_worker(job):
     """Module-level (picklable) batch worker: verify one AIG under its
     own recorder, return only plain data.
@@ -281,16 +278,19 @@ def _verify_worker(job):
     An input that fails pre-flight lint is reported as an ``invalid``
     record (with its diagnostics) instead of crashing the batch.
     """
+    import dataclasses
+
     from repro.bench.harness import result_record
+    from repro.core.pipeline import Pipeline
     from repro.errors import DesignLintError, ReproError
     from repro.obs.recorder import Recorder
 
-    path, kwargs = job
+    path, config = job
     recorder = Recorder()
     try:
         aig = read_aag(path)
-        result = verify_multiplier(aig, recorder=recorder,
-                                   record_trace=True, **kwargs)
+        pipeline = Pipeline(dataclasses.replace(config, record_trace=True))
+        result = pipeline.run(aig, recorder=recorder)
     except DesignLintError as exc:
         report = exc.report
         return {"input": path, "status": "invalid", "timed_out": False,
@@ -319,12 +319,19 @@ def _cmd_verify_batch(args):
 
     from repro.bench.harness import parallel_map
 
+    from repro.core.pipeline import VerifyConfig
+    from repro.errors import ConfigError
+
     if args.trace_out or args.profile:
         print("verify: --trace-out/--profile need a single input",
               file=sys.stderr)
         return 2
-    kwargs = _verify_kwargs(args)
-    jobs_args = [(path, kwargs) for path in args.inputs]
+    try:
+        config = VerifyConfig.from_args(args)
+    except ConfigError as exc:
+        print(f"verify: {exc}", file=sys.stderr)
+        return 2
+    jobs_args = [(path, config) for path in args.inputs]
     records = parallel_map(_verify_worker, jobs_args, jobs=args.jobs)
     exit_code = 0
     for record in records:
@@ -369,14 +376,21 @@ def _ingest_records(records, db):
 
 
 def _cmd_verify(args):
+    import dataclasses
     import json
 
+    from repro.core.pipeline import Pipeline, VerifyConfig
     from repro.obs.recorder import JsonlSink, Recorder
 
-    from repro.errors import DesignLintError, ReproError
+    from repro.errors import ConfigError, DesignLintError, ReproError
 
     if len(args.inputs) > 1:
         return _cmd_verify_batch(args)
+    try:
+        config = VerifyConfig.from_args(args)
+    except ConfigError as exc:
+        print(f"verify: {exc}", file=sys.stderr)
+        return 2
     try:
         aig = read_aag(args.inputs[0])
     except ReproError as exc:
@@ -385,9 +399,6 @@ def _cmd_verify(args):
         print(report_from_error(exc, subject=args.inputs[0]).render(),
               file=sys.stderr)
         return 3
-    kwargs = {}
-    if args.budget is not None:
-        kwargs["monomial_budget"] = args.budget
     recorder = None
     monitor = None
     if args.trace_out or args.profile or args.json or args.live or args.db:
@@ -400,14 +411,9 @@ def _cmd_verify(args):
                               stream=sys.stderr)
         recorder = monitor
     try:
-        result = verify_multiplier(
-            aig, width_a=args.width_a, signed=args.signed,
-            method=args.method, time_budget=args.time_budget,
-            initial_threshold=args.threshold,
-            record_trace=recorder is not None,
-            check_invariants=args.check_invariants,
-            preflight=not args.no_preflight,
-            recorder=recorder, **kwargs)
+        pipeline = Pipeline(dataclasses.replace(
+            config, record_trace=recorder is not None))
+        result = pipeline.run(aig, recorder=recorder)
     except DesignLintError as exc:
         if exc.report is not None:
             exc.report.subject = exc.report.subject or args.inputs[0]

@@ -23,6 +23,7 @@ from repro.core.spec import (
     operand_word_polynomial,
     output_word_polynomial,
 )
+from repro.core.pipeline import Pipeline, VerifyConfig
 from repro.core.vanishing import VanishingRuleSet, rules_from_blocks
 from repro.core.verifier import verify_multiplier
 from repro.core.wordlevel import (
@@ -42,6 +43,6 @@ __all__ = [
     "multiplier_specification", "adder_specification",
     "operand_word_polynomial", "output_word_polynomial",
     "VanishingRuleSet", "rules_from_blocks",
-    "verify_multiplier",
+    "verify_multiplier", "Pipeline", "VerifyConfig",
     "reduce_specification", "verify_adder", "is_boolean_valued",
 ]

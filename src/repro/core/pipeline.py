@@ -1,0 +1,561 @@
+"""Staged verification pipeline — Algorithm 1 as explicit stages.
+
+The historical ``verify_multiplier`` monolith threaded seventeen keyword
+arguments through one 200-line function.  This module splits it into
+
+* :class:`VerifyConfig` — a frozen, validated, picklable description of
+  *what* to verify (method, ring, budgets, ablation switches).  Invalid
+  configurations raise :class:`~repro.errors.ConfigError` at
+  construction time, before any pipeline work;
+* :class:`Pipeline` — the *how*: named stages ``preflight → spec →
+  atomic → vanishing → components → implications → rewrite → decide``
+  with per-stage artifacts (:class:`Artifacts`), each timed as an obs
+  span under the same names the monolith used.
+
+The stage split is what makes the **multimodular fast path** a policy
+rather than a fork of the verifier: the expensive artifacts (spec
+polynomial, atomic blocks, vanishing rules, component DAG) are built
+once, and the rewrite stage can be re-run under different coefficient
+rings.  Soundness of the escalation strategy (see DESIGN.md):
+
+* backward rewriting applies integer polynomial identities, so the
+  run's final remainder in ``Z/pZ`` equals the exact remainder reduced
+  mod ``p`` (the multilinear normal form is unique over any ring);
+* a **non-zero** remainder mod ``p`` therefore proves the design buggy
+  outright — and cheaply, because mod-``p`` coefficients never grow;
+* a **zero** remainder mod ``p`` only proves the exact remainder
+  divisible by ``p``; the pipeline *escalates* — more primes until the
+  CRT coefficient bound is cleared, or a final exact-ring run — before
+  it reports "correct".
+
+The CRT bound: after full substitution the remainder is multilinear in
+the ``n = wa + wb`` primary inputs.  On Boolean points its value is a
+difference of two ``max(W, wa+wb)``-bit words, so ``|R(x)| <
+2**(max(W, wa+wb) + 1)``; by Moebius inversion each coefficient is a
+``±1`` sum of at most ``2**n`` point values, giving ``|coeff| < B`` with
+``B = 2**(n + max(W, wa+wb) + 1)``.  Once the product of the primes with
+zero remainders exceeds ``2*B`` (coefficients live in ``(-B, B)``),
+every coefficient must be exactly zero.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+import time
+
+from repro.aig.ops import cleanup
+from repro.core.atomic import detect_atomic_blocks
+from repro.core.cones import build_components
+from repro.core.counterexample import counterexample_for
+from repro.core.dynamic import dynamic_backward_rewriting
+from repro.core.result import Trace, VerificationResult
+from repro.core.rewriting import RewritingEngine
+from repro.core.spec import multiplier_specification
+from repro.core.vanishing import VanishingRuleSet, rules_from_blocks
+from repro.errors import (BudgetExceeded, ConfigError, DesignLintError,
+                          VerificationError)
+from repro.obs.recorder import NULL
+from repro.poly.ring import (EXACT, PRIMES, ModularRing, get_ring,
+                             next_prime_above)
+
+DEFAULT_MONOMIAL_BUDGET = 5_000_000
+
+_METHODS = ("dyposub", "static")
+
+log = logging.getLogger("repro.core.pipeline")
+
+
+@dataclasses.dataclass(frozen=True)
+class VerifyConfig:
+    """Frozen, validated description of one verification task.
+
+    Everything here is plain data (picklable — batch workers ship a
+    config per process); runtime objects like the recorder are passed to
+    :meth:`Pipeline.run` instead.  Validation happens in
+    ``__post_init__`` so a bad ``method``/``ring``/``primes`` raises
+    :class:`~repro.errors.ConfigError` *before* any pipeline work.
+
+    ``ring`` selects the coefficient ring of the rewrite stage:
+    ``"exact"`` (default, today's semantics), ``"modular"`` (multimodular
+    fast path over the built-in 61-bit prime schedule) or ``"modular:P"``
+    for an explicit first prime.  ``primes`` caps how many primes the
+    escalation may try before falling back to one exact-ring run;
+    ``prime_schedule`` overrides the built-in schedule entirely (a test
+    hook — small primes make escalation reachable on small designs).
+    """
+
+    width_a: int | None = None
+    width_b: int | None = None
+    signed: bool = False
+    method: str = "dyposub"
+    monomial_budget: int | None = DEFAULT_MONOMIAL_BUDGET
+    time_budget: float | None = None
+    record_trace: bool = False
+    want_counterexample: bool = True
+    initial_threshold: float = 0.1
+    use_atomic_blocks: bool = True
+    use_vanishing: bool = True
+    use_compact: bool = True
+    extended_rules: bool = True
+    use_implications: bool = True
+    record_certificate: bool = False
+    preflight: bool = True
+    check_invariants: bool = False
+    ring: object = "exact"
+    primes: int = 4
+    prime_schedule: tuple = ()
+
+    def __post_init__(self):
+        if self.method not in _METHODS:
+            raise ConfigError(
+                f"unknown method {self.method!r} (know 'dyposub', "
+                f"'static')", method=repr(self.method))
+        get_ring(self.ring)  # raises ConfigError on an unknown ring
+        if not isinstance(self.primes, int) or isinstance(self.primes, bool) \
+                or self.primes < 1:
+            raise ConfigError(
+                f"primes must be a positive integer, got {self.primes!r}",
+                primes=repr(self.primes))
+        if self.prime_schedule:
+            object.__setattr__(self, "prime_schedule",
+                               tuple(self.prime_schedule))
+            for prime in self.prime_schedule:
+                ModularRing(prime)  # raises ConfigError on a bad prime
+
+    @classmethod
+    def from_args(cls, args):
+        """Build a config from the ``verify`` CLI namespace (the single
+        place argparse attributes map to pipeline options)."""
+        kwargs = {
+            "width_a": args.width_a,
+            "signed": args.signed,
+            "method": args.method,
+            "time_budget": args.time_budget,
+            "initial_threshold": args.threshold,
+            "check_invariants": args.check_invariants,
+            "preflight": not args.no_preflight,
+            "ring": getattr(args, "ring", "exact"),
+            "primes": getattr(args, "primes", 4),
+        }
+        if args.budget is not None:
+            kwargs["monomial_budget"] = args.budget
+        return cls(**kwargs)
+
+
+@dataclasses.dataclass
+class Artifacts:
+    """Per-stage outputs shared by every rewrite run of one pipeline.
+
+    Everything except the vanishing counters is immutable once built, so
+    escalation re-runs the rewrite stage on the same artifacts instead
+    of re-deriving them: the spec stays exact (each engine converts it
+    into its ring), components carry exact replacement polynomials
+    (reduction mod ``p`` is a homomorphism, so modular engines consume
+    them as-is).
+    """
+
+    aig: object
+    width_a: int
+    width_b: int
+    spec: object
+    blocks: list
+    vanishing: VanishingRuleSet
+    components: list
+    implication_rules: int
+    stats: dict
+
+
+class Pipeline:
+    """Runs :class:`VerifyConfig` against a design, stage by stage."""
+
+    def __init__(self, config):
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Stages
+    # ------------------------------------------------------------------
+
+    def stage_preflight(self, aig, width_a, rec):
+        """O(nodes) structural + interface lint before polynomial work."""
+        from repro.analysis.lint import preflight as run_preflight
+
+        with rec.span("preflight"):
+            report = run_preflight(aig, width_a, recorder=rec)
+        if report.errors:
+            raise DesignLintError(
+                f"design failed pre-flight lint with "
+                f"{len(report.errors)} error(s): "
+                f"{report.errors[0].message}", report=report)
+
+    def stage_prepare(self, aig, width_a, width_b, rec):
+        """Spec → atomic → vanishing → components → implications."""
+        config = self.config
+        aig = cleanup(aig)
+        with rec.span("spec"):
+            spec = multiplier_specification(aig, width_a, width_b,
+                                            signed=config.signed)
+        with rec.span("atomic"):
+            blocks = (detect_atomic_blocks(aig)
+                      if (config.use_atomic_blocks or config.use_vanishing)
+                      else [])
+        with rec.span("vanishing"):
+            if config.use_vanishing:
+                vanishing = rules_from_blocks(blocks,
+                                              extended=config.extended_rules)
+            else:
+                vanishing = VanishingRuleSet()
+        component_blocks = blocks if config.use_atomic_blocks else []
+        with rec.span("components"):
+            components, vanishing = build_components(aig, component_blocks,
+                                                     vanishing)
+        if not config.use_compact:
+            for comp in components:
+                comp.compact = None
+        implication_rules = 0
+        if config.use_vanishing and config.use_implications:
+            from repro.core.implications import add_implication_rules
+
+            with rec.span("implications"):
+                implication_rules = add_implication_rules(
+                    vanishing, aig, blocks, components)
+        stats = {
+            "nodes": aig.num_ands,
+            "width_a": width_a,
+            "width_b": width_b,
+            "components": len(components),
+            "atomic_blocks": sum(1 for c in components if c.is_atomic),
+            "full_adders": sum(1 for c in components if c.kind == "FA"),
+            "half_adders": sum(1 for c in components if c.kind == "HA"),
+            "cgc": sum(1 for c in components if c.kind == "CGC"),
+            "ffc": sum(1 for c in components if c.kind == "FFC"),
+            "implication_rules": implication_rules,
+        }
+        return Artifacts(aig=aig, width_a=width_a, width_b=width_b,
+                         spec=spec, blocks=blocks, vanishing=vanishing,
+                         components=components,
+                         implication_rules=implication_rules, stats=stats)
+
+    def stage_invariants(self, art, ring, rec):
+        """One-time machinery checks + the first run's commit monitor."""
+        from repro.analysis.invariants import (InvariantMonitor,
+                                               check_component_coverage,
+                                               check_vanishing_rules)
+        from repro.core.atomic import block_coverage
+
+        with rec.span("invariants"):
+            blocks_cov = block_coverage(art.aig, art.blocks)
+            covered = check_component_coverage(art.aig, art.components)
+            rule_count = check_vanishing_rules(art.vanishing)
+            monitor = InvariantMonitor(art.aig, art.spec, art.components,
+                                       recorder=rec, ring=ring)
+        if rec.enabled:
+            rec.event("invariants_checked", covered_nodes=covered,
+                      rules=rule_count,
+                      block_fraction=blocks_cov["fraction"])
+        return monitor
+
+    def _fresh_monitor(self, art, ring, rec):
+        """Commit monitor for an escalation re-run: the substitution-order
+        bookkeeping starts over and the expected ``SP_i`` signatures move
+        into the new run's ring."""
+        from repro.analysis.invariants import InvariantMonitor
+
+        return InvariantMonitor(art.aig, art.spec, art.components,
+                                recorder=rec, ring=ring)
+
+    def stage_rewrite(self, art, ring, rec, monitor=None, deadline=None):
+        """One backward-rewriting run in ``ring``.
+
+        Returns ``(engine, remainder)``; raises
+        :class:`~repro.errors.BudgetExceeded` on budget exhaustion.  The
+        deadline is shared across escalation runs: each engine gets only
+        the wall-clock time still remaining.
+        """
+        config = self.config
+        time_budget = config.time_budget
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise BudgetExceeded(
+                    f"time budget of {time_budget}s exhausted",
+                    kind="time", steps_done=0, max_size=0)
+            time_budget = remaining
+        engine = RewritingEngine(art.spec, art.components, art.vanishing,
+                                 monomial_budget=config.monomial_budget,
+                                 time_budget=time_budget,
+                                 record_trace=config.record_trace,
+                                 record_certificate=config.record_certificate,
+                                 recorder=rec, monitor=monitor, ring=ring)
+        try:
+            with rec.span("rewrite"):
+                if config.method == "dyposub":
+                    remainder = dynamic_backward_rewriting(
+                        engine, initial_threshold=config.initial_threshold)
+                else:
+                    remainder = engine.run_static()
+        except BudgetExceeded as exc:
+            exc.engine = engine  # the decide stage reports its counters
+            raise
+        return engine, remainder
+
+    # ------------------------------------------------------------------
+    # Ring schedule
+    # ------------------------------------------------------------------
+
+    def ring_schedule(self, bound_target=None):
+        """The rewrite-stage rings, in escalation order.
+
+        Exact config: one exact run.  Modular config: up to ``primes``
+        modular runs; :meth:`run` stops early on a non-zero remainder or
+        once the CRT bound is cleared, and appends a final exact run only
+        when the schedule is exhausted below the bound.
+
+        When the ring spec is plain ``"modular"`` (no explicit modulus
+        or schedule) and ``bound_target`` (``2*B``) is known, the first
+        prime is chosen *bound-aware*: if the built-in word-size primes
+        cannot clear ``2*B`` alone, a single prime just above the bound
+        is used instead, so one modular run decides the design — zero
+        remainder mod ``p > 2*B`` certifies correctness outright, and a
+        non-zero remainder proves it buggy, either way without
+        escalation re-runs.
+        """
+        base = get_ring(self.config.ring)
+        if base.modulus is None:
+            return [EXACT]
+        if self.config.prime_schedule:
+            primes = self.config.prime_schedule[:self.config.primes]
+        elif (self.config.ring == "modular" and bound_target is not None
+                and PRIMES[0] <= bound_target):
+            primes = [next_prime_above(bound_target)]
+        else:
+            primes = [base.modulus]
+            for prime in PRIMES:
+                if len(primes) >= self.config.primes:
+                    break
+                if prime != base.modulus:
+                    primes.append(prime)
+        return [ModularRing(p) for p in primes]
+
+    @staticmethod
+    def crt_bound(aig):
+        """``B`` with every remainder coefficient in ``(-B, B)`` — the
+        escalation may stop (and report "correct") once the product of
+        zero-remainder primes exceeds ``2*B``."""
+        n = aig.num_inputs
+        out_bits = max(len(aig.outputs), n)
+        return 1 << (n + out_bits + 1)
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+
+    def run(self, aig, recorder=None):
+        """Execute every stage and decide; the monolith's contract:
+        returns a :class:`VerificationResult`, never raises on budget
+        exhaustion (``status="timeout"``)."""
+        config = self.config
+        start = time.monotonic()
+        rec = recorder if recorder is not None else NULL
+        width_a = config.width_a
+        width_b = config.width_b
+        if width_a is None:
+            if aig.num_inputs % 2:
+                raise VerificationError(
+                    "cannot infer operand widths from an odd input count",
+                    code="RA030", context={"inputs": aig.num_inputs})
+            width_a = aig.num_inputs // 2
+        if width_b is None:
+            width_b = aig.num_inputs - width_a
+
+        if rec.enabled:
+            rec.event("run_begin", method=config.method, nodes=aig.num_ands,
+                      width_a=width_a, width_b=width_b, signed=config.signed)
+        if config.preflight:
+            self.stage_preflight(aig, width_a, rec)
+
+        art = self.stage_prepare(aig, width_a, width_b, rec)
+        rings = self.ring_schedule(2 * self.crt_bound(art.aig))
+        modular = rings[0].modulus is not None
+        monitor = None
+        if config.check_invariants:
+            monitor = self.stage_invariants(art, rings[0], rec)
+        log.debug("%s: %d nodes, %d blocks, %d components, %d rules",
+                  config.method, art.aig.num_ands, len(art.blocks),
+                  len(art.components), len(art.vanishing))
+        # Live watchdogs (repro.obs.live.LiveMonitor) expose a ``pulse``
+        # heartbeat; thread it into the vanishing reducer so stalls are
+        # caught even inside one long normalization.
+        pulse = getattr(rec, "pulse", None)
+        if pulse is not None:
+            art.vanishing.set_pulse(pulse)
+
+        deadline = (start + config.time_budget
+                    if config.time_budget is not None else None)
+        bound_target = 2 * self.crt_bound(art.aig) if modular else None
+        product = 1
+        primes_tried = 0
+        escalations = 0
+        engine = None
+        remainder = None
+        ring = rings[0]
+        for run_index, ring in enumerate(rings):
+            if run_index > 0 and config.check_invariants:
+                monitor = self._fresh_monitor(art, ring, rec)
+            if rec.enabled:
+                rec.event("ring", name=ring.name, modulus=ring.modulus,
+                          run=run_index + 1)
+            try:
+                engine, remainder = self.stage_rewrite(
+                    art, ring, rec, monitor=monitor, deadline=deadline)
+            except BudgetExceeded as exc:
+                return self._timeout_result(art, exc, rec, start, ring,
+                                            primes_tried, escalations,
+                                            modular)
+            if not modular:
+                break
+            primes_tried += 1
+            if not remainder.is_zero():
+                break  # non-zero mod p: the exact remainder is non-zero
+            product *= ring.modulus
+            if product > bound_target:
+                break  # CRT bound cleared: exact remainder is zero
+            escalations += 1
+            last = run_index == len(rings) - 1
+            if rec.enabled:
+                rec.event("escalation", reason="zero-remainder",
+                          prime=ring.modulus, primes_tried=primes_tried,
+                          proven_bits=product.bit_length(),
+                          needed_bits=bound_target.bit_length(),
+                          to="exact" if last else "prime")
+            log.info("ring %s: zero remainder below the CRT bound "
+                     "(%d/%d bits) — escalating to %s", ring.name,
+                     product.bit_length(), bound_target.bit_length(),
+                     "the exact ring" if last else "the next prime")
+        else:
+            # every scheduled prime vanished below the bound: confirm in
+            # the exact ring before "correct" may be reported
+            if config.check_invariants:
+                monitor = self._fresh_monitor(art, EXACT, rec)
+            ring = EXACT
+            if rec.enabled:
+                rec.event("ring", name=ring.name, modulus=None,
+                          run=len(rings) + 1)
+            try:
+                engine, remainder = self.stage_rewrite(
+                    art, ring, rec, monitor=monitor, deadline=deadline)
+            except BudgetExceeded as exc:
+                return self._timeout_result(art, exc, rec, start, ring,
+                                            primes_tried, escalations,
+                                            modular)
+
+        return self.stage_decide(art, engine, remainder, ring, rec, start,
+                                 monitor=monitor, primes_tried=primes_tried,
+                                 escalations=escalations, modular=modular)
+
+    # ------------------------------------------------------------------
+    # Decide
+    # ------------------------------------------------------------------
+
+    def _ring_stats(self, stats, ring, primes_tried, escalations, modular):
+        stats["ring"] = ring.name
+        if modular:
+            stats["primes_tried"] = primes_tried
+            stats["escalations"] = escalations
+
+    def _timeout_result(self, art, exc, rec, start, ring, primes_tried,
+                        escalations, modular):
+        config = self.config
+        seconds = time.monotonic() - start
+        stats = dict(art.stats)
+        engine = getattr(exc, "engine", None)
+        if engine is not None:
+            stats.update(engine_stats(engine))
+            if engine.last_threshold is not None:
+                stats["threshold"] = engine.last_threshold
+            trace = engine.trace
+            steps = engine.steps
+            max_size = engine.max_size
+        else:
+            # the shared deadline expired between escalation runs; no
+            # engine ever started, so only the exception's fields exist
+            stats.update({"steps": exc.steps_done,
+                          "max_poly_size": exc.max_size})
+            trace = Trace()
+            steps = exc.steps_done
+            max_size = exc.max_size
+        stats["budget_kind"] = exc.kind
+        self._ring_stats(stats, ring, primes_tried, escalations, modular)
+        if rec.enabled:
+            rec.event("run_end", status="timeout",
+                      seconds=round(seconds, 6), budget_kind=exc.kind,
+                      steps=steps, max_poly_size=max_size)
+        log.info("%s: timeout (%s) after %.2fs, %d steps, peak %d",
+                 config.method, exc.kind, seconds, steps, max_size)
+        return VerificationResult(status="timeout", method=config.method,
+                                  seconds=seconds, stats=stats, trace=trace)
+
+    def stage_decide(self, art, engine, remainder, ring, rec, start,
+                     monitor=None, primes_tried=0, escalations=0,
+                     modular=False):
+        """Map the final remainder to a verdict + result record."""
+        config = self.config
+        seconds = time.monotonic() - start
+        stats = dict(art.stats)
+        stats.update(engine_stats(engine))
+        self._ring_stats(stats, ring, primes_tried, escalations, modular)
+        if config.record_certificate:
+            from repro.core.certificate import Certificate
+
+            stats["certificate"] = Certificate(
+                spec=art.spec, steps=list(engine.certificate_steps),
+                remainder=remainder,
+                meta={"method": config.method, "nodes": art.aig.num_ands})
+        leftover = remainder.support() - set(art.aig.inputs)
+        if leftover:
+            raise VerificationError(
+                f"remainder still references internal variables "
+                f"{sorted(leftover)[:5]}",
+                code="RP005", context={"variables": sorted(leftover)[:8]})
+        if monitor is not None:
+            stats["invariants"] = monitor.summary()
+        status = "correct" if remainder.is_zero() else "buggy"
+        if rec.enabled:
+            rec.event("run_end", status=status, seconds=round(seconds, 6),
+                      steps=engine.steps, max_poly_size=engine.max_size)
+        log.info("%s: %s in %.2fs (%d steps, peak %d monomials, "
+                 "%d backtracks)", config.method, status, seconds,
+                 engine.steps, engine.max_size, engine.backtracks)
+        if remainder.is_zero():
+            return VerificationResult(status="correct", method=config.method,
+                                      remainder=remainder, seconds=seconds,
+                                      stats=stats, trace=engine.trace)
+        counterexample = None
+        if config.want_counterexample:
+            # sound under a modular ring too: the witness point has
+            # remainder value non-zero mod p, so the exact remainder —
+            # and with it the circuit/spec mismatch — is non-zero there
+            counterexample, a_value, b_value = counterexample_for(
+                art.aig, remainder, art.width_a)
+            stats["counterexample_a"] = a_value
+            stats["counterexample_b"] = b_value
+        return VerificationResult(status="buggy", method=config.method,
+                                  remainder=remainder,
+                                  counterexample=counterexample,
+                                  seconds=seconds, stats=stats,
+                                  trace=engine.trace)
+
+
+def engine_stats(engine):
+    """Flatten one rewriting engine's counters into result stats."""
+    return {
+        "steps": engine.steps,
+        "attempts": engine.attempt_count,
+        "backtracks": engine.backtracks,
+        "threshold_doublings": engine.threshold_doublings,
+        "max_poly_size": engine.max_size,
+        "vanishing_removed": engine.vanishing.total_removed,
+        "vanishing_rules": len(engine.vanishing),
+        "compact_hits": engine.compact_hits,
+        "compact_misses": engine.compact_misses,
+    }

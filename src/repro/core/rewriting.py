@@ -26,6 +26,7 @@ from repro.core.result import Trace, TraceStep
 from repro.errors import BudgetExceeded, VerificationError
 from repro.obs.recorder import NULL
 from repro.poly.polynomial import Polynomial
+from repro.poly.ring import EXACT
 
 
 class AttemptTooLarge(Exception):
@@ -43,10 +44,13 @@ class RewritingEngine:
 
     def __init__(self, spec, components, vanishing, monomial_budget=None,
                  time_budget=None, record_trace=False,
-                 record_certificate=False, recorder=None, monitor=None):
+                 record_certificate=False, recorder=None, monitor=None,
+                 ring=EXACT):
+        self.ring = ring
         self.vanishing = vanishing
+        vanishing.set_ring(ring)
         self.spec = spec
-        self.sp = vanishing.apply(spec)
+        self.sp = vanishing.apply(ring.convert_poly(spec))
         self.record_certificate = record_certificate
         self.certificate_steps = [] if record_certificate else None
         self.components = {comp.index: comp for comp in components}
@@ -202,7 +206,8 @@ class RewritingEngine:
             rules.reduce_products_into(out, mono ^ bit, rep_items, coeff)
             if cap is not None and len(out) > cap:
                 raise AttemptTooLarge(len(out))
-        return Polynomial({m: c for m, c in out.items() if c}, _trusted=True)
+        return Polynomial({m: c for m, c in out.items() if c}, _trusted=True,
+                          ring=self.ring)
 
     def commit(self, index, new_sp, threshold=None):
         """Install the result of :meth:`attempt` and retire the component.
@@ -295,13 +300,27 @@ class RewritingEngine:
         if set(part_a) != set(part_b):
             return None
         q_terms = {}
-        for mono, coeff in part_a.items():
-            quotient, remainder_c = divmod(coeff, coeff_a)
-            if remainder_c:
-                return None
-            if part_b[mono] != coeff_b * quotient:
-                return None
-            q_terms[mono] = quotient
+        mod = self.ring.modulus
+        if mod is None:
+            for mono, coeff in part_a.items():
+                quotient, remainder_c = divmod(coeff, coeff_a)
+                if remainder_c:
+                    return None
+                if part_b[mono] != coeff_b * quotient:
+                    return None
+                q_terms[mono] = quotient
+        else:
+            # the divisor is the same for every monomial of the G-part,
+            # so hoist the (extended-gcd) modular inverse out of the loop
+            try:
+                inv_a = pow(coeff_a % mod, -1, mod)
+            except ValueError:
+                return None  # coeff_a ≡ 0 mod p: not a unit
+            for mono, coeff in part_a.items():
+                quotient = coeff * inv_a % mod
+                if (part_b[mono] - coeff_b * quotient) % mod:
+                    return None
+                q_terms[mono] = quotient
         # rest is already rule-normalized (SP_i invariant); only the
         # fresh Q*F products need normalization.
         out = dict(rest)
@@ -309,7 +328,8 @@ class RewritingEngine:
             for f_mono, f_coeff in f_poly._terms.items():
                 self.vanishing.reduce_into(out, q_mono | f_mono,
                                            q_coeff * f_coeff)
-        return Polynomial({m: c for m, c in out.items() if c}, _trusted=True)
+        return Polynomial({m: c for m, c in out.items() if c}, _trusted=True,
+                          ring=self.ring)
 
     def _check_budget(self):
         if self.monomial_budget is not None and len(self.sp) > self.monomial_budget:

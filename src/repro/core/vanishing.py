@@ -29,6 +29,7 @@ import logging
 from repro.errors import RuleError
 from repro.poly.monomial import monomial_from_iterable, monomial_vars
 from repro.poly.polynomial import Polynomial
+from repro.poly.ring import EXACT
 
 log = logging.getLogger("repro.core.vanishing")
 
@@ -79,6 +80,9 @@ class VanishingRuleSet:
         self._pulse = None
         self._pulse_every = 0
         self._pulse_acc = 0
+        # coefficient ring the reducers accumulate in; rules themselves
+        # are integer identities and stay ring-free
+        self.ring = EXACT
         for carry_var, carry_neg, sum_var, sum_neg in pairs:
             self.add_ha_product_rule(carry_var, carry_neg, sum_var, sum_neg)
 
@@ -175,6 +179,14 @@ class VanishingRuleSet:
             self.add_rule(carry_var, input_var, [])
         # negated-carry combinations expand; intentionally skipped
 
+    def set_ring(self, ring):
+        """Switch the coefficient ring the reducers accumulate in.
+
+        The pair rules are integer identities, so they are valid in any
+        ring; only the accumulation arithmetic changes.
+        """
+        self.ring = ring
+
     def set_pulse(self, fn, every=20_000):
         """Install a heartbeat: ``fn(every)`` fires after each batch of
         ``every`` normalization calls (``None`` uninstalls)."""
@@ -209,12 +221,17 @@ class VanishingRuleSet:
             return poly
         out = {}
         self.reduce_products_into(out, 0, poly._terms.items(), 1)
-        return Polynomial({m: c for m, c in out.items() if c}, _trusted=True)
+        return Polynomial({m: c for m, c in out.items() if c}, _trusted=True,
+                          ring=self.ring)
 
     def reduce_into(self, out, mono, coeff, depth=0):
         """Accumulate the normal form of ``coeff * mono`` into ``out``."""
         if not (mono & self._trigger_mask):
-            out[mono] = out.get(mono, 0) + coeff
+            total = out.get(mono, 0) + coeff
+            mod = self.ring.modulus
+            if mod is not None:
+                total %= mod
+            out[mono] = total
             return
         self.reduce_products_into(out, mono, _ONE_PRODUCT, coeff,
                                   depth=depth)
@@ -237,16 +254,33 @@ class VanishingRuleSet:
         by_low = self._by_low
         union_by_low = self._union_by_low
         out_get = out.get
+        mod = self.ring.modulus
         removed = 0
         rewritten = 0
         stack = []
         push = stack.append
+        neg_one = None if mod is None else mod - 1
+        if mod is not None:
+            coeff_base %= mod  # the ±1 folds below need it canonical
         for rep_mono, rep_coeff in rep_items:
             mono = base | rep_mono
             if mono & trigger:
                 push((mono, coeff_base * rep_coeff, depth))
-            else:
+            elif mod is None:
                 out[mono] = out_get(mono, 0) + coeff_base * rep_coeff
+            elif rep_coeff == 1:
+                # replacement coefficients are overwhelmingly 1 and -1
+                # (canonically ``mod - 1``): folding with one conditional
+                # subtract/add avoids a big-int multiply + division per
+                # accumulation on the modular path
+                total = out_get(mono, 0) + coeff_base
+                out[mono] = total - mod if total >= mod else total
+            elif rep_coeff == neg_one:
+                total = out_get(mono, 0) - coeff_base
+                out[mono] = total + mod if total < 0 else total
+            else:
+                out[mono] = (out_get(mono, 0)
+                             + coeff_base * rep_coeff) % mod
         while stack:
             mono, coeff, depth = stack.pop()
             truncated = depth > _MAX_REWRITE_DEPTH
@@ -268,6 +302,8 @@ class VanishingRuleSet:
                         hits ^= low
                 if rule is None:
                     value = out_get(mono, 0) + coeff
+                    if mod is not None and (value >= mod or value < 0):
+                        value %= mod
                     if value:
                         out[mono] = value
                     else:

@@ -1,42 +1,25 @@
 """Top-level SCA verification — Algorithm 1 of the paper.
 
-``verify_multiplier`` wires together the whole pipeline:
+``verify_multiplier`` is the historical entry point, kept as a thin
+compatibility shim: it packs its keyword arguments into a frozen
+:class:`~repro.core.pipeline.VerifyConfig` and runs the staged
+:class:`~repro.core.pipeline.Pipeline` (``preflight → spec → atomic →
+vanishing → components → implications → rewrite → decide``).  All
+behaviour — stage spans, events, stats, timeout semantics — lives in
+:mod:`repro.core.pipeline`; baselines, the bench harness and the batch
+CLI keep calling this function unchanged.
 
-1. build the specification polynomial (line 1),
-2. reverse-engineer atomic blocks (line 2),
-3. partition the remaining logic into converging-gate and fanout-free
-   cones and extract their polynomials (lines 3-6),
-4. compile the vanishing-monomial rules (line 7),
-5. run backward rewriting — dynamic (DyPoSub) or static (prior art) —
-   (line 8), and
-6. decide correctness from the remainder (line 9).
-
-The ``method`` argument selects the engine configuration and doubles as
-the baseline switch used by the benchmark harness (see
-:mod:`repro.baselines`).
+``ring``/``primes``/``prime_schedule`` select the coefficient ring of
+the rewrite stage (the multimodular fast path); see the pipeline module
+for the escalation strategy and its soundness argument.
 """
 
 from __future__ import annotations
 
-import logging
-import time
+from repro.core.pipeline import (DEFAULT_MONOMIAL_BUDGET, Pipeline,
+                                 VerifyConfig)
 
-from repro.aig.ops import cleanup
-from repro.core.atomic import detect_atomic_blocks
-from repro.core.cones import build_components
-from repro.core.counterexample import counterexample_for
-from repro.core.dynamic import dynamic_backward_rewriting
-from repro.core.result import VerificationResult
-from repro.core.rewriting import RewritingEngine
-from repro.core.spec import multiplier_specification
-from repro.core.vanishing import VanishingRuleSet, rules_from_blocks
-from repro.errors import BudgetExceeded, DesignLintError, VerificationError
-from repro.obs.recorder import NULL
-
-
-DEFAULT_MONOMIAL_BUDGET = 5_000_000
-
-log = logging.getLogger("repro.core.verifier")
+__all__ = ["DEFAULT_MONOMIAL_BUDGET", "verify_multiplier"]
 
 
 def verify_multiplier(aig, width_a=None, width_b=None, signed=False,
@@ -48,13 +31,21 @@ def verify_multiplier(aig, width_a=None, width_b=None, signed=False,
                       use_compact=True, extended_rules=True,
                       use_implications=True, record_certificate=False,
                       recorder=None, preflight=True,
-                      check_invariants=False):
+                      check_invariants=False, ring="exact", primes=4,
+                      prime_schedule=()):
     """Formally verify a multiplier AIG.
 
     ``method`` is ``"dyposub"`` (dynamic backward rewriting) or
     ``"static"`` (the prior-art reverse-topological order on the same
     component machinery).  The ``use_*`` switches exist for ablation
     studies; DyPoSub is all three enabled.
+
+    ``ring`` is ``"exact"`` (default), ``"modular"`` or ``"modular:P"``;
+    under a modular ring the rewrite stage runs in ``Z/pZ`` and a zero
+    remainder escalates (up to ``primes`` primes, then the exact ring)
+    before "correct" is reported, while a non-zero remainder is already
+    a sound "buggy" verdict.  An invalid ``method``/``ring``/``primes``
+    raises :class:`~repro.errors.ConfigError` before any pipeline work.
 
     ``monomial_budget`` defaults to a generous safety ceiling (buggy
     circuits can grow pathologically because their residue never
@@ -79,178 +70,15 @@ def verify_multiplier(aig, width_a=None, width_b=None, signed=False,
     Returns a :class:`VerificationResult`; never raises on timeout —
     budget exhaustion is reported as ``status="timeout"``.
     """
-    start = time.monotonic()
-    rec = recorder if recorder is not None else NULL
-    if width_a is None:
-        if aig.num_inputs % 2:
-            raise VerificationError(
-                "cannot infer operand widths from an odd input count",
-                code="RA030", context={"inputs": aig.num_inputs})
-        width_a = aig.num_inputs // 2
-    if width_b is None:
-        width_b = aig.num_inputs - width_a
-
-    if rec.enabled:
-        rec.event("run_begin", method=method, nodes=aig.num_ands,
-                  width_a=width_a, width_b=width_b, signed=signed)
-    if preflight:
-        from repro.analysis.lint import preflight as run_preflight
-
-        with rec.span("preflight"):
-            report = run_preflight(aig, width_a, recorder=rec)
-        if report.errors:
-            raise DesignLintError(
-                f"design failed pre-flight lint with "
-                f"{len(report.errors)} error(s): "
-                f"{report.errors[0].message}", report=report)
-
-    aig = cleanup(aig)
-    with rec.span("spec"):
-        spec = multiplier_specification(aig, width_a, width_b, signed=signed)
-
-    with rec.span("atomic"):
-        blocks = (detect_atomic_blocks(aig)
-                  if (use_atomic_blocks or use_vanishing) else [])
-    with rec.span("vanishing"):
-        if use_vanishing:
-            vanishing = rules_from_blocks(blocks, extended=extended_rules)
-        else:
-            vanishing = VanishingRuleSet()
-    component_blocks = blocks if use_atomic_blocks else []
-    with rec.span("components"):
-        components, vanishing = build_components(aig, component_blocks,
-                                                 vanishing)
-    if not use_compact:
-        for comp in components:
-            comp.compact = None
-    implication_rules = 0
-    if use_vanishing and use_implications:
-        from repro.core.implications import add_implication_rules
-
-        with rec.span("implications"):
-            implication_rules = add_implication_rules(vanishing, aig, blocks,
-                                                      components)
-    monitor = None
-    if check_invariants:
-        from repro.analysis.invariants import (InvariantMonitor,
-                                               check_component_coverage,
-                                               check_vanishing_rules)
-        from repro.core.atomic import block_coverage
-
-        with rec.span("invariants"):
-            blocks_cov = block_coverage(aig, blocks)
-            covered = check_component_coverage(aig, components)
-            rule_count = check_vanishing_rules(vanishing)
-            monitor = InvariantMonitor(aig, spec, components, recorder=rec)
-        if rec.enabled:
-            rec.event("invariants_checked", covered_nodes=covered,
-                      rules=rule_count,
-                      block_fraction=blocks_cov["fraction"])
-    log.debug("%s: %d nodes, %d blocks, %d components, %d rules",
-              method, aig.num_ands, len(blocks), len(components),
-              len(vanishing))
-    # Live watchdogs (repro.obs.live.LiveMonitor) expose a ``pulse``
-    # heartbeat; thread it into the vanishing reducer so stalls are
-    # caught even inside one long normalization.
-    pulse = getattr(rec, "pulse", None)
-    if pulse is not None:
-        vanishing.set_pulse(pulse)
-
-    stats = {
-        "nodes": aig.num_ands,
-        "width_a": width_a,
-        "width_b": width_b,
-        "components": len(components),
-        "atomic_blocks": sum(1 for c in components if c.is_atomic),
-        "full_adders": sum(1 for c in components if c.kind == "FA"),
-        "half_adders": sum(1 for c in components if c.kind == "HA"),
-        "cgc": sum(1 for c in components if c.kind == "CGC"),
-        "ffc": sum(1 for c in components if c.kind == "FFC"),
-        "implication_rules": implication_rules,
-    }
-
-    engine = RewritingEngine(spec, components, vanishing,
-                             monomial_budget=monomial_budget,
-                             time_budget=time_budget,
-                             record_trace=record_trace,
-                             record_certificate=record_certificate,
-                             recorder=rec, monitor=monitor)
-    try:
-        with rec.span("rewrite"):
-            if method == "dyposub":
-                remainder = dynamic_backward_rewriting(
-                    engine, initial_threshold=initial_threshold)
-            elif method == "static":
-                remainder = engine.run_static()
-            else:
-                raise VerificationError(
-                    f"unknown method {method!r} (know 'dyposub', 'static')")
-    except BudgetExceeded as exc:
-        seconds = time.monotonic() - start
-        stats.update(_engine_stats(engine))
-        stats["budget_kind"] = exc.kind
-        if engine.last_threshold is not None:
-            stats["threshold"] = engine.last_threshold
-        if rec.enabled:
-            rec.event("run_end", status="timeout", seconds=round(seconds, 6),
-                      budget_kind=exc.kind, steps=engine.steps,
-                      max_poly_size=engine.max_size)
-        log.info("%s: timeout (%s) after %.2fs, %d steps, peak %d",
-                 method, exc.kind, seconds, engine.steps, engine.max_size)
-        return VerificationResult(status="timeout", method=method,
-                                  seconds=seconds, stats=stats,
-                                  trace=engine.trace)
-
-    seconds = time.monotonic() - start
-    stats.update(_engine_stats(engine))
-    if record_certificate:
-        from repro.core.certificate import Certificate
-
-        stats["certificate"] = Certificate(
-            spec=spec, steps=list(engine.certificate_steps),
-            remainder=remainder,
-            meta={"method": method, "nodes": aig.num_ands})
-    leftover = remainder.support() - set(aig.inputs)
-    if leftover:
-        raise VerificationError(
-            f"remainder still references internal variables "
-            f"{sorted(leftover)[:5]}",
-            code="RP005", context={"variables": sorted(leftover)[:8]})
-    if monitor is not None:
-        stats["invariants"] = monitor.summary()
-    status = "correct" if remainder.is_zero() else "buggy"
-    if rec.enabled:
-        rec.event("run_end", status=status, seconds=round(seconds, 6),
-                  steps=engine.steps, max_poly_size=engine.max_size)
-    log.info("%s: %s in %.2fs (%d steps, peak %d monomials, "
-             "%d backtracks)", method, status, seconds, engine.steps,
-             engine.max_size, engine.backtracks)
-    if remainder.is_zero():
-        return VerificationResult(status="correct", method=method,
-                                  remainder=remainder, seconds=seconds,
-                                  stats=stats, trace=engine.trace)
-    counterexample = None
-    if want_counterexample:
-        counterexample, a_value, b_value = counterexample_for(
-            aig, remainder, width_a)
-        stats["counterexample_a"] = a_value
-        stats["counterexample_b"] = b_value
-    return VerificationResult(status="buggy", method=method,
-                              remainder=remainder,
-                              counterexample=counterexample,
-                              seconds=seconds, stats=stats,
-                              trace=engine.trace)
-
-
-def _engine_stats(engine):
-    return {
-        "steps": engine.steps,
-        "attempts": engine.attempt_count,
-        "backtracks": engine.backtracks,
-        "threshold_doublings": engine.threshold_doublings,
-        "max_poly_size": engine.max_size,
-        "vanishing_removed": engine.vanishing.total_removed,
-        "vanishing_rules": len(engine.vanishing),
-        "compact_hits": engine.compact_hits,
-        "compact_misses": engine.compact_misses,
-    }
+    config = VerifyConfig(
+        width_a=width_a, width_b=width_b, signed=signed, method=method,
+        monomial_budget=monomial_budget, time_budget=time_budget,
+        record_trace=record_trace, want_counterexample=want_counterexample,
+        initial_threshold=initial_threshold,
+        use_atomic_blocks=use_atomic_blocks, use_vanishing=use_vanishing,
+        use_compact=use_compact, extended_rules=extended_rules,
+        use_implications=use_implications,
+        record_certificate=record_certificate, preflight=preflight,
+        check_invariants=check_invariants, ring=ring, primes=primes,
+        prime_schedule=tuple(prime_schedule))
+    return Pipeline(config).run(aig, recorder=recorder)

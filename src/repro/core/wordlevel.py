@@ -29,11 +29,12 @@ from repro.core.rewriting import RewritingEngine
 from repro.core.spec import operand_word_polynomial, output_word_polynomial
 from repro.core.vanishing import rules_from_blocks
 from repro.errors import BudgetExceeded, VerificationError
+from repro.poly.ring import EXACT
 
 
 def reduce_specification(aig, spec, method="dyposub", monomial_budget=None,
                          time_budget=None, record_trace=False,
-                         recorder=None):
+                         recorder=None, ring=None):
     """Reduce ``spec`` by backward rewriting over ``aig``.
 
     Returns ``(remainder, stats, trace)``.  The remainder is the unique
@@ -41,6 +42,11 @@ def reduce_specification(aig, spec, method="dyposub", monomial_budget=None,
     ideal: it is the zero polynomial iff the spec evaluates to zero on
     every consistent signal assignment.  Raises
     :class:`~repro.errors.BudgetExceeded` when a budget trips.
+
+    ``ring`` selects the coefficient ring of the reduction (default
+    exact integers); under a :class:`~repro.poly.ring.ModularRing` the
+    remainder is the exact remainder reduced mod ``p``, so only a
+    *non-zero* result is conclusive on its own.
 
     The AIG is used with its *current* variable numbering (the spec
     references it), so no cleanup is performed here; dead nodes are
@@ -57,7 +63,8 @@ def reduce_specification(aig, spec, method="dyposub", monomial_budget=None,
                              monomial_budget=monomial_budget,
                              time_budget=time_budget,
                              record_trace=record_trace,
-                             recorder=recorder)
+                             recorder=recorder,
+                             ring=EXACT if ring is None else ring)
     if method == "dyposub":
         remainder = dynamic_backward_rewriting(engine)
     elif method == "static":
@@ -130,14 +137,16 @@ def verify_adder(aig, width_a, width_b=None, modular=True, signed=False,
 
 
 def _divide_by_constant(poly, constant):
-    """Divide every coefficient by ``constant``; returns (quotient,
-    exact)."""
+    """Divide every coefficient by ``constant`` in the polynomial's own
+    ring; returns (quotient, exact)."""
     from repro.poly.polynomial import Polynomial
 
+    ring = poly.ring
     terms = {}
     for mono, coeff in poly.terms():
-        quotient, rest = divmod(coeff, constant)
-        if rest:
-            return Polynomial.zero(), False
-        terms[mono] = quotient
-    return Polynomial(terms, _trusted=True), True
+        quotient, exact = ring.divide(coeff, constant)
+        if not exact:
+            return Polynomial.zero(ring=ring), False
+        if quotient:
+            terms[mono] = quotient
+    return Polynomial(terms, _trusted=True, ring=ring), True

@@ -1,17 +1,26 @@
-"""Integer-coefficient multilinear polynomials over Boolean variables.
+"""Multilinear polynomials over Boolean variables with a pluggable
+coefficient ring.
 
 This is the algebra in which all of backward rewriting happens.  A
-polynomial is a finite sum ``c_1*M_1 + ... + c_j*M_j`` with integer
-coefficients and multilinear monomials (Section II-B).  Python's
-arbitrary-precision integers make the large coefficients of wide
-specification polynomials (``2**255`` for a 128x128 multiplier) exact.
+polynomial is a finite sum ``c_1*M_1 + ... + c_j*M_j`` with coefficients
+from a :class:`~repro.poly.ring.CoefficientRing` and multilinear
+monomials (Section II-B).  The default ring is the exact integers
+(Python's arbitrary precision makes the large coefficients of wide
+specification polynomials — ``2**255`` for a 128x128 multiplier —
+exact); :class:`~repro.poly.ring.ModularRing` swaps in ``Z/pZ``
+arithmetic for the multimodular fast path.
 
 The internal representation is a dict mapping **packed bitmask
-monomials** (see :mod:`repro.poly.monomial`) to non-zero integer
+monomials** (see :mod:`repro.poly.monomial`) to non-zero canonical
 coefficients: monomial product is ``|``, membership a shift-and-test,
 and dict probes hash a machine int instead of a frozenset.  Construction
 from variable iterables and all decoding helpers are preserved, so code
 outside the kernel treats monomials as opaque keys.
+
+Ring threading is branch-hoisted: every operation reads
+``ring.modulus`` once into a local and reduces coefficients only when it
+is not ``None``, so the exact path pays a single pointer test per
+accumulation — never a per-coefficient method call.
 
 Instances are immutable: every operation returns a new polynomial.  This
 is what makes the snapshot/backtrack step of dynamic backward rewriting
@@ -32,6 +41,7 @@ from repro.poly.monomial import (
     monomial_key,
     monomial_vars,
 )
+from repro.poly.ring import EXACT
 
 
 def _as_mask(monomial):
@@ -43,33 +53,49 @@ def _as_mask(monomial):
 
 
 class Polynomial:
-    """An immutable multilinear integer polynomial.
+    """An immutable multilinear polynomial over a coefficient ring.
 
     The internal representation is a dict mapping bitmask monomials to
-    non-zero integer coefficients.  Use the classmethod constructors;
+    non-zero canonical coefficients.  Use the classmethod constructors;
     the raw-dict constructor trusts its argument (no zero-coefficient or
-    type checks, keys must already be bitmasks) and is intended for
-    internal hot paths.
+    type checks, keys must already be bitmasks, coefficients already
+    canonical in the ring) and is intended for internal hot paths.
+
+    ``ring`` defaults to the shared :data:`~repro.poly.ring.EXACT`
+    integers.  Binary operations resolve mixed rings towards the modular
+    operand (exact coefficients embed canonically); combining two
+    *different* modular rings is an error.  Equality compares the term
+    dicts only — ring-tagged views of the same canonical terms compare
+    equal, which keeps the exact-path semantics bit-identical to the
+    historical integer-only kernel.
     """
 
-    __slots__ = ("_terms", "_occ")
+    __slots__ = ("_terms", "_occ", "_ring")
 
-    def __init__(self, terms=None, _trusted=False):
+    def __init__(self, terms=None, _trusted=False, ring=None):
         self._occ = None
+        self._ring = EXACT if ring is None else ring
         if terms is None:
             self._terms = {}
         elif _trusted:
             self._terms = terms
         else:
+            mod = self._ring.modulus
             clean = {}
             for mono, coeff in dict(terms).items():
                 if not isinstance(coeff, int):
                     raise PolynomialError(f"non-integer coefficient {coeff!r}")
                 mono = _as_mask(mono)
+                if mod is not None:
+                    coeff %= mod
                 if coeff:
-                    clean[mono] = clean.get(mono, 0) + coeff
-                    if not clean[mono]:
-                        del clean[mono]
+                    total = clean.get(mono, 0) + coeff
+                    if mod is not None:
+                        total %= mod
+                    if total:
+                        clean[mono] = total
+                    else:
+                        clean.pop(mono, None)
             self._terms = clean
 
     # ------------------------------------------------------------------
@@ -77,41 +103,100 @@ class Polynomial:
     # ------------------------------------------------------------------
 
     @classmethod
-    def zero(cls):
-        return cls({}, _trusted=True)
+    def zero(cls, ring=None):
+        return cls({}, _trusted=True, ring=ring)
 
     @classmethod
-    def one(cls):
-        return cls.constant(1)
+    def one(cls, ring=None):
+        return cls.constant(1, ring=ring)
 
     @classmethod
-    def constant(cls, value):
+    def constant(cls, value, ring=None):
         if not isinstance(value, int):
             raise PolynomialError(f"non-integer constant {value!r}")
+        ring = EXACT if ring is None else ring
+        value = ring.convert(value)
         if value == 0:
-            return cls.zero()
-        return cls({CONST_MONOMIAL: value}, _trusted=True)
+            return cls.zero(ring=ring)
+        return cls({CONST_MONOMIAL: value}, _trusted=True, ring=ring)
 
     @classmethod
-    def variable(cls, var):
-        return cls({1 << var: 1}, _trusted=True)
+    def variable(cls, var, ring=None):
+        return cls({1 << var: 1}, _trusted=True, ring=ring)
 
     @classmethod
-    def from_terms(cls, terms):
+    def from_terms(cls, terms, ring=None):
         """Build from ``(coefficient, monomial)`` pairs; a monomial is a
         variable iterable or an already-packed bitmask."""
+        ring = EXACT if ring is None else ring
+        mod = ring.modulus
         acc = {}
         for coeff, variables in terms:
             mono = _as_mask(variables)
-            acc[mono] = acc.get(mono, 0) + coeff
-        return cls({m: c for m, c in acc.items() if c}, _trusted=True)
+            total = acc.get(mono, 0) + coeff
+            if mod is not None:
+                total %= mod
+            acc[mono] = total
+        return cls({m: c for m, c in acc.items() if c}, _trusted=True,
+                   ring=ring)
 
     @classmethod
-    def literal(cls, var, negated):
+    def literal(cls, var, negated, ring=None):
         """The polynomial of an AIG literal: ``x`` or ``1 - x`` (eq. (1))."""
+        ring = EXACT if ring is None else ring
         if negated:
-            return cls({CONST_MONOMIAL: 1, 1 << var: -1}, _trusted=True)
-        return cls.variable(var)
+            return cls({CONST_MONOMIAL: 1, 1 << var: ring.convert(-1)},
+                       _trusted=True, ring=ring)
+        return cls.variable(var, ring=ring)
+
+    # ------------------------------------------------------------------
+    # Ring plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def ring(self):
+        """The coefficient ring this polynomial's terms live in."""
+        return self._ring
+
+    def to_ring(self, ring):
+        """This polynomial with coefficients converted into ``ring``.
+
+        Exact -> modular reduces every coefficient mod ``p``; the
+        reverse direction lifts the canonical representatives as-is.
+        Returns ``self`` when the ring already matches.
+        """
+        if ring is self._ring or ring == self._ring:
+            return self
+        mod = ring.modulus
+        if mod is None:
+            return Polynomial(dict(self._terms), _trusted=True, ring=ring)
+        terms = {}
+        for mono, coeff in self._terms.items():
+            coeff %= mod
+            if coeff:
+                terms[mono] = coeff
+        return Polynomial(terms, _trusted=True, ring=ring)
+
+    def _resolve_ring(self, other):
+        """Common ring of a binary operation, converting the *exact*
+        operand when the other is modular.  Returns ``(ring, a, b)``."""
+        ra = self._ring
+        rb = other._ring
+        if ra is rb:
+            return ra, self, other
+        ma = ra.modulus
+        mb = rb.modulus
+        if ma is None and mb is None:
+            return ra, self, other
+        if ma is None:
+            return rb, self.to_ring(rb), other
+        if mb is None:
+            return ra, self, other.to_ring(ra)
+        if ma == mb:
+            return ra, self, other
+        raise PolynomialError(
+            f"cannot combine polynomials over different moduli "
+            f"({ma} and {mb})")
 
     # ------------------------------------------------------------------
     # Inspection
@@ -237,64 +322,96 @@ class Polynomial:
 
     def __add__(self, other):
         other = self._coerce(other)
-        if len(self._terms) < len(other._terms):
-            small, big = self._terms, other._terms
+        ring, left, right = self._resolve_ring(other)
+        mod = ring.modulus
+        if len(left._terms) < len(right._terms):
+            small, big = left._terms, right._terms
         else:
-            small, big = other._terms, self._terms
+            small, big = right._terms, left._terms
         result = dict(big)
         for mono, coeff in small.items():
             total = result.get(mono, 0) + coeff
+            if mod is not None:
+                total %= mod
             if total:
                 result[mono] = total
             else:
                 result.pop(mono, None)
-        return Polynomial(result, _trusted=True)
+        return Polynomial(result, _trusted=True, ring=ring)
 
     __radd__ = __add__
 
     def __neg__(self):
-        return Polynomial({m: -c for m, c in self._terms.items()}, _trusted=True)
+        mod = self._ring.modulus
+        if mod is None:
+            terms = {m: -c for m, c in self._terms.items()}
+        else:
+            terms = {m: mod - c for m, c in self._terms.items()}
+        return Polynomial(terms, _trusted=True, ring=self._ring)
 
     def __sub__(self, other):
         # single merge pass — no intermediate negated polynomial
         other = self._coerce(other)
-        result = dict(self._terms)
-        for mono, coeff in other._terms.items():
+        ring, left, right = self._resolve_ring(other)
+        mod = ring.modulus
+        result = dict(left._terms)
+        for mono, coeff in right._terms.items():
             total = result.get(mono, 0) - coeff
+            if mod is not None:
+                total %= mod
             if total:
                 result[mono] = total
             else:
                 result.pop(mono, None)
-        return Polynomial(result, _trusted=True)
+        return Polynomial(result, _trusted=True, ring=ring)
 
     def __rsub__(self, other):
         other = self._coerce(other)
-        result = dict(other._terms)
-        for mono, coeff in self._terms.items():
+        ring, left, right = self._resolve_ring(other)
+        mod = ring.modulus
+        result = dict(right._terms)
+        for mono, coeff in left._terms.items():
             total = result.get(mono, 0) - coeff
+            if mod is not None:
+                total %= mod
             if total:
                 result[mono] = total
             else:
                 result.pop(mono, None)
-        return Polynomial(result, _trusted=True)
+        return Polynomial(result, _trusted=True, ring=ring)
 
     def __mul__(self, other):
+        ring = self._ring
         if isinstance(other, int):
+            mod = ring.modulus
+            if mod is not None:
+                other %= mod
             if other == 0:
-                return Polynomial.zero()
-            return Polynomial({m: c * other for m, c in self._terms.items()},
-                              _trusted=True)
+                return Polynomial.zero(ring=ring)
+            if mod is None:
+                terms = {m: c * other for m, c in self._terms.items()}
+            else:
+                terms = {}
+                for m, c in self._terms.items():
+                    c = c * other % mod
+                    if c:
+                        terms[m] = c
+            return Polynomial(terms, _trusted=True, ring=ring)
         other = self._coerce(other)
+        ring, left, right = self._resolve_ring(other)
+        mod = ring.modulus
         result = {}
-        for ma, ca in self._terms.items():
-            for mb, cb in other._terms.items():
+        for ma, ca in left._terms.items():
+            for mb, cb in right._terms.items():
                 mono = ma | mb
                 total = result.get(mono, 0) + ca * cb
+                if mod is not None:
+                    total %= mod
                 if total:
                     result[mono] = total
                 else:
                     result.pop(mono, None)
-        return Polynomial(result, _trusted=True)
+        return Polynomial(result, _trusted=True, ring=ring)
 
     __rmul__ = __mul__
 
@@ -302,11 +419,12 @@ class Polynomial:
         if isinstance(other, Polynomial):
             return other
         if isinstance(other, int):
-            return Polynomial.constant(other)
+            return Polynomial.constant(other, ring=self._ring)
         raise PolynomialError(f"cannot combine polynomial with {other!r}")
 
     def __eq__(self, other):
         if isinstance(other, int):
+            other = self._ring.convert(other)
             return self._terms == ({} if other == 0
                                    else {CONST_MONOMIAL: other})
         if not isinstance(other, Polynomial):
@@ -338,18 +456,52 @@ class Polynomial:
                 result[mono] = coeff
         if not touched:
             return self
-        rep_terms = replacement._terms if isinstance(replacement, Polynomial) \
-            else self._coerce(replacement)._terms
+        if not isinstance(replacement, Polynomial):
+            replacement = self._coerce(replacement)
+        ring, _, _ = self._resolve_ring(replacement)
+        if ring is not self._ring:
+            # rare mixed-ring call: canonicalize self first so the
+            # accumulation below only ever sees canonical coefficients
+            return self.to_ring(ring).substitute(var, replacement)
+        mod = ring.modulus
+        rep_terms = replacement._terms
+        if mod is None:
+            for mono, coeff in touched:
+                rest = mono ^ bit
+                for rm, rc in rep_terms.items():
+                    new_mono = rest | rm
+                    total = result.get(new_mono, 0) + coeff * rc
+                    if total:
+                        result[new_mono] = total
+                    else:
+                        result.pop(new_mono, None)
+            return Polynomial(result, _trusted=True, ring=ring)
+        # Modular fast path: AIG tails are dominated by coefficients
+        # 1 and -1 (canonically ``mod - 1``).  Specializing them turns
+        # the 3-digit multiply + division per accumulation into an
+        # add/subtract with a single conditional fold back into
+        # ``[0, mod)`` — the increment magnitude is below ``mod``, so one
+        # correction always suffices.
+        neg_one = mod - 1
         for mono, coeff in touched:
             rest = mono ^ bit
             for rm, rc in rep_terms.items():
                 new_mono = rest | rm
-                total = result.get(new_mono, 0) + coeff * rc
+                if rc == 1:
+                    total = result.get(new_mono, 0) + coeff
+                    if total >= mod:
+                        total -= mod
+                elif rc == neg_one:
+                    total = result.get(new_mono, 0) - coeff
+                    if total < 0:
+                        total += mod
+                else:
+                    total = (result.get(new_mono, 0) + coeff * rc) % mod
                 if total:
                     result[new_mono] = total
                 else:
                     result.pop(new_mono, None)
-        return Polynomial(result, _trusted=True)
+        return Polynomial(result, _trusted=True, ring=ring)
 
     def substitute_many(self, mapping):
         """Substitute several variables simultaneously.
@@ -357,6 +509,8 @@ class Polynomial:
         ``mapping`` maps variable -> Polynomial.  Simultaneous semantics:
         replacement polynomials are not re-examined for mapped variables.
         """
+        ring = self._ring
+        mod = ring.modulus
         mapped = 0
         for var in mapping:
             mapped |= 1 << var
@@ -365,21 +519,26 @@ class Polynomial:
             hit = mono & mapped
             if not hit:
                 total = result.get(mono, 0) + coeff
+                if mod is not None:
+                    total %= mod
                 if total:
                     result[mono] = total
                 else:
                     result.pop(mono, None)
                 continue
-            product = Polynomial({mono ^ hit: coeff}, _trusted=True)
+            product = Polynomial({mono ^ hit: coeff}, _trusted=True,
+                                 ring=ring)
             for v in monomial_vars(hit):
                 product = product * mapping[v]
             for pm, pc in product._terms.items():
                 total = result.get(pm, 0) + pc
+                if mod is not None:
+                    total %= mod
                 if total:
                     result[pm] = total
                 else:
                     result.pop(pm, None)
-        return Polynomial(result, _trusted=True)
+        return Polynomial(result, _trusted=True, ring=ring)
 
     def transform_monomials(self, fn):
         """Apply ``fn(monomial) -> monomial | None`` to every monomial.
@@ -388,6 +547,7 @@ class Polynomial:
         deleted_count, rewritten_count)``; used by vanishing-monomial
         removal.
         """
+        mod = self._ring.modulus
         result = {}
         deleted = 0
         rewritten = 0
@@ -399,11 +559,14 @@ class Polynomial:
             if image != mono:
                 rewritten += 1
             total = result.get(image, 0) + coeff
+            if mod is not None:
+                total %= mod
             if total:
                 result[image] = total
             else:
                 result.pop(image, None)
-        return Polynomial(result, _trusted=True), deleted, rewritten
+        return (Polynomial(result, _trusted=True, ring=self._ring),
+                deleted, rewritten)
 
     # ------------------------------------------------------------------
     # Evaluation & printing
@@ -414,7 +577,10 @@ class Polynomial:
 
         Multilinearity means this is only meaningful for 0/1 values; other
         integers would silently disagree with the ``x**2 = x`` reduction,
-        so they are rejected.
+        so they are rejected.  The result is canonical in the ring —
+        under a modular ring a value of 0 only proves the exact value
+        divisible by ``p``, which is exactly the one-sided soundness the
+        escalation pipeline relies on.
         """
         total = 0
         for mono, coeff in self._terms.items():
@@ -430,6 +596,9 @@ class Polynomial:
                     break
                 mono ^= low
             total += value
+        mod = self._ring.modulus
+        if mod is not None:
+            total %= mod
         return total
 
     def sorted_terms(self):

@@ -1,0 +1,273 @@
+"""Pluggable coefficient rings for the polynomial kernel.
+
+Backward rewriting is ring-agnostic: every identity it applies — node
+tail substitution, the compact word-level relation ``G(outs) = F(ins)``,
+the vanishing pair rules — holds with *integer* coefficients on every
+circuit-consistent assignment, and therefore also holds modulo any
+prime.  This module makes the coefficient domain an explicit, swappable
+object:
+
+* :class:`ExactIntRing` (the :data:`EXACT` singleton) — Python big-int
+  arithmetic, today's semantics and the zero-overhead default;
+* :class:`ModularRing` — arithmetic in ``Z/pZ`` for an odd prime ``p``,
+  with coefficients kept canonical in ``[0, p)``.
+
+The modular ring is the multimodular fast path of "Avoiding Big
+Integers: Parallel Multimodular Algebraic Verification of Arithmetic
+Circuits": wide specification polynomials carry coefficients up to
+``2**255``, and reducing them mod a machine-word prime caps every
+coefficient at a few int digits.  Soundness is one-directional by
+design — a remainder that is *non-zero* mod ``p`` proves the exact
+remainder non-zero (the mod-``p`` reduction is a ring homomorphism and
+the multilinear normal form is unique over any ring), while a *zero*
+remainder mod ``p`` only proves divisibility by ``p`` and must be
+escalated (more primes up to the CRT coefficient bound, or the exact
+ring) before "correct" may be reported.  The escalation policy lives in
+:mod:`repro.core.pipeline`; this module only provides the arithmetic.
+
+Hot loops do not call ring methods per coefficient: they hoist
+``ring.modulus`` into a local and branch on ``mod is not None``, so the
+exact path pays one pointer test per accumulation and nothing else.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_probable_prime(n):
+    """Deterministic Miller-Rabin for every ``n < 3.3 * 10**24`` (and a
+    strong probabilistic test beyond); used to validate moduli."""
+    if n < 2:
+        return False
+    for p in _MR_WITNESSES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+class CoefficientRing:
+    """Coefficient domain of a :class:`~repro.poly.polynomial.Polynomial`.
+
+    ``modulus`` is ``None`` for the exact integers and an odd prime for
+    ``Z/pZ``; hot loops branch on it directly instead of calling the
+    method API, which exists for the cold paths (ring division, config
+    plumbing, tests).
+    """
+
+    __slots__ = ()
+
+    modulus = None
+    name = "exact"
+
+    def convert(self, value):
+        """Canonical representative of an integer in this ring."""
+        raise NotImplementedError
+
+    def convert_poly(self, poly):
+        """``poly`` with every coefficient converted into this ring."""
+        return poly.to_ring(self)
+
+    def add(self, a, b):
+        raise NotImplementedError
+
+    def sub(self, a, b):
+        raise NotImplementedError
+
+    def mul(self, a, b):
+        raise NotImplementedError
+
+    def neg(self, a):
+        raise NotImplementedError
+
+    def divide(self, a, b):
+        """Ring division: ``(quotient, exact)`` with ``a == b * quotient``
+        when ``exact``.  Over the integers this is ``divmod`` exactness;
+        over ``Z/pZ`` it multiplies by the inverse and is exact whenever
+        ``b`` is a unit."""
+        raise NotImplementedError
+
+    def is_zero(self, a):
+        return a == 0
+
+
+class ExactIntRing(CoefficientRing):
+    """Arbitrary-precision integer coefficients (the default)."""
+
+    __slots__ = ()
+
+    def convert(self, value):
+        return value
+
+    def convert_poly(self, poly):
+        return poly
+
+    def add(self, a, b):
+        return a + b
+
+    def sub(self, a, b):
+        return a - b
+
+    def mul(self, a, b):
+        return a * b
+
+    def neg(self, a):
+        return -a
+
+    def divide(self, a, b):
+        if b == 0:
+            return 0, a == 0
+        quotient, rest = divmod(a, b)
+        return quotient, rest == 0
+
+    def __repr__(self):
+        return "ExactIntRing()"
+
+    def __eq__(self, other):
+        return isinstance(other, ExactIntRing)
+
+    def __hash__(self):
+        return hash(ExactIntRing)
+
+
+class ModularRing(CoefficientRing):
+    """Coefficients in ``Z/pZ`` for an odd prime ``p``.
+
+    ``p`` must be an odd prime: the specification polynomial and the
+    compact word-level relations divide by 2, so 2 must be a unit, and
+    primality makes every non-zero coefficient invertible (ring division
+    in :meth:`divide` is total on units).
+    """
+
+    __slots__ = ("modulus", "name")
+
+    def __init__(self, modulus):
+        if not isinstance(modulus, int) or isinstance(modulus, bool):
+            raise ConfigError(
+                f"modular ring needs an integer modulus, got {modulus!r}",
+                modulus=repr(modulus))
+        if modulus < 3 or modulus % 2 == 0:
+            raise ConfigError(
+                f"modular ring needs an odd prime modulus >= 3, got "
+                f"{modulus}", modulus=modulus)
+        if not is_probable_prime(modulus):
+            raise ConfigError(
+                f"modular ring modulus {modulus} is not prime",
+                modulus=modulus)
+        self.modulus = modulus
+        self.name = f"modular:{modulus}"
+
+    def convert(self, value):
+        return value % self.modulus
+
+    def add(self, a, b):
+        return (a + b) % self.modulus
+
+    def sub(self, a, b):
+        return (a - b) % self.modulus
+
+    def mul(self, a, b):
+        return a * b % self.modulus
+
+    def neg(self, a):
+        return -a % self.modulus
+
+    def divide(self, a, b):
+        p = self.modulus
+        b %= p
+        if b == 0:
+            return 0, a % p == 0
+        return a * pow(b, -1, p) % p, True
+
+    def __repr__(self):
+        return f"ModularRing({self.modulus})"
+
+    def __eq__(self, other):
+        return (isinstance(other, ModularRing)
+                and other.modulus == self.modulus)
+
+    def __hash__(self):
+        return hash((ModularRing, self.modulus))
+
+
+def next_prime_above(n):
+    """Smallest odd (probable) prime strictly greater than ``n``.
+
+    The pipeline uses this to pick a *bound-covering* prime: when a
+    design's CRT coefficient bound exceeds the built-in word-size
+    schedule, a single prime just above ``2*B`` certifies correctness in
+    one modular run instead of escalating through several primes.  The
+    prime gap near ``n`` is ~``ln(n)``, so the scan is a handful of
+    Miller-Rabin tests even for thousand-bit bounds.
+    """
+    candidate = max(3, n + 1) | 1
+    while not is_probable_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+#: The shared exact ring; identity-compared on hot paths.
+EXACT = ExactIntRing()
+
+#: Default escalation schedule: sixteen 61/62-bit primes (the first is
+#: the Mersenne prime ``2**61 - 1``).  Their product exceeds ``2**976``,
+#: which covers the CRT coefficient bound of every multiplier with up to
+#: ~320 total operand bits; wider designs escalate to the exact ring.
+PRIMES = (
+    2305843009213693951, 2305843009213693967, 2305843009213693973,
+    2305843009213694009, 2305843009213694017, 2305843009213694087,
+    2305843009213694149, 2305843009213694173, 2305843009213694207,
+    2305843009213694257, 2305843009213694317, 2305843009213694323,
+    2305843009213694381, 2305843009213694411, 2305843009213694429,
+    2305843009213694443,
+)
+
+
+def get_ring(spec, default_prime=None):
+    """Resolve a ring specification to a :class:`CoefficientRing`.
+
+    Accepts a ring instance (returned as-is), ``"exact"``, ``"modular"``
+    (first prime of :data:`PRIMES`, or ``default_prime``) or
+    ``"modular:P"`` for an explicit odd-prime modulus.  Raises
+    :class:`~repro.errors.ConfigError` for anything else — this is the
+    *early* config validation the pipeline runs before any work.
+    """
+    if isinstance(spec, CoefficientRing):
+        return spec
+    if not isinstance(spec, str):
+        raise ConfigError(f"unknown coefficient ring {spec!r} "
+                          f"(know 'exact', 'modular', 'modular:P')",
+                          ring=repr(spec))
+    if spec == "exact":
+        return EXACT
+    if spec == "modular":
+        return ModularRing(default_prime if default_prime is not None
+                           else PRIMES[0])
+    if spec.startswith("modular:"):
+        body = spec[len("modular:"):]
+        try:
+            modulus = int(body)
+        except ValueError:
+            raise ConfigError(
+                f"bad modular ring modulus {body!r} (need an integer)",
+                ring=spec) from None
+        return ModularRing(modulus)
+    raise ConfigError(f"unknown coefficient ring {spec!r} "
+                      f"(know 'exact', 'modular', 'modular:P')", ring=spec)

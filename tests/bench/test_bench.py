@@ -55,9 +55,9 @@ class TestCache:
 
 class TestMethods:
     def test_method_table_complete(self):
-        assert set(METHODS) == {"dyposub", "revsca-static",
-                                "polycleaner-static", "naive-static",
-                                "columnwise-static"}
+        assert set(METHODS) == {"dyposub", "dyposub-modular",
+                                "revsca-static", "polycleaner-static",
+                                "naive-static", "columnwise-static"}
 
     def test_run_method(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path))

@@ -1,0 +1,270 @@
+"""The staged pipeline: VerifyConfig validation, exact/modular verdict
+agreement, and the multimodular escalation strategy."""
+
+import pickle
+
+import pytest
+
+from repro.aig.aig import Aig
+from repro.core import Pipeline, VerifyConfig, verify_multiplier
+from repro.errors import ConfigError
+from repro.genmul import generate_multiplier
+from repro.genmul.faults import FAULT_KINDS, inject_visible_fault
+from repro.obs.recorder import Recorder
+
+
+def sextuple_output_multiplier():
+    """A 1x1 "multiplier" whose circuit word is 7*a*b instead of a*b.
+
+    The remainder is ``6*a*b`` — zero mod 3 but non-zero exactly — which
+    forces the escalation path when the first scheduled prime is 3.
+    """
+    aig = Aig()
+    a = aig.add_input("a0")
+    b = aig.add_input("b0")
+    g = aig.add_and(a, b)
+    for k in range(3):
+        aig.add_output(g, name=f"o{k}")
+    return aig
+
+
+class TestVerifyConfig:
+    def test_validation_is_early(self):
+        # aig=None proves no pipeline work happens before validation
+        with pytest.raises(ConfigError):
+            verify_multiplier(None, method="bogus")
+        with pytest.raises(ConfigError):
+            verify_multiplier(None, ring="float64")
+        with pytest.raises(ConfigError):
+            verify_multiplier(None, ring="modular:91")
+        with pytest.raises(ConfigError):
+            verify_multiplier(None, primes=-1)
+        with pytest.raises(ConfigError):
+            verify_multiplier(None, prime_schedule=(4,))
+
+    def test_frozen_and_picklable(self):
+        config = VerifyConfig(ring="modular", primes=2)
+        with pytest.raises(Exception):
+            config.method = "static"
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+
+    def test_from_args(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["verify", "x.aag", "--method", "static", "--budget", "123",
+             "--ring", "modular", "--primes", "2", "--threshold", "0.5"])
+        config = VerifyConfig.from_args(args)
+        assert config.method == "static"
+        assert config.monomial_budget == 123
+        assert config.ring == "modular"
+        assert config.primes == 2
+        assert config.initial_threshold == 0.5
+        assert config.preflight
+
+    def test_from_args_rejects_bad_ring(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["verify", "x.aag", "--ring", "modular:15"])
+        with pytest.raises(ConfigError):
+            VerifyConfig.from_args(args)
+
+
+class TestRingAgreement:
+    @pytest.mark.parametrize("method", ["dyposub", "static"])
+    def test_correct_design_agrees(self, mult_4x4_dadda, method):
+        exact = verify_multiplier(mult_4x4_dadda, method=method)
+        modular = verify_multiplier(mult_4x4_dadda, method=method,
+                                    ring="modular")
+        assert exact.status == modular.status == "correct"
+        assert modular.stats["ring"].startswith("modular:")
+        assert modular.stats["primes_tried"] == 1
+        assert modular.stats["escalations"] == 0
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_faults_agree(self, mult_4x4_dadda, kind):
+        buggy = inject_visible_fault(mult_4x4_dadda, kind=kind, seed=1)
+        exact = verify_multiplier(buggy)
+        modular = verify_multiplier(buggy, ring="modular")
+        assert exact.status == modular.status == "buggy"
+        # the modular counterexample is sound: non-zero mod p at the
+        # witness implies the exact remainder is non-zero there
+        assert modular.counterexample is not None
+        assert exact.counterexample is not None
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_exact_ring_counterexample_per_fault(self, mult_4x4_array,
+                                                 kind):
+        buggy = inject_visible_fault(mult_4x4_array, kind=kind, seed=2)
+        result = verify_multiplier(buggy, ring="exact")
+        assert result.status == "buggy"
+        assert result.counterexample is not None
+        assert result.remainder.evaluate(dict(result.counterexample)) != 0
+
+
+class TestEscalation:
+    def test_zero_remainder_mod_first_prime_escalates(self):
+        aig = sextuple_output_multiplier()
+        recorder = Recorder()
+        result = verify_multiplier(aig, preflight=False, ring="modular",
+                                   prime_schedule=(3, 5),
+                                   recorder=recorder)
+        recorder.close()
+        assert result.status == "buggy"
+        assert result.stats["ring"] == "modular:5"
+        assert result.stats["primes_tried"] == 2
+        assert result.stats["escalations"] == 1
+        escalations = [e for e in recorder.events
+                       if e["ev"] == "escalation"]
+        assert len(escalations) == 1
+        assert escalations[0]["prime"] == 3
+        assert escalations[0]["reason"] == "zero-remainder"
+        rings = [e["name"] for e in recorder.events if e["ev"] == "ring"]
+        assert rings == ["modular:3", "modular:5"]
+
+    def test_buggy_never_verifies_correct_under_any_schedule(self):
+        aig = sextuple_output_multiplier()
+        schedules = [(3,), (3, 3), (3, 5), (5, 3), (7,), (3, 5, 7, 11)]
+        for schedule in schedules:
+            result = verify_multiplier(aig, preflight=False,
+                                       ring="modular",
+                                       prime_schedule=schedule,
+                                       primes=len(schedule))
+            assert result.status == "buggy", schedule
+
+    def test_all_primes_vanish_falls_back_to_exact(self):
+        # remainder 6ab vanishes mod 3 AND... use schedule (3,) so the
+        # single prime vanishes, the CRT bound is far away, and the
+        # exact confirmation run must deliver the buggy verdict
+        aig = sextuple_output_multiplier()
+        recorder = Recorder()
+        result = verify_multiplier(aig, preflight=False, ring="modular",
+                                   prime_schedule=(3,), primes=1,
+                                   recorder=recorder)
+        recorder.close()
+        assert result.status == "buggy"
+        assert result.stats["ring"] == "exact"
+        rings = [e["name"] for e in recorder.events if e["ev"] == "ring"]
+        assert rings == ["modular:3", "exact"]
+
+    def test_correct_design_below_bound_escalates_to_exact(self,
+                                                           mult_4x4_array):
+        # tiny primes can never clear the 4x4 CRT bound (2**18), so a
+        # correct design must be confirmed by the exact ring
+        result = verify_multiplier(mult_4x4_array, ring="modular",
+                                   prime_schedule=(3, 5), primes=2)
+        assert result.status == "correct"
+        assert result.stats["ring"] == "exact"
+        assert result.stats["primes_tried"] == 2
+        assert result.stats["escalations"] == 2
+
+    def test_crt_bound_certifies_without_exact_run(self, mult_4x4_array):
+        # one 61-bit prime comfortably exceeds 2*B = 2**18 for 4x4
+        result = verify_multiplier(mult_4x4_array, ring="modular")
+        assert result.status == "correct"
+        assert result.stats["ring"].startswith("modular:")
+        assert result.stats["primes_tried"] == 1
+
+    def test_crt_bound_value(self, mult_4x4_array):
+        from repro.aig.ops import cleanup
+
+        aig = cleanup(mult_4x4_array)
+        bound = Pipeline.crt_bound(aig)
+        assert bound == 1 << (aig.num_inputs
+                              + max(len(aig.outputs), aig.num_inputs) + 1)
+
+    def test_bound_aware_prime_selection(self):
+        from repro.poly import PRIMES
+
+        pipeline = Pipeline(VerifyConfig(ring="modular", primes=4))
+        # small bound: the word-size schedule already covers it
+        small = pipeline.ring_schedule(1 << 34)
+        assert [r.modulus for r in small] == list(PRIMES[:4])
+        # wide bound: a single bound-covering prime replaces escalation
+        wide = pipeline.ring_schedule(1 << 66)
+        assert len(wide) == 1
+        assert wide[0].modulus > 1 << 66
+        # explicit modulus and explicit schedules stay untouched
+        pinned = Pipeline(VerifyConfig(ring="modular:97", primes=2))
+        assert [r.modulus for r in pinned.ring_schedule(1 << 66)] == \
+            [97, PRIMES[0]]
+        sched = Pipeline(VerifyConfig(ring="modular", prime_schedule=(3, 5),
+                                      primes=2))
+        assert [r.modulus for r in sched.ring_schedule(1 << 66)] == [3, 5]
+
+    def test_wide_bound_single_run(self, mult_4x4_dadda):
+        # force the bound-aware path by pretending the schedule cannot
+        # cover the design: config widths don't change crt_bound, so use
+        # ring_schedule directly plus an end-to-end run on a real design
+        pipeline = Pipeline(VerifyConfig(ring="modular"))
+        result = pipeline.run(mult_4x4_dadda)
+        assert result.status == "correct"
+        assert result.stats["primes_tried"] == 1
+        assert result.stats["escalations"] == 0
+
+
+class TestPipelineApi:
+    def test_pipeline_direct(self, mult_4x4_dadda):
+        pipeline = Pipeline(VerifyConfig(ring="modular", primes=1))
+        result = pipeline.run(mult_4x4_dadda)
+        assert result.status == "correct"
+        # the same Pipeline object is reusable across designs
+        buggy = inject_visible_fault(mult_4x4_dadda, seed=4)
+        assert pipeline.run(buggy).status == "buggy"
+
+    def test_timeout_under_modular_ring(self, mult_8x8_dadda):
+        result = verify_multiplier(mult_8x8_dadda, ring="modular",
+                                   monomial_budget=5)
+        assert result.timed_out
+        assert result.stats["budget_kind"] == "monomials"
+        assert result.stats["ring"].startswith("modular:")
+
+    def test_invariants_run_under_modular_ring(self, mult_4x4_dadda):
+        result = verify_multiplier(mult_4x4_dadda, ring="modular",
+                                   check_invariants=True)
+        assert result.status == "correct"
+        assert result.stats["invariants"]["checked_commits"] > 0
+
+    def test_invariants_across_escalation(self, mult_4x4_array):
+        # each escalation run gets a fresh monitor: no false RP003
+        result = verify_multiplier(mult_4x4_array, ring="modular",
+                                   prime_schedule=(3, 5), primes=2,
+                                   check_invariants=True)
+        assert result.status == "correct"
+
+    def test_static_method_modular(self, mult_4x4_array):
+        result = verify_multiplier(mult_4x4_array, method="static",
+                                   ring="modular")
+        assert result.status == "correct"
+
+
+class TestCliRing:
+    def test_verify_ring_modular(self, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "m.aag"
+        assert main(["generate", "SP-AR-RC", "4", "-o", str(path)]) == 0
+        assert main(["verify", str(path), "--ring", "modular"]) == 0
+        assert main(["verify", str(path), "--ring", "modular:97",
+                     "--primes", "2"]) == 0
+
+    def test_verify_bad_ring_exits_2(self, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "m.aag"
+        main(["generate", "SP-AR-RC", "4", "-o", str(path)])
+        assert main(["verify", str(path), "--ring", "nope"]) == 2
+        assert main(["verify", str(path), "--ring", "modular:6"]) == 2
+
+    def test_batch_ring_modular(self, tmp_path):
+        from repro.cli import main
+
+        good = tmp_path / "good.aag"
+        bad = tmp_path / "bad.aag"
+        main(["generate", "SP-AR-RC", "4", "-o", str(good)])
+        main(["inject", str(good), "--kind", "gate-type", "--seed", "0",
+              "-o", str(bad)])
+        code = main(["verify", str(good), str(bad), "--ring", "modular"])
+        assert code == 1  # the faulty input dominates the exit code

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import verify_multiplier
 from repro.core.counterexample import find_nonzero_assignment
-from repro.errors import VerificationError
+from repro.errors import ConfigError, VerificationError
 from repro.genmul import (
     MultiplierSpec,
     generate_multiplier,
@@ -94,8 +94,17 @@ class TestBudgetsAndOptions:
         assert result.stats["budget_kind"] == "monomials"
 
     def test_unknown_method_rejected(self, mult_4x4_array):
-        with pytest.raises(VerificationError):
+        # validated at config time, before any pipeline work
+        with pytest.raises(ConfigError):
             verify_multiplier(mult_4x4_array, method="bdd")
+
+    def test_unknown_ring_rejected(self, mult_4x4_array):
+        with pytest.raises(ConfigError):
+            verify_multiplier(mult_4x4_array, ring="float")
+        with pytest.raises(ConfigError):
+            verify_multiplier(mult_4x4_array, ring="modular:4")
+        with pytest.raises(ConfigError):
+            verify_multiplier(mult_4x4_array, primes=0)
 
     def test_odd_inputs_need_explicit_widths(self):
         aig = generate_multiplier("SP-AR-RC", 3, 2)
