@@ -108,6 +108,20 @@ def build_parser():
     ver.add_argument("--profile", action="store_true",
                      help="print a per-phase time breakdown after the "
                           "verdict")
+    ver.add_argument("--resources", action="store_true",
+                     help="track per-phase peak RSS, tracemalloc deltas "
+                          "and GC counts (printed after the verdict and "
+                          "recorded in the trace)")
+    ver.add_argument("--profile-sample", action="store_true",
+                     help="run the stdlib sampling profiler and print a "
+                          "hotspot table attributed to pipeline phases "
+                          "and rewrite commits")
+    ver.add_argument("--profile-interval", type=float, default=0.005,
+                     metavar="SECONDS",
+                     help="--profile-sample period (default 0.005)")
+    ver.add_argument("--collapsed-out", default=None, metavar="PATH",
+                     help="--profile-sample: also write the samples as "
+                          "collapsed-stack text (flamegraph input)")
     ver.add_argument("--jobs", type=int, default=1, metavar="N",
                      help="batch mode: verify inputs in N parallel "
                           "worker processes")
@@ -160,6 +174,9 @@ def build_parser():
                                    "`verify --trace-out`")
     rep.add_argument("--plot-width", type=int, default=72)
     rep.add_argument("--plot-height", type=int, default=14)
+    rep.add_argument("--hotspots", action="store_true",
+                     help="append the sampling-profiler hotspot table "
+                          "(traces recorded with --profile-sample)")
 
     obs = sub.add_parser("obs",
                          help="cross-run observability: run-history "
@@ -210,6 +227,20 @@ def build_parser():
                      help="skip the ASCII SP_i overlay plot")
     dif.add_argument("--json", default=None, metavar="PATH",
                      help="write the structural diff as JSON")
+
+    prn = obs_sub.add_parser("prune", parents=[verbosity],
+                             help="retention for the run-history store: "
+                                  "drop old runs and VACUUM")
+    prn.add_argument("--db", default=default_db, metavar="PATH")
+    prn.add_argument("--keep-last", type=int, default=None, metavar="N",
+                     help="keep only the newest N runs of every "
+                          "(design, optimization, method) series")
+    prn.add_argument("--before", default=None, metavar="DATE",
+                     help="also drop runs created before this ISO "
+                          "date/datetime (e.g. 2026-01-01)")
+    prn.add_argument("--no-vacuum", action="store_true",
+                     help="skip the VACUUM pass (faster, file does not "
+                          "shrink)")
 
     dash = obs_sub.add_parser("dashboard", parents=[verbosity],
                               help="self-contained HTML report + "
@@ -273,48 +304,80 @@ def _emit(aig, output):
 
 def _verify_worker(job):
     """Module-level (picklable) batch worker: verify one AIG under its
-    own recorder, return only plain data.
+    own worker-tagged relay recorder, return only plain data.
 
     An input that fails pre-flight lint is reported as an ``invalid``
-    record (with its diagnostics) instead of crashing the batch.
+    record (with its diagnostics) instead of crashing the batch.  Every
+    record carries the ``worker_id`` that produced it; when no relay
+    queue is bound (serial ``--jobs 1`` path) the tagged events ride
+    back on the record itself so the parent can still merge one trace.
     """
     import dataclasses
 
     from repro.bench.harness import result_record
     from repro.core.pipeline import Pipeline
     from repro.errors import DesignLintError, ReproError
-    from repro.obs.recorder import Recorder
+    from repro.obs.relay import child_recorder, flush_child
 
-    path, config = job
-    recorder = Recorder()
+    path, config, want_resources, want_profile = job
+    base = child_recorder()
+    recorder = base
+    tracker = None
+    profiler = None
+    if want_resources:
+        from repro.obs.resources import ResourceTracker
+
+        tracker = ResourceTracker(base)
+        recorder = tracker
+    if want_profile:
+        from repro.obs.resources import SamplingProfiler
+
+        profiler = SamplingProfiler(recorder).start()
+    base.event("task_begin", design=path)
     try:
         aig = read_aag(path)
         pipeline = Pipeline(dataclasses.replace(config, record_trace=True))
         result = pipeline.run(aig, recorder=recorder)
     except DesignLintError as exc:
         report = exc.report
-        return {"input": path, "status": "invalid", "timed_out": False,
-                "summary": f"invalid: {exc}",
-                "diagnostics": report.as_dicts() if report else []}
+        record = {"input": path, "status": "invalid", "timed_out": False,
+                  "summary": f"invalid: {exc}",
+                  "diagnostics": report.as_dicts() if report else []}
+        result = None
     except ReproError as exc:
-        return {"input": path, "status": "invalid", "timed_out": False,
-                "summary": f"invalid: {exc}",
-                "diagnostics": [exc.as_dict()]}
-    record = result_record(result, recorder)
-    record["input"] = path
-    record["summary"] = result.summary()
-    record["timed_out"] = result.timed_out
-    if result.status == "buggy":
-        record["counterexample"] = {
-            "a": result.stats.get("counterexample_a"),
-            "b": result.stats.get("counterexample_b"),
-        }
+        record = {"input": path, "status": "invalid", "timed_out": False,
+                  "summary": f"invalid: {exc}",
+                  "diagnostics": [exc.as_dict()]}
+        result = None
+    if result is not None:
+        record = result_record(result, base)
+        record["input"] = path
+        record["summary"] = result.summary()
+        record["timed_out"] = result.timed_out
+        if result.status == "buggy":
+            record["counterexample"] = {
+                "a": result.stats.get("counterexample_a"),
+                "b": result.stats.get("counterexample_b"),
+            }
+    record["worker_id"] = base.worker
+    if profiler is not None:
+        record["profile"] = profiler.stop()
+    if tracker is not None:
+        tracker.stop()
+        record["resources"] = tracker.phase_resources
+    base.close()
+    base.event("task_end", design=path, status=record["status"])
+    if base._queue is None:
+        # serial path: no relay queue to stream over — the parent
+        # collects the tagged events straight off the record
+        record["_relay_events"] = base.events
+    flush_child(base)
     return record
 
 
 def _cmd_verify_batch(args):
     """Several inputs: one verdict line each, optional merged JSON,
-    optional process-parallel fan-out."""
+    optional process-parallel fan-out with one relay-merged trace."""
     import json
 
     from repro.bench.harness import parallel_map
@@ -322,8 +385,9 @@ def _cmd_verify_batch(args):
     from repro.core.pipeline import VerifyConfig
     from repro.errors import ConfigError
 
-    if args.trace_out or args.profile:
-        print("verify: --trace-out/--profile need a single input",
+    if args.profile:
+        print("verify: --profile needs a single input "
+              "(per-phase timings land in --json records)",
               file=sys.stderr)
         return 2
     try:
@@ -331,8 +395,73 @@ def _cmd_verify_batch(args):
     except ConfigError as exc:
         print(f"verify: {exc}", file=sys.stderr)
         return 2
-    jobs_args = [(path, config) for path in args.inputs]
-    records = parallel_map(_verify_worker, jobs_args, jobs=args.jobs)
+    jobs_args = [(path, config, args.resources, args.profile_sample)
+                 for path in args.inputs]
+
+    # parent telemetry: a relay merges the workers' tagged events into
+    # one trace whenever anything downstream consumes events
+    relay = None
+    recorder = None
+    monitor = None
+    sink = None
+    progress = None
+    if (args.trace_out or args.live or args.resources
+            or args.profile_sample):
+        from repro.obs.recorder import JsonlSink, Recorder
+        from repro.obs.relay import EventRelay
+
+        sink = JsonlSink(args.trace_out) if args.trace_out else None
+        recorder = Recorder(sink=sink)
+        on_event = on_tick = None
+        if args.live:
+            from repro.obs.live import LiveMonitor
+
+            monitor = LiveMonitor(recorder,
+                                  stall_budget=args.stall_budget,
+                                  stream=sys.stderr)
+            on_event = monitor.worker_event
+            on_tick = monitor.tick
+        relay = EventRelay(recorder=monitor or recorder,
+                           on_event=on_event, on_tick=on_tick)
+
+    use_queue = args.jobs > 1 and len(args.inputs) > 1
+    initializer = initargs = None
+    if relay is not None and use_queue:
+        initializer, initargs = relay.pool_initializer()
+        relay.start()
+    if args.live and monitor is not None:
+        def progress(label, worker_id):
+            log.info("worker %d picked up %s", worker_id, label)
+
+    records = parallel_map(_verify_worker, jobs_args, jobs=args.jobs,
+                           progress=progress, labels=args.inputs,
+                           initializer=initializer,
+                           initargs=initargs or ())
+    for record in records:
+        record["jobs"] = args.jobs
+        events = record.pop("_relay_events", None)
+        if relay is not None and events:
+            relay.collect(events)
+    merged = []
+    event_loss = 0
+    worker_rows = []
+    if relay is not None:
+        merged = relay.finish()
+        event_loss = relay.event_loss
+        worker_rows = relay.worker_rows()
+        if monitor is not None:
+            monitor.finish()
+            if monitor.stalls:
+                print(f"live: {len(monitor.stalls)} stall(s) flagged "
+                      f"(RP011, budget {args.stall_budget:g}s)",
+                      file=sys.stderr)
+        if sink is not None:
+            sink.close()
+            log.info("wrote %d merged events to %s",
+                     len(merged), args.trace_out)
+        if event_loss:
+            print(f"verify: relay lost {event_loss} worker event(s)",
+                  file=sys.stderr)
     exit_code = 0
     for record in records:
         print(f"{record['input']}: {record['summary']}")
@@ -350,7 +479,10 @@ def _cmd_verify_batch(args):
             exit_code = max(exit_code, 3)
     if args.json:
         payload = {"command": "verify", "inputs": args.inputs,
-                   "records": records}
+                   "jobs": args.jobs, "records": records}
+        if relay is not None:
+            payload["workers"] = worker_rows
+            payload["event_loss"] = event_loss
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
         log.info("wrote %d records to %s", len(records), args.json)
@@ -401,15 +533,29 @@ def _cmd_verify(args):
         return 3
     recorder = None
     monitor = None
-    if args.trace_out or args.profile or args.json or args.live or args.db:
+    tracker = None
+    profiler = None
+    if (args.trace_out or args.profile or args.json or args.live
+            or args.db or args.resources or args.profile_sample):
         sink = JsonlSink(args.trace_out) if args.trace_out else None
         recorder = Recorder(sink=sink)
+    if args.resources:
+        from repro.obs.resources import ResourceTracker
+
+        tracker = ResourceTracker(recorder)
+        recorder = tracker
     if args.live:
         from repro.obs.live import LiveMonitor
 
         monitor = LiveMonitor(recorder, stall_budget=args.stall_budget,
                               stream=sys.stderr)
         recorder = monitor
+    if args.profile_sample:
+        from repro.obs.resources import SamplingProfiler
+
+        profiler = SamplingProfiler(recorder,
+                                    interval=args.profile_interval)
+        profiler.start()
     try:
         pipeline = Pipeline(dataclasses.replace(
             config, record_trace=recorder is not None))
@@ -420,6 +566,8 @@ def _cmd_verify(args):
             print(exc.report.render(), file=sys.stderr)
         else:
             print(f"verify: {exc}", file=sys.stderr)
+        if profiler is not None:
+            profiler.stop()
         if recorder is not None:
             recorder.close()
         return 3
@@ -429,6 +577,16 @@ def _cmd_verify(args):
             print(f"live: {len(monitor.stalls)} stall(s) flagged "
                   f"(RP011, budget {args.stall_budget:g}s)",
                   file=sys.stderr)
+    profile_summary = None
+    if profiler is not None:
+        profile_summary = profiler.stop()
+        if args.collapsed_out:
+            with open(args.collapsed_out, "w", encoding="utf-8") as handle:
+                handle.write(profiler.collapsed())
+            log.info("wrote %d collapsed stacks to %s",
+                     len(profiler.by_stack), args.collapsed_out)
+    if tracker is not None:
+        tracker.stop()
     print(result.summary())
     if args.json or args.db:
         from repro.bench.harness import result_record
@@ -465,6 +623,21 @@ def _cmd_verify(args):
                   f"{len(sizes)} steps, "
                   f"{summary['backtracks']} backtracks, "
                   f"{summary['threshold_doublings']} threshold doublings")
+    if tracker is not None:
+        from repro.obs.resources import render_resource_table
+
+        print()
+        print("Resource usage")
+        print("--------------")
+        print(render_resource_table(tracker.phase_resources,
+                                    tracker.resources_summary()))
+    if profile_summary is not None:
+        from repro.obs.resources import render_hotspot_table
+
+        print()
+        print("Sampling profiler")
+        print("-----------------")
+        print(render_hotspot_table(profile_summary))
     if result.status == "buggy":
         a = result.stats.get("counterexample_a")
         b = result.stats.get("counterexample_b")
@@ -595,6 +768,33 @@ def _cmd_obs(args):
                 json.dump({"command": "obs-diff", **diff}, handle, indent=2)
         return 0
 
+    if args.obs_command == "prune":
+        if args.keep_last is None and args.before is None:
+            print("obs prune: nothing to do — give --keep-last N "
+                  "and/or --before DATE", file=sys.stderr)
+            return 2
+        before = None
+        if args.before is not None:
+            import datetime
+
+            try:
+                before = datetime.datetime.fromisoformat(
+                    args.before).timestamp()
+            except ValueError:
+                print(f"obs prune: --before: {args.before!r} is not an "
+                      "ISO date/datetime", file=sys.stderr)
+                return 2
+        with RunStore(args.db) as store:
+            summary = store.prune(keep_last=args.keep_last, before=before,
+                                  vacuum=not args.no_vacuum)
+        counts = ", ".join(f"{table} {count}" for table, count
+                           in summary["tables"].items())
+        print(f"{args.db}: pruned {summary['deleted']} run(s), "
+              f"{summary['remaining']} remaining"
+              + ("" if args.no_vacuum else " (vacuumed)"))
+        print(f"rows: {counts}")
+        return 0
+
     if args.obs_command == "dashboard":
         from repro.obs.dashboard import render_dashboard, render_prometheus
         from repro.obs.trends import detect_trends
@@ -641,7 +841,8 @@ def main(argv=None):
         from repro.obs.report import report_from_file
 
         print(report_from_file(args.trace, plot_width=args.plot_width,
-                               plot_height=args.plot_height))
+                               plot_height=args.plot_height,
+                               hotspots=args.hotspots))
         return 0
     if args.command == "inject":
         aig = read_aag(args.input)

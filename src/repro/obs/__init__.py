@@ -29,6 +29,8 @@ from repro.obs.report import (
     summarize_recorder,
 )
 from repro.obs.live import LiveMonitor
+from repro.obs.relay import ChildRecorder, EventRelay, split_worker_runs
+from repro.obs.resources import ResourceTracker, SamplingProfiler
 from repro.obs.store import RunStore, current_git_rev
 
 __all__ = [
@@ -36,5 +38,7 @@ __all__ = [
     "recording_to", "read_events", "read_events_tolerant",
     "summarize_events", "summarize_recorder",
     "render_report", "render_phase_table", "report_from_file",
-    "LiveMonitor", "RunStore", "current_git_rev",
+    "LiveMonitor", "ChildRecorder", "EventRelay", "split_worker_runs",
+    "ResourceTracker", "SamplingProfiler",
+    "RunStore", "current_git_rev",
 ]

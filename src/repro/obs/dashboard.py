@@ -8,7 +8,10 @@ inline SVG:
 * per-series trend sparklines (total seconds over run history),
 * the latest ``SP_i``-size curve per series that has commit data
   (Fig.-5-style, log scale),
-* a phase waterfall of each series' latest run.
+* a phase waterfall of each series' latest run,
+* worker lanes (one bar per relay worker's active window) for runs
+  ingested from merged ``--jobs`` traces, and a per-phase peak-RSS
+  table for runs recorded with ``--resources``.
 
 ``--prometheus`` additionally writes a text-format metrics snapshot
 (one gauge sample per series from its latest run) so an external
@@ -104,6 +107,38 @@ def waterfall_svg(phases, width=560, bar=16, gap=4):
         parts.append(f"<text x='{204 + length:.1f}' y='{y + bar - 4}' "
                      f"font-size='11'>{seconds:.4f}s "
                      f"({100 * seconds / total:.0f}%)</text>")
+        y += bar + gap
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def worker_lanes_svg(workers, width=560, bar=16, gap=4):
+    """One horizontal lane per relay worker: a bar spanning the
+    worker's active window (``first_t`` .. ``last_t``), labelled with
+    its pool slot, pid and event count."""
+    rows = [row for row in workers
+            if row.get("first_t") is not None
+            and row.get("last_t") is not None]
+    if not rows:
+        return ""
+    span = max(row["last_t"] for row in rows) or 1.0
+    height = len(rows) * (bar + gap)
+    parts = [f"<svg class='lanes' width='{width}' height='{height}' "
+             f"viewBox='0 0 {width} {height}'>"]
+    y = 0
+    for row in sorted(rows, key=lambda r: r.get("worker_id", 0)):
+        x0 = 120 + row["first_t"] / span * (width - 240)
+        length = max((row["last_t"] - row["first_t"]) / span
+                     * (width - 240), 1.0)
+        label = (f"w{row.get('worker_id', '?')} "
+                 f"pid {row.get('pid', '?')}")
+        parts.append(f"<rect x='{x0:.1f}' y='{y}' width='{length:.1f}' "
+                     f"height='{bar}' fill='#059669' opacity='0.75'/>")
+        parts.append(f"<text x='0' y='{y + bar - 4}' font-size='11'>"
+                     f"{html.escape(label)}</text>")
+        parts.append(f"<text x='{x0 + length + 4:.1f}' y='{y + bar - 4}' "
+                     f"font-size='11'>{row.get('events', 0)} ev, "
+                     f"{row['last_t'] - row['first_t']:.2f}s</text>")
         y += bar + gap
     parts.append("</svg>")
     return "".join(parts)
@@ -227,6 +262,49 @@ def render_dashboard(store, title="repro run history", trends=None):
                          f"{html.escape(optimization)} / "
                          f"{html.escape(method)}</h3>")
             parts.append(waterfall_svg(phases))
+    # worker lanes (merged --jobs traces) ------------------------------
+    lanes = []
+    for design, optimization, method in series:
+        latest = store.latest(design, optimization, method)
+        if latest is not None and latest.get("workers"):
+            lanes.append((design, optimization, method,
+                          latest["workers"]))
+    if lanes:
+        parts.append("<h2>Worker lanes (latest run, relay traces)</h2>")
+        for design, optimization, method, workers in lanes:
+            parts.append(f"<h3 class='muted'>{html.escape(design)} / "
+                         f"{html.escape(optimization)} / "
+                         f"{html.escape(method)}</h3>")
+            parts.append(worker_lanes_svg(workers))
+    # resource telemetry (--resources runs) ----------------------------
+    resource_rows = []
+    for design, optimization, method in series:
+        latest = store.latest(design, optimization, method)
+        if latest is None or not latest.get("resources"):
+            continue
+        peak = max((data.get("rss_peak_kb") or 0)
+                   for data in latest["resources"].values())
+        for phase, data in sorted(latest["resources"].items()):
+            resource_rows.append((design, method, phase, data, peak))
+    if resource_rows:
+        parts.append("<h2>Resource telemetry (latest run)</h2>")
+        parts.append("<table><tr><th>design</th><th>method</th>"
+                     "<th>phase</th><th>peak RSS (KiB)</th>"
+                     "<th>tracemalloc &Delta; (KiB)</th>"
+                     "<th>GC runs</th></tr>")
+        for design, method, phase, data, peak in resource_rows:
+            rss = data.get("rss_peak_kb")
+            css = " class='bad'" if rss is not None and rss == peak else ""
+            parts.append(
+                "<tr>"
+                f"<td>{html.escape(design)}</td>"
+                f"<td>{html.escape(method)}</td>"
+                f"<td>{html.escape(phase)}</td>"
+                f"<td{css}>{rss if rss is not None else '-'}</td>"
+                f"<td>{data.get('tracemalloc_kb', '-')}</td>"
+                f"<td>{data.get('gc_collections', '-')}</td>"
+                "</tr>")
+        parts.append("</table>")
     parts.append("</body></html>")
     return "\n".join(parts)
 
@@ -271,6 +349,8 @@ def render_prometheus(store):
                "Algorithm 2 backtracks of the latest run."))
     samples = {name: [] for name, _, _ in gauges}
     phase_samples = []
+    rss_samples = []
+    worker_samples = []
     for design, optimization, method in store.series():
         latest = store.latest(design, optimization, method)
         if latest is None:
@@ -284,6 +364,16 @@ def render_prometheus(store):
             phase_labels = _labels(design, optimization, method, phase=path)
             phase_samples.append(
                 f"repro_phase_seconds{phase_labels} {seconds}")
+        resources = latest.get("resources") or {}
+        rss_values = [data.get("rss_peak_kb") for data in resources.values()
+                      if data.get("rss_peak_kb") is not None]
+        if rss_values:
+            rss_samples.append(
+                f"repro_run_peak_rss_kb{labels} {max(rss_values)}")
+        workers = latest.get("workers") or []
+        if workers:
+            worker_samples.append(
+                f"repro_run_workers{labels} {len(workers)}")
     for name, _column, help_text in gauges:
         if samples[name]:
             lines.append(f"# HELP {name} {help_text}")
@@ -294,4 +384,14 @@ def render_prometheus(store):
                      "seconds of the latest run.")
         lines.append("# TYPE repro_phase_seconds gauge")
         lines.extend(phase_samples)
+    if rss_samples:
+        lines.append("# HELP repro_run_peak_rss_kb Peak resident-set "
+                     "size (KiB) of the latest run.")
+        lines.append("# TYPE repro_run_peak_rss_kb gauge")
+        lines.extend(rss_samples)
+    if worker_samples:
+        lines.append("# HELP repro_run_workers Relay worker processes "
+                     "of the latest run.")
+        lines.append("# TYPE repro_run_workers gauge")
+        lines.extend(worker_samples)
     return "\n".join(lines) + "\n"

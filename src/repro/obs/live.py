@@ -17,6 +17,17 @@ the event stream in real time:
   gap), a ``stall`` event in the trace, and a visible warning line —
   instead of a silent hang.
 
+Rendering adapts to the terminal: carriage-return in-place updates only
+when stderr is an interactive tty (and ``NO_COLOR``/``TERM=dumb`` are
+not set); otherwise — CI logs, redirected stderr — the monitor falls
+back to plain line-per-update output so logs stay readable.
+
+In batch ``--jobs N`` mode the monitor is fed worker-tagged relay
+events via :meth:`LiveMonitor.worker_event` (and the relay's idle
+:meth:`LiveMonitor.tick`), tracks a per-worker heartbeat, and fires
+RP011 for the *specific* stalled worker instead of letting one silent
+process drag the whole pool.
+
 Observation only: the monitor never raises and never changes the run's
 outcome; a stalled run keeps going and finishes (or hits its budget)
 exactly as it would have.
@@ -24,12 +35,29 @@ exactly as it would have.
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro.obs.recorder import Recorder
 
 #: Default seconds without a commit before a stall is flagged.
 DEFAULT_STALL_BUDGET = 10.0
+
+
+def detect_interactive(stream):
+    """True when in-place ``\\r`` status rendering is appropriate:
+    ``stream`` is a tty, ``NO_COLOR`` is unset, and TERM is not dumb."""
+    if stream is None:
+        return False
+    if os.environ.get("NO_COLOR"):
+        return False
+    if os.environ.get("TERM", "") == "dumb":
+        return False
+    isatty = getattr(stream, "isatty", None)
+    try:
+        return bool(isatty()) if isatty is not None else False
+    except (OSError, ValueError):
+        return False
 
 
 class _LiveSpan:
@@ -61,18 +89,26 @@ class LiveMonitor:
     (defaults to a fresh in-memory :class:`Recorder`); ``stream`` is
     where the status line is rendered (None disables rendering, e.g.
     for tests that only want the watchdog); ``clock`` is injectable so
-    stalls can be tested without sleeping.
+    stalls can be tested without sleeping.  ``interactive`` forces the
+    in-place ``\\r`` rendering mode on or off; the default ``None``
+    auto-detects from the stream (tty, ``NO_COLOR``, ``TERM``) and
+    falls back to plain line-per-update output when the stream is not
+    an interactive terminal.
     """
 
     enabled = True
 
     def __init__(self, inner=None, stall_budget=DEFAULT_STALL_BUDGET,
-                 refresh=0.2, stream=None, clock=time.monotonic):
+                 refresh=0.2, stream=None, clock=time.monotonic,
+                 interactive=None):
         self.inner = inner if inner is not None else Recorder()
         self.stall_budget = stall_budget
         self.refresh = refresh
         self.stream = stream
+        self.interactive = (detect_interactive(stream)
+                            if interactive is None else interactive)
         self.stalls = []
+        self.workers = {}
         self._clock = clock
         self._start = clock()
         self._last_commit = self._start
@@ -110,6 +146,11 @@ class LiveMonitor:
 
     def observe(self, name, value, /):
         self.inner.observe(name, value)
+
+    def replay(self, record, /):
+        replay = getattr(self.inner, "replay", None)
+        if replay is not None:
+            replay(record)
 
     def close(self):
         self.finish()
@@ -149,6 +190,92 @@ class LiveMonitor:
             return
         self._check_stall(now)
         self._maybe_render(now)
+
+    # -- batch mode: per-worker heartbeats over the relay ---------------
+
+    def worker_event(self, record):
+        """Observe one worker-tagged relay record as it arrives (wire
+        this as ``EventRelay(on_event=monitor.worker_event)``)."""
+        worker = record.get("worker_id", 0)
+        now = self._clock()
+        state = self.workers.setdefault(worker, {
+            "design": None, "step": 0, "size": None, "status": None,
+            "last_commit": now, "stall_open": False})
+        kind = record.get("ev")
+        if kind == "task_begin":
+            state["design"] = record.get("design") or record.get("input")
+            state["step"] = 0
+            state["size"] = None
+            state["status"] = None
+            state["last_commit"] = now
+            state["stall_open"] = False
+        elif kind in ("progress", "step"):
+            state["step"] = record.get("step", record.get("i",
+                                                          state["step"]))
+            state["size"] = record.get("size", state["size"])
+            state["last_commit"] = now
+            state["stall_open"] = False
+        elif kind == "run_end":
+            state["status"] = record.get("status")
+            state["last_commit"] = now
+            state["stall_open"] = False
+        elif kind == "task_end":
+            state["status"] = record.get("status", state["status"])
+            state["design"] = None
+            state["last_commit"] = now
+            state["stall_open"] = False
+        self.tick()
+
+    def tick(self):
+        """Periodic heartbeat for batch mode (the relay's idle
+        ``on_tick``): check every worker's stall clock and refresh the
+        status rendering even while all workers are silent."""
+        now = self._clock()
+        for worker, state in sorted(self.workers.items()):
+            gap = now - state["last_commit"]
+            if gap <= self.stall_budget or state["stall_open"]:
+                continue
+            if state["status"] is not None and state["design"] is None:
+                continue  # worker finished its task; silence is fine
+            state["stall_open"] = True
+            from repro.analysis.diagnostics import Diagnostic
+
+            design = state["design"] or "?"
+            diag = Diagnostic(
+                code="RP011",
+                message=(f"worker {worker} ({design}): no progress for "
+                         f"{gap:.1f}s (stall budget "
+                         f"{self.stall_budget:g}s) at step "
+                         f"{state['step']}"),
+                context={"worker_id": worker, "design": state["design"],
+                         "seconds_since_commit": round(gap, 3),
+                         "stall_budget": self.stall_budget,
+                         "step": state["step"], "size": state["size"]})
+            self.stalls.append(diag)
+            self.inner.event("stall", worker_id=worker,
+                             step=state["step"], size=state["size"],
+                             seconds_since_commit=round(gap, 3),
+                             budget=self.stall_budget)
+            if self.stream is not None:
+                self._clear_line()
+                self.stream.write(diag.render() + "\n")
+                self.stream.flush()
+        if self.workers:
+            self._maybe_render(now)
+
+    def _worker_status_line(self, now):
+        parts = [f"[live workers={len(self.workers)}]"]
+        for worker, state in sorted(self.workers.items()):
+            if state["design"] is not None:
+                label = str(state["design"]).rsplit("/", 1)[-1]
+                cell = f"w{worker} {label} step {state['step']}"
+                if state["size"] is not None:
+                    cell += f" SP_i {state['size']}"
+            else:
+                cell = f"w{worker} {state['status'] or 'idle'}"
+            parts.append(cell)
+        parts.append(f"{now - self._start:.1f}s")
+        return " | ".join(parts)
 
     def _check_stall(self, now):
         gap = now - self._last_commit
@@ -197,18 +324,28 @@ class LiveMonitor:
         return " | ".join(parts)
 
     def _maybe_render(self, now):
-        if self.stream is None or now - self._last_render < self.refresh:
+        if self.stream is None:
+            return
+        # non-interactive streams get whole lines; render them an order
+        # of magnitude less often so logs stay readable
+        refresh = (self.refresh if self.interactive
+                   else max(self.refresh * 10, 2.0))
+        if now - self._last_render < refresh:
             return
         self._last_render = now
-        line = self._status_line(now)
-        self.stream.write("\r" + line[:118].ljust(118))
+        line = (self._worker_status_line(now) if self.workers
+                else self._status_line(now))
+        if self.interactive:
+            self.stream.write("\r" + line[:118].ljust(118))
+            self._rendered = True
+        else:
+            self.stream.write(line + "\n")
         self.stream.flush()
-        self._rendered = True
 
     def _clear_line(self):
-        if self._rendered and self.stream is not None:
+        if self._rendered and self.stream is not None and self.interactive:
             self.stream.write("\r" + " " * 118 + "\r")
-            self._rendered = False
+        self._rendered = False
 
     def finish(self):
         """End-of-run cleanup: clear the status line (idempotent)."""

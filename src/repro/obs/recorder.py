@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import logging
+import threading
 import time
 
 log = logging.getLogger("repro.obs.recorder")
@@ -150,6 +151,10 @@ class Recorder:
         self.span_counts = {}
         self.counters = {}
         self.histograms = {}
+        # latest committed rewriting step — cheap state the sampling
+        # profiler (repro.obs.resources) reads to attribute samples to
+        # commits without subscribing to the event stream
+        self.last_step = None
 
     def _now(self):
         return self._clock() - self._t0
@@ -162,7 +167,16 @@ class Recorder:
     # -- the recorder interface ----------------------------------------
 
     def event(self, kind, /, **fields):
+        if kind == "step":
+            self.last_step = fields.get("i")
         self._emit({"ev": kind, "t": round(self._now(), 6), **fields})
+
+    def replay(self, record, /):
+        """Append an already-timestamped record as-is (event streams
+        merged from relay workers keep their rebased ``t`` values)."""
+        self.events.append(record)
+        if self._sink is not None:
+            self._sink.write(record)
 
     def span(self, name, /, **fields):
         return _Span(self, name, fields)
@@ -195,15 +209,23 @@ class Recorder:
 
 
 class JsonlSink:
-    """Append-only JSON-Lines event sink."""
+    """Append-only JSON-Lines event sink.
+
+    Writes are serialized under a lock: background telemetry threads
+    (the resource sampler, the relay drain thread) emit events
+    concurrently with the pipeline's own, and interleaved partial
+    writes would corrupt the trace.
+    """
 
     def __init__(self, path):
         self.path = path
         self._handle = open(path, "w", encoding="utf-8")
+        self._lock = threading.Lock()
 
     def write(self, record):
-        self._handle.write(json.dumps(record, sort_keys=False))
-        self._handle.write("\n")
+        line = json.dumps(record, sort_keys=False) + "\n"
+        with self._lock:
+            self._handle.write(line)
 
     def close(self):
         if self._handle is not None:

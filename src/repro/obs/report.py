@@ -34,9 +34,23 @@ def summarize_events(events):
         "stalls": 0,
         "opt_passes": [],
         "counters": {},
+        "workers": {},
+        "resources": {},
+        "resources_summary": None,
+        "profile": None,
     }
     for event in events:
         kind = event.get("ev")
+        worker = event.get("worker_id")
+        if worker is not None:
+            info = summary["workers"].setdefault(worker, {
+                "worker_id": worker, "pid": event.get("pid"),
+                "events": 0, "designs": []})
+            info["events"] += 1
+            if event.get("ev") == "task_begin":
+                design = event.get("design") or event.get("input")
+                if design is not None:
+                    info["designs"].append(design)
         if kind == "run_begin":
             summary["meta"] = {k: v for k, v in event.items()
                                if k not in ("ev", "t")}
@@ -61,6 +75,23 @@ def summarize_events(events):
             summary["thresholds"].append(event.get("value"))
         elif kind == "opt_pass":
             summary["opt_passes"].append(event)
+        elif kind == "phase_resources":
+            phase = event.get("phase", "?")
+            slot = summary["resources"].setdefault(phase, {})
+            for key in ("rss_peak_kb", "tracemalloc_peak_kb"):
+                if event.get(key) is not None:
+                    slot[key] = max(slot.get(key, event[key]), event[key])
+            for key in ("tracemalloc_kb", "gc_collections"):
+                if event.get(key) is not None:
+                    slot[key] = round(slot.get(key, 0) + event[key], 1)
+        elif kind == "resources_summary":
+            summary["resources_summary"] = {
+                k: v for k, v in event.items()
+                if k not in ("ev", "t", "worker_id", "pid", "seq")}
+        elif kind == "profile":
+            summary["profile"] = {
+                k: v for k, v in event.items()
+                if k not in ("ev", "t", "worker_id", "pid", "seq")}
         elif kind == "summary":
             summary["counters"] = event.get("counters", {})
             # a recorded summary is authoritative for aggregate phase
@@ -141,12 +172,45 @@ def render_report(summary, plot_width=72, plot_height=14):
         lines.append("Per-phase wall clock")
         lines.append("--------------------")
         lines.append(render_phase_table(summary["phases"]))
+    if summary["workers"]:
+        rows = []
+        for worker in sorted(summary["workers"]):
+            info = summary["workers"][worker]
+            designs = ", ".join(str(d).rsplit("/", 1)[-1]
+                                for d in info["designs"]) or "-"
+            rows.append([worker, info.get("pid", "-"), info["events"],
+                         designs])
+        lines.append("")
+        lines.append(render_table(
+            ["worker", "pid", "events", "designs"], rows,
+            title="Relay workers (merged trace)"))
+    if summary["resources"] or summary["resources_summary"]:
+        from repro.obs.resources import render_resource_table
+
+        lines.append("")
+        lines.append(render_resource_table(summary["resources"],
+                                           summary["resources_summary"]))
     return "\n".join(lines)
 
 
-def report_from_file(path, plot_width=72, plot_height=14):
-    """Read a JSONL trace and render the full report."""
+def report_from_file(path, plot_width=72, plot_height=14, hotspots=False):
+    """Read a JSONL trace and render the full report.
+
+    ``hotspots`` appends the sampling-profiler hotspot table when the
+    trace carries a ``profile`` event (``verify --profile-sample``).
+    """
     from repro.obs.recorder import read_events
 
-    return render_report(summarize_events(read_events(path)),
-                         plot_width=plot_width, plot_height=plot_height)
+    summary = summarize_events(read_events(path))
+    text = render_report(summary, plot_width=plot_width,
+                         plot_height=plot_height)
+    if hotspots:
+        from repro.obs.resources import render_hotspot_table
+
+        text += "\n\nSampling profiler\n-----------------\n"
+        if summary["profile"]:
+            text += render_hotspot_table(summary["profile"])
+        else:
+            text += ("(trace has no profile event; record one with "
+                     "`verify --profile-sample --trace-out ...`)")
+    return text

@@ -3,7 +3,7 @@
 The single-run recorder (:mod:`repro.obs.recorder`) sees one
 verification at a time; this module gives those runs a durable home so
 regressions have *history* and *attribution*.  A :class:`RunStore` is
-one SQLite file (stdlib ``sqlite3``, no dependencies) with four tables:
+one SQLite file (stdlib ``sqlite3``, no dependencies) with six tables:
 
 * ``runs``    — one row per verification run, keyed by
   design / optimization / method / git revision;
@@ -11,7 +11,18 @@ one SQLite file (stdlib ``sqlite3``, no dependencies) with four tables:
 * ``commits`` — the per-step ``SP_i``-size trajectory (Fig. 5 data),
   including the substituted component and the Algorithm 2 threshold;
 * ``metrics`` — free-form named scalars (e.g. the perf microbench's
-  machine-normalized phase costs).
+  machine-normalized phase costs);
+* ``workers``   — (schema v2) per-worker relay accounting of parallel
+  ``--jobs`` runs: pool slot, pid, event count, active window;
+* ``resources`` — (schema v2) per-phase resource telemetry from
+  ``--resources`` runs: peak RSS, tracemalloc deltas, GC counts.
+
+The ``meta`` table records the schema version; opening an older file
+upgrades it in place (v1 → v2 only adds tables), while a file written
+by a *newer* schema is refused instead of being silently corrupted.
+Unbounded growth is handled by :meth:`RunStore.prune` (``repro obs
+prune``): retention by per-series ``keep_last`` and/or a cut-off
+timestamp, followed by ``VACUUM``.
 
 Everything the telemetry layer already writes can be ingested:
 
@@ -39,7 +50,7 @@ import time
 
 log = logging.getLogger("repro.obs.store")
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 DEFAULT_DB = "runs.db"
 
@@ -82,12 +93,33 @@ CREATE TABLE IF NOT EXISTS metrics (
     name TEXT NOT NULL,
     value REAL
 );
+CREATE TABLE IF NOT EXISTS workers (
+    run_id INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+    worker_id INTEGER NOT NULL,
+    pid INTEGER,
+    events INTEGER,
+    first_t REAL,
+    last_t REAL
+);
+CREATE TABLE IF NOT EXISTS resources (
+    run_id INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+    phase TEXT NOT NULL,
+    rss_peak_kb REAL,
+    tracemalloc_kb REAL,
+    tracemalloc_peak_kb REAL,
+    gc_collections INTEGER
+);
 CREATE INDEX IF NOT EXISTS idx_runs_series
     ON runs (design, optimization, method, id);
 CREATE INDEX IF NOT EXISTS idx_phases_run ON phases (run_id);
 CREATE INDEX IF NOT EXISTS idx_commits_run ON commits (run_id);
 CREATE INDEX IF NOT EXISTS idx_metrics_run ON metrics (run_id, name);
+CREATE INDEX IF NOT EXISTS idx_workers_run ON workers (run_id);
+CREATE INDEX IF NOT EXISTS idx_resources_run ON resources (run_id);
 """
+
+#: Tables pruned (via cascade) with their runs; order is display order.
+_TABLES = ("runs", "phases", "commits", "metrics", "workers", "resources")
 
 
 def current_git_rev(cwd=None):
@@ -112,11 +144,39 @@ class RunStore:
         self._conn = sqlite3.connect(self.path)
         self._conn.row_factory = sqlite3.Row
         self._conn.execute("PRAGMA foreign_keys = ON")
+        found = self._stored_schema_version()
+        if found is not None and found > SCHEMA_VERSION:
+            self._conn.close()
+            self._conn = None
+            raise ValueError(
+                f"{self.path}: run store schema v{found} is newer than "
+                f"this build (v{SCHEMA_VERSION}); refusing to open")
         self._conn.executescript(_SCHEMA)
+        if found is not None and found < SCHEMA_VERSION:
+            # v1 -> v2 only adds tables; the IF NOT EXISTS script above
+            # already created them, so stamping the version completes
+            # the in-place upgrade
+            log.info("%s: upgraded run store schema v%d -> v%d",
+                     self.path, found, SCHEMA_VERSION)
+            self._conn.execute(
+                "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                (str(SCHEMA_VERSION),))
         self._conn.execute(
             "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
             ("schema_version", str(SCHEMA_VERSION)))
         self._conn.commit()
+
+    def _stored_schema_version(self):
+        try:
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+        except sqlite3.OperationalError:  # no meta table: fresh file
+            return None
+        try:
+            return int(row[0]) if row is not None else None
+        except (TypeError, ValueError):
+            return None
 
     def close(self):
         if self._conn is not None:
@@ -136,14 +196,17 @@ class RunStore:
     def add_run(self, design, method, optimization="none", *, status=None,
                 seconds=None, steps=None, max_poly_size=None,
                 backtracks=None, threshold_doublings=None, phases=None,
-                commits=None, metrics=None, git_rev=None, source=None,
-                meta=None, created_at=None):
+                commits=None, metrics=None, workers=None, resources=None,
+                git_rev=None, source=None, meta=None, created_at=None):
         """Insert one run row (plus its phases/commits/metrics children);
         returns the new run id.
 
         ``phases``/``metrics`` are name->value dicts; ``commits`` is an
         iterable of per-step dicts (``step``, ``size``, and optionally
-        ``component``/``kind``/``threshold``) or plain sizes.
+        ``component``/``kind``/``threshold``) or plain sizes;
+        ``workers`` is an iterable of relay accounting dicts
+        (``worker_id``, ``pid``, ``events``, ``first_t``, ``last_t``);
+        ``resources`` maps phase name to a resource-telemetry dict.
         """
         cur = self._conn.execute(
             "INSERT INTO runs (design, optimization, method, git_rev, "
@@ -182,6 +245,23 @@ class RunStore:
                 [(run_id, name, float(value))
                  for name, value in sorted(metrics.items())
                  if value is not None])
+        if workers:
+            self._conn.executemany(
+                "INSERT INTO workers (run_id, worker_id, pid, events, "
+                "first_t, last_t) VALUES (?, ?, ?, ?, ?, ?)",
+                [(run_id, row.get("worker_id", 0), row.get("pid"),
+                  row.get("events"), row.get("first_t"), row.get("last_t"))
+                 for row in workers])
+        if resources:
+            self._conn.executemany(
+                "INSERT INTO resources (run_id, phase, rss_peak_kb, "
+                "tracemalloc_kb, tracemalloc_peak_kb, gc_collections) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                [(run_id, phase, data.get("rss_peak_kb"),
+                  data.get("tracemalloc_kb"),
+                  data.get("tracemalloc_peak_kb"),
+                  data.get("gc_collections"))
+                 for phase, data in sorted(resources.items())])
         self._conn.commit()
         return run_id
 
@@ -193,6 +273,14 @@ class RunStore:
         commits = record.get("commits")
         if not commits:
             commits = record.get("sizes") or ()
+        meta = {key: stats[key] for key in ("nodes", "width_a", "width_b")
+                if key in stats}
+        if record.get("jobs") is not None:
+            meta["jobs"] = record["jobs"]
+        workers = None
+        if record.get("worker_id") is not None:
+            workers = [{"worker_id": record["worker_id"],
+                        "pid": record.get("pid")}]
         return self.add_run(
             design=design, optimization=optimization,
             method=record.get("method", "unknown"),
@@ -206,11 +294,48 @@ class RunStore:
             commits=commits,
             metrics={f"counter:{name}": value
                      for name, value in (record.get("counters") or {}).items()},
-            git_rev=git_rev, source=source,
-            meta={key: stats[key] for key in ("nodes", "width_a", "width_b")
-                  if key in stats} or None)
+            workers=workers, resources=record.get("resources"),
+            git_rev=git_rev, source=source, meta=meta or None)
 
     # -- ingestion: event streams --------------------------------------
+
+    @staticmethod
+    def _worker_rows_from_events(events):
+        """Per-worker accounting recovered from a worker-tagged stream."""
+        rows = {}
+        for event in events:
+            worker = event.get("worker_id")
+            if worker is None:
+                continue
+            info = rows.setdefault(worker, {
+                "worker_id": worker, "pid": event.get("pid"),
+                "events": 0, "first_t": None, "last_t": None})
+            info["events"] += 1
+            if event.get("pid") is not None:
+                info["pid"] = event["pid"]
+            stamp = event.get("t")
+            if stamp is not None:
+                if info["first_t"] is None or stamp < info["first_t"]:
+                    info["first_t"] = stamp
+                if info["last_t"] is None or stamp > info["last_t"]:
+                    info["last_t"] = stamp
+        return [rows[worker] for worker in sorted(rows)]
+
+    @staticmethod
+    def _resources_from_events(events):
+        """Per-phase resource telemetry from ``phase_resources`` events."""
+        out = {}
+        for event in events:
+            if event.get("ev") != "phase_resources":
+                continue
+            phase = event.get("phase")
+            if not phase:
+                continue
+            out[phase] = {key: event.get(key)
+                          for key in ("rss_peak_kb", "tracemalloc_kb",
+                                      "tracemalloc_peak_kb",
+                                      "gc_collections")}
+        return out
 
     def ingest_events(self, events, design, optimization="none",
                       method=None, *, git_rev=None, source=None):
@@ -240,17 +365,54 @@ class RunStore:
             phases=phases, commits=rows,
             metrics={f"counter:{name}": value
                      for name, value in summary["counters"].items()},
+            workers=self._worker_rows_from_events(events),
+            resources=self._resources_from_events(events),
             git_rev=git_rev, source=source, meta=meta or None)
+
+    def ingest_merged_events(self, events, *, design=None,
+                             optimization="none", method=None,
+                             git_rev=None, source=None):
+        """Ingest a merged multi-worker trace (``verify --jobs N
+        --trace-out``): one run per ``task_begin`` segment, labelled by
+        the design the relay tagged it with.  Returns the new run ids.
+        """
+        from repro.obs.relay import split_worker_runs
+
+        run_ids = []
+        for label, segment in split_worker_runs(events):
+            if not any(event.get("ev") == "run_begin"
+                       for event in segment):
+                continue  # bookkeeping-only segment (samplers, summary)
+            seg_design = (pathlib.Path(label).stem if label
+                          else design or "trace")
+            run_ids.append(self.ingest_events(
+                segment, design=seg_design, optimization=optimization,
+                method=method, git_rev=git_rev, source=source))
+        return run_ids
+
+    @staticmethod
+    def _is_merged_trace(events):
+        """True for relay-merged traces: worker-tagged events with
+        batch ``task_begin`` boundaries."""
+        return any(event.get("ev") == "task_begin" for event in events)
 
     def ingest_trace_file(self, path, design=None, optimization="none",
                           method=None, *, git_rev=None, source=None):
         """Ingest a ``verify --trace-out`` JSONL file; tolerates
-        truncated traces.  Returns ``(run_id, skipped_lines)``."""
+        truncated traces.  Returns ``(run_id, skipped_lines)`` — for a
+        relay-merged multi-run trace, ``run_id`` is the list of new
+        run ids instead."""
         from repro.obs.recorder import read_events_tolerant
 
         events, skipped = read_events_tolerant(path)
         if skipped:
             log.warning("%s: skipped %d unparseable line(s)", path, skipped)
+        if self._is_merged_trace(events):
+            run_ids = self.ingest_merged_events(
+                events, design=design or pathlib.Path(path).stem,
+                optimization=optimization, method=method, git_rev=git_rev,
+                source=source or str(path))
+            return run_ids, skipped
         run_id = self.ingest_events(
             events, design=design or pathlib.Path(path).stem,
             optimization=optimization, method=method, git_rev=git_rev,
@@ -342,7 +504,7 @@ class RunStore:
         run_id, _skipped = self.ingest_trace_file(
             path, design=design, optimization=optimization, method=method,
             git_rev=git_rev, source=source)
-        return [run_id]
+        return run_id if isinstance(run_id, list) else [run_id]
 
     # ------------------------------------------------------------------
     # Queries
@@ -394,7 +556,24 @@ class RunStore:
         record["commit_count"] = self._conn.execute(
             "SELECT COUNT(*) FROM commits WHERE run_id = ?",
             (run_id,)).fetchone()[0]
+        record["workers"] = self.workers(run_id)
+        record["resources"] = self.resources(run_id)
         return record
+
+    def workers(self, run_id):
+        """Per-worker relay accounting rows of one run."""
+        return [dict(row) for row in self._conn.execute(
+            "SELECT worker_id, pid, events, first_t, last_t FROM workers "
+            "WHERE run_id = ? ORDER BY worker_id", (run_id,))]
+
+    def resources(self, run_id):
+        """Per-phase resource telemetry of one run, keyed by phase."""
+        return {row["phase"]: {key: row[key] for key in
+                               ("rss_peak_kb", "tracemalloc_kb",
+                                "tracemalloc_peak_kb", "gc_collections")}
+                for row in self._conn.execute(
+                    "SELECT * FROM resources WHERE run_id = ? "
+                    "ORDER BY phase", (run_id,))}
 
     def commits(self, run_id):
         """Per-step commit records of one run, in step order."""
@@ -455,6 +634,47 @@ class RunStore:
         return [(row["id"], row["value"])
                 for row in self._conn.execute(sql, params)
                 if row["value"] is not None]
+
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+
+    def table_counts(self):
+        """Row counts per table (the ``obs prune`` summary)."""
+        return {table: self._conn.execute(
+                    f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+                for table in _TABLES}
+
+    def prune(self, keep_last=None, before=None, vacuum=True):
+        """Delete old runs (children cascade) and reclaim the space.
+
+        ``keep_last`` retains only the newest N runs of every
+        (design, optimization, method) series; ``before`` additionally
+        drops any run created before that UNIX timestamp.  Both filters
+        compose (a run is deleted if *either* condemns it).  ``vacuum``
+        runs ``VACUUM`` afterwards so the file actually shrinks.
+        Returns ``{"deleted", "remaining", "tables"}`` where ``tables``
+        holds the post-prune row counts per table.
+        """
+        doomed = set()
+        if before is not None:
+            doomed.update(row["id"] for row in self._conn.execute(
+                "SELECT id FROM runs WHERE created_at < ?", (before,)))
+        if keep_last is not None:
+            for design, optimization, method in self.series():
+                ids = [row["id"] for row in self._conn.execute(
+                    "SELECT id FROM runs WHERE design = ? AND "
+                    "optimization = ? AND method = ? ORDER BY id DESC",
+                    (design, optimization, method))]
+                doomed.update(ids[keep_last:] if keep_last > 0 else ids)
+        if doomed:
+            self._conn.executemany("DELETE FROM runs WHERE id = ?",
+                                   [(run_id,) for run_id in sorted(doomed)])
+        self._conn.commit()
+        if vacuum:
+            self._conn.execute("VACUUM")
+        return {"deleted": len(doomed), "remaining": len(self),
+                "tables": self.table_counts()}
 
     def metric_names(self, design, optimization, method):
         """All gateable metric names available for one series: run

@@ -41,6 +41,9 @@ def _strip_timings(record):
     clean = dict(record)
     clean.pop("seconds", None)
     clean.pop("phases", None)
+    # worker attribution legitimately differs between serial and pooled
+    clean.pop("worker_id", None)
+    clean.pop("jobs", None)
     clean["summary"] = re.sub(r" in \d+\.\d+s", " in <t>",
                               clean["summary"])
     return clean

@@ -249,6 +249,89 @@ class TestObsCli:
         assert "repro_runs_total 1" in prom_text
         assert "repro_run_seconds" in prom_text
 
+    def test_prune_keep_last(self, tmp_path, capsys):
+        from repro.obs import RunStore
+
+        db = tmp_path / "runs.db"
+        with RunStore(db) as store:
+            for seconds in (1.0, 2.0, 3.0):
+                store.add_run("m8", "dyposub", seconds=seconds)
+        assert main(["obs", "prune", "--db", str(db),
+                     "--keep-last", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 2 run(s), 1 remaining" in out
+        assert "rows:" in out
+        with RunStore(db) as store:
+            assert len(store) == 1
+            assert store.runs()[0]["seconds"] == 3.0
+
+    def test_prune_before_date(self, tmp_path, capsys):
+        from repro.obs import RunStore
+
+        db = tmp_path / "runs.db"
+        with RunStore(db) as store:
+            store.add_run("m8", "dyposub", seconds=1.0,
+                          created_at=100.0)  # 1970: ancient
+            store.add_run("m8", "dyposub", seconds=2.0)  # now
+        assert main(["obs", "prune", "--db", str(db),
+                     "--before", "2020-01-01"]) == 0
+        assert "pruned 1 run(s), 1 remaining" in capsys.readouterr().out
+
+    def test_prune_requires_a_filter(self, tmp_path, capsys):
+        db = tmp_path / "runs.db"
+        assert main(["obs", "prune", "--db", str(db)]) == 2
+        assert "prune" in capsys.readouterr().err
+
+    def test_prune_rejects_bad_date(self, tmp_path, capsys):
+        db = tmp_path / "runs.db"
+        assert main(["obs", "prune", "--db", str(db),
+                     "--before", "not-a-date"]) == 2
+        assert "--before" in capsys.readouterr().err
+
+
+class TestTelemetryFlags:
+    def test_verify_resources_prints_the_table(self, tmp_path, capsys):
+        src = tmp_path / "m.aag"
+        main(["generate", "SP-AR-RC", "4", "-o", str(src)])
+        assert main(["verify", str(src), "--resources"]) == 0
+        out = capsys.readouterr().out
+        assert "Resource usage" in out
+        assert "rewrite" in out
+        assert "run total: peak RSS" in out
+
+    def test_verify_profile_sample_prints_hotspots(self, tmp_path,
+                                                   capsys):
+        src = tmp_path / "m.aag"
+        collapsed = tmp_path / "stacks.txt"
+        main(["generate", "SP-AR-RC", "6", "-o", str(src)])
+        assert main(["verify", str(src), "--profile-sample",
+                     "--profile-interval", "0.001",
+                     "--collapsed-out", str(collapsed)]) == 0
+        out = capsys.readouterr().out
+        assert "Sampling profiler" in out
+        assert collapsed.exists()
+
+    def test_report_hotspots_from_trace(self, tmp_path, capsys):
+        src = tmp_path / "m.aag"
+        trace = tmp_path / "run.jsonl"
+        main(["generate", "SP-AR-RC", "6", "-o", str(src)])
+        assert main(["verify", str(src), "--profile-sample",
+                     "--profile-interval", "0.001",
+                     "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(trace), "--hotspots"]) == 0
+        assert "Sampling profiler" in capsys.readouterr().out
+
+    def test_report_hotspots_hint_without_profile(self, tmp_path,
+                                                  capsys):
+        src = tmp_path / "m.aag"
+        trace = tmp_path / "run.jsonl"
+        main(["generate", "SP-AR-RC", "4", "-o", str(src)])
+        main(["verify", str(src), "--trace-out", str(trace)])
+        capsys.readouterr()
+        assert main(["report", str(trace), "--hotspots"]) == 0
+        assert "--profile-sample" in capsys.readouterr().out
+
 
 class TestLintCommand:
     def test_clean_design_exits_zero(self, tmp_path, capsys):

@@ -1,0 +1,178 @@
+"""Tests for repro.obs.dashboard: a golden Prometheus exposition test
+and an HTML smoke test, both over a seeded in-memory run store."""
+
+import re
+
+from repro.obs import RunStore
+from repro.obs.dashboard import (
+    render_dashboard,
+    render_prometheus,
+    sparkline_svg,
+    worker_lanes_svg,
+)
+
+
+def _seeded_store():
+    """Deterministic in-memory store: two runs of one series (so trends
+    have history), with phases, commits, workers and resources."""
+    store = RunStore()
+    store.add_run(
+        "SP-AR-RC 4", method="paper", status="correct", seconds=0.100,
+        steps=6, max_poly_size=9, backtracks=0, threshold_doublings=0,
+        phases={"model": 0.02, "rewrite": 0.07, "rewrite.reduce": 0.05},
+        commits=[9, 7, 5, 4, 3, 1], git_rev="abc1234", created_at=100.0)
+    store.add_run(
+        "SP-AR-RC 4", method="paper", status="correct", seconds=0.120,
+        steps=6, max_poly_size=9, backtracks=0, threshold_doublings=0,
+        phases={"model": 0.03, "rewrite": 0.08, "rewrite.reduce": 0.06},
+        commits=[9, 7, 5, 4, 3, 1],
+        workers=[{"worker_id": 1, "pid": 4242, "events": 50,
+                  "first_t": 0.0, "last_t": 1.5},
+                 {"worker_id": 2, "pid": 4243, "events": 48,
+                  "first_t": 0.1, "last_t": 1.2}],
+        resources={"rewrite": {"rss_peak_kb": 51000,
+                               "tracemalloc_kb": 120.5,
+                               "tracemalloc_peak_kb": 300.0,
+                               "gc_collections": 2},
+                   "model": {"rss_peak_kb": 48000,
+                             "tracemalloc_kb": 40.0,
+                             "tracemalloc_peak_kb": 90.0,
+                             "gc_collections": 1}},
+        git_rev="abc1234", created_at=200.0)
+    return store
+
+
+class TestPrometheusExposition:
+    def test_golden_exposition_snapshot(self):
+        """The exact text-format export of the seeded store.  This is
+        the wire format external scrapers parse — any change to it must
+        be deliberate and show up in this diff."""
+        with _seeded_store() as store:
+            text = render_prometheus(store)
+        labels = ('{design="SP-AR-RC 4",optimization="none",'
+                  'method="paper"}')
+        phase = lambda p: ('{design="SP-AR-RC 4",optimization="none",'  # noqa: E731
+                           f'method="paper",phase="{p}"}}')
+        expected = "\n".join([
+            "# HELP repro_runs_total Verification runs recorded in the "
+            "store.",
+            "# TYPE repro_runs_total counter",
+            "repro_runs_total 2",
+            "# HELP repro_run_seconds Wall-clock seconds of the latest "
+            "run.",
+            "# TYPE repro_run_seconds gauge",
+            f"repro_run_seconds{labels} 0.12",
+            "# HELP repro_run_steps Committed rewriting steps of the "
+            "latest run.",
+            "# TYPE repro_run_steps gauge",
+            f"repro_run_steps{labels} 6",
+            "# HELP repro_run_max_poly_size Peak SP_i size (monomials) "
+            "of the latest run.",
+            "# TYPE repro_run_max_poly_size gauge",
+            f"repro_run_max_poly_size{labels} 9",
+            "# HELP repro_run_backtracks Algorithm 2 backtracks of the "
+            "latest run.",
+            "# TYPE repro_run_backtracks gauge",
+            f"repro_run_backtracks{labels} 0",
+            "# HELP repro_phase_seconds Per-phase wall-clock seconds of "
+            "the latest run.",
+            "# TYPE repro_phase_seconds gauge",
+            f"repro_phase_seconds{phase('model')} 0.03",
+            f"repro_phase_seconds{phase('rewrite')} 0.08",
+            f"repro_phase_seconds{phase('rewrite.reduce')} 0.06",
+            "# HELP repro_run_peak_rss_kb Peak resident-set size (KiB) "
+            "of the latest run.",
+            "# TYPE repro_run_peak_rss_kb gauge",
+            f"repro_run_peak_rss_kb{labels} 51000.0",
+            "# HELP repro_run_workers Relay worker processes of the "
+            "latest run.",
+            "# TYPE repro_run_workers gauge",
+            f"repro_run_workers{labels} 2",
+        ]) + "\n"
+        assert text == expected
+
+    def test_exposition_format_invariants(self):
+        """Structural rules every Prometheus scraper relies on: HELP
+        and TYPE precede their samples, sample lines parse, and no
+        metric name appears with two different TYPEs."""
+        with _seeded_store() as store:
+            text = render_prometheus(store)
+        assert text.endswith("\n")
+        typed = {}
+        sample_re = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+$")
+        for line in text.splitlines():
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split(" ", 3)
+                assert typed.setdefault(name, kind) == kind
+                continue
+            if line.startswith("#"):
+                continue
+            assert sample_re.match(line), line
+            name = line.split("{", 1)[0].split(" ", 1)[0]
+            assert name in typed, f"sample before TYPE: {line}"
+
+    def test_label_values_are_escaped(self):
+        with RunStore() as store:
+            store.add_run('weird "design"\n', method="paper",
+                          seconds=1.0, status="correct")
+            text = render_prometheus(store)
+        assert r'design="weird \"design\"\n"' in text
+
+
+class TestHtmlDashboard:
+    def test_smoke_renders_every_section(self):
+        with _seeded_store() as store:
+            page = render_dashboard(store, title="smoke test")
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<title>smoke test</title>" in page
+        assert "Trend sparklines" in page
+        assert "SP_i size curves" in page
+        assert "Phase waterfalls" in page
+        assert "Worker lanes (latest run, relay traces)" in page
+        assert "Resource telemetry (latest run)" in page
+        assert "SP-AR-RC 4" in page
+        # worker lanes show both pool slots
+        assert "w1 pid 4242" in page
+        assert "w2 pid 4243" in page
+        # the peak-RSS phase is highlighted
+        assert "<td class='bad'>51000.0</td>" in page
+        assert page.count("<svg") >= 3  # sparkline + curve + waterfall
+
+    def test_empty_store_still_renders(self):
+        with RunStore() as store:
+            page = render_dashboard(store)
+        assert page.startswith("<!DOCTYPE html>")
+        assert "Trend sparklines" in page
+        assert "Worker lanes" not in page
+        assert "Resource telemetry" not in page
+
+    def test_design_names_are_html_escaped(self):
+        with RunStore() as store:
+            store.add_run("<script>alert(1)</script>", method="paper",
+                          seconds=1.0, status="correct")
+            page = render_dashboard(store)
+        assert "<script>alert(1)</script>" not in page
+        assert "&lt;script&gt;" in page
+
+
+class TestSvgHelpers:
+    def test_worker_lanes_one_bar_per_worker(self):
+        svg = worker_lanes_svg([
+            {"worker_id": 1, "pid": 10, "events": 5,
+             "first_t": 0.0, "last_t": 2.0},
+            {"worker_id": 2, "pid": 11, "events": 7,
+             "first_t": 0.5, "last_t": 1.5},
+        ])
+        assert svg.count("<rect") == 2
+        assert "w1 pid 10" in svg and "w2 pid 11" in svg
+        assert "5 ev" in svg and "7 ev" in svg
+
+    def test_worker_lanes_skip_windowless_rows(self):
+        svg = worker_lanes_svg([{"worker_id": 1, "pid": 10, "events": 0,
+                                 "first_t": None, "last_t": None}])
+        assert svg == ""
+
+    def test_sparkline_handles_empty_series(self):
+        assert sparkline_svg([]) == "<svg class='spark'></svg>"
+        assert "<polyline" in sparkline_svg([1, 2, 3])

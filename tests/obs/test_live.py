@@ -125,7 +125,8 @@ class TestRendering:
         stream = io.StringIO()
         clock = FakeClock()
         monitor = LiveMonitor(Recorder(), stall_budget=100.0,
-                              stream=stream, refresh=0.0, clock=clock)
+                              stream=stream, refresh=0.0, clock=clock,
+                              interactive=True)
         clock.advance(1.0)
         with monitor.span("rewrite"):
             monitor.event("progress", step=2, size=9, candidates=3,
@@ -137,6 +138,40 @@ class TestRendering:
         monitor.finish()
         assert stream.getvalue().endswith("\r")
 
+    def test_non_tty_stream_falls_back_to_plain_lines(self):
+        # io.StringIO().isatty() is False: auto-detection must choose
+        # the plain line-per-update mode with no \r control characters
+        stream = io.StringIO()
+        clock = FakeClock()
+        monitor = LiveMonitor(Recorder(), stall_budget=100.0,
+                              stream=stream, refresh=0.0, clock=clock)
+        assert monitor.interactive is False
+        clock.advance(3.0)
+        with monitor.span("rewrite"):
+            monitor.event("progress", step=2, size=9, candidates=3,
+                          remaining=4, backtracks=1)
+        monitor.finish()
+        text = stream.getvalue()
+        assert "\r" not in text
+        assert "step 2/6" in text
+        assert text.endswith("\n")
+
+    def test_no_color_forces_plain_mode(self, monkeypatch):
+        class FakeTty(io.StringIO):
+            def isatty(self):
+                return True
+
+        monkeypatch.setenv("NO_COLOR", "1")
+        monitor = LiveMonitor(Recorder(), stream=FakeTty())
+        assert monitor.interactive is False
+        monkeypatch.delenv("NO_COLOR")
+        monkeypatch.setenv("TERM", "dumb")
+        monitor = LiveMonitor(Recorder(), stream=FakeTty())
+        assert monitor.interactive is False
+        monkeypatch.setenv("TERM", "xterm-256color")
+        monitor = LiveMonitor(Recorder(), stream=FakeTty())
+        assert monitor.interactive is True
+
     def test_run_end_finishes_the_line(self):
         stream = io.StringIO()
         clock = FakeClock()
@@ -147,6 +182,51 @@ class TestRendering:
                       remaining=0, backtracks=0)
         monitor.event("run_end", status="correct", seconds=1.0)
         assert monitor.events[-1]["ev"] == "run_end"
+
+
+class TestWorkerHeartbeats:
+    def test_only_the_silent_worker_stalls(self):
+        monitor, clock = _monitor(stall_budget=5.0)
+        monitor.worker_event({"ev": "task_begin", "worker_id": 1,
+                              "design": "a.aag"})
+        clock.advance(3.0)
+        monitor.worker_event({"ev": "task_begin", "worker_id": 2,
+                              "design": "b.aag"})
+        clock.advance(3.0)  # worker 1 silent for 6s, worker 2 for 3s
+        monitor.tick()
+        assert len(monitor.stalls) == 1
+        diag = monitor.stalls[0]
+        assert diag.code == "RP011"
+        assert diag.context["worker_id"] == 1
+        assert "a.aag" in diag.message
+        stall_events = [e for e in monitor.events if e["ev"] == "stall"]
+        assert stall_events[0]["worker_id"] == 1
+
+    def test_progress_re_arms_the_worker_watchdog(self):
+        monitor, clock = _monitor(stall_budget=5.0)
+        monitor.worker_event({"ev": "task_begin", "worker_id": 1,
+                              "design": "a.aag"})
+        clock.advance(6.0)
+        monitor.tick()
+        monitor.tick()  # same silent gap: no re-flag
+        assert len(monitor.stalls) == 1
+        monitor.worker_event({"ev": "step", "worker_id": 1, "i": 4,
+                              "size": 9})
+        clock.advance(6.0)
+        monitor.tick()
+        assert len(monitor.stalls) == 2
+
+    def test_finished_workers_may_be_silent(self):
+        monitor, clock = _monitor(stall_budget=5.0)
+        monitor.worker_event({"ev": "task_begin", "worker_id": 1,
+                              "design": "a.aag"})
+        monitor.worker_event({"ev": "run_end", "worker_id": 1,
+                              "status": "correct"})
+        monitor.worker_event({"ev": "task_end", "worker_id": 1,
+                              "status": "correct"})
+        clock.advance(60.0)
+        monitor.tick()
+        assert monitor.stalls == []
 
 
 class TestPipelineIntegration:

@@ -1,0 +1,204 @@
+"""Tests for repro.obs.relay: worker tagging, merge order, loss
+accounting, and the end-to-end ``--jobs`` merged trace."""
+
+import json
+
+from repro import cli
+from repro.aig.aiger import write_aag
+from repro.genmul.multiplier import generate_multiplier
+from repro.obs import split_worker_runs
+from repro.obs.recorder import Recorder
+from repro.obs.relay import ChildRecorder, EventRelay
+
+
+class TestChildRecorder:
+    def test_events_carry_the_worker_dimension(self):
+        recorder = ChildRecorder(worker=3)
+        recorder.event("step", i=1, size=4)
+        with recorder.span("rewrite"):
+            pass
+        for record in recorder.events:
+            assert record["worker_id"] == 3
+            assert record["pid"] > 0
+            assert "seq" in record and "mono" in record
+
+    def test_seq_is_monotone_within_a_process(self):
+        recorder = ChildRecorder(worker=1)
+        for index in range(5):
+            recorder.event("step", i=index, size=1)
+        seqs = [record["seq"] for record in recorder.events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_aggregation_still_works(self):
+        recorder = ChildRecorder(worker=1)
+        recorder.count("rewrite.commits")
+        with recorder.span("rewrite"):
+            pass
+        assert recorder.counters == {"rewrite.commits": 1}
+        assert "rewrite" in recorder.span_totals
+
+
+class TestEventRelayMerge:
+    def _tagged(self, worker, seq, mono, kind="step", **fields):
+        return {"ev": kind, "t": 0.0, "worker_id": worker, "pid": 100 + worker,
+                "seq": seq, "mono": mono, **fields}
+
+    def test_merge_interleaves_by_monotonic_time(self):
+        relay = EventRelay()
+        relay._mono0 = 0.0
+        relay.collect([self._tagged(1, 1, 0.10, i=1),
+                       self._tagged(1, 2, 0.30, i=2)])
+        relay.collect([self._tagged(2, 1, 0.20, i=1)])
+        merged = relay.merged_events()
+        assert [(r["worker_id"], r["seq"]) for r in merged] == [
+            (1, 1), (2, 1), (1, 2)]
+        # mono is consumed; t is rebased onto the relay timeline
+        assert all("mono" not in r for r in merged)
+        assert [r["t"] for r in merged] == [0.1, 0.2, 0.3]
+
+    def test_causal_order_survives_clock_ties(self):
+        relay = EventRelay()
+        relay._mono0 = 0.0
+        relay.collect([self._tagged(1, 1, 0.5), self._tagged(1, 2, 0.5),
+                       self._tagged(1, 3, 0.5)])
+        merged = relay.merged_events()
+        assert [r["seq"] for r in merged] == [1, 2, 3]
+
+    def test_loss_accounting(self):
+        relay = EventRelay()
+        relay.collect([self._tagged(1, 1, 0.1), self._tagged(1, 2, 0.2)],
+                      declared=2)
+        assert relay.event_loss == 0
+        relay.collect([self._tagged(2, 1, 0.1)], declared=3)
+        assert relay.event_loss == 2
+        rows = relay.worker_rows()
+        assert [row["worker_id"] for row in rows] == [1, 2]
+        assert rows[0]["events"] == 2 and rows[0]["declared"] == 2
+
+    def test_finish_replays_into_the_parent_recorder(self):
+        parent = Recorder()
+        relay = EventRelay(recorder=parent)
+        relay._mono0 = 0.0
+        relay.collect([self._tagged(1, 1, 0.1, i=1)])
+        merged = relay.finish()
+        assert parent.events == merged
+        assert parent.events[0]["worker_id"] == 1
+
+    def test_on_event_observer_sees_arrivals_and_survives_errors(self):
+        seen = []
+
+        def observer(record):
+            seen.append(record["seq"])
+            raise RuntimeError("observers must not kill runs")
+
+        relay = EventRelay(on_event=observer)
+        relay.collect([self._tagged(1, 1, 0.1), self._tagged(1, 2, 0.2)])
+        assert seen == [1, 2]
+
+
+class TestSplitWorkerRuns:
+    def test_splits_on_task_boundaries_per_worker(self):
+        events = [
+            {"ev": "task_begin", "worker_id": 1, "design": "a.aag"},
+            {"ev": "run_begin", "worker_id": 1},
+            {"ev": "task_begin", "worker_id": 2, "design": "b.aag"},
+            {"ev": "step", "worker_id": 2, "i": 1},
+            {"ev": "step", "worker_id": 1, "i": 1},
+            {"ev": "task_begin", "worker_id": 1, "design": "c.aag"},
+            {"ev": "run_begin", "worker_id": 1},
+        ]
+        runs = split_worker_runs(events)
+        labels = [label for label, _ in runs]
+        assert labels == ["a.aag", "c.aag", "b.aag"]
+        a_run = runs[0][1]
+        assert [e["ev"] for e in a_run] == ["task_begin", "run_begin",
+                                           "step"]
+
+    def test_untagged_events_form_one_segment(self):
+        events = [{"ev": "run_begin"}, {"ev": "step", "i": 1}]
+        runs = split_worker_runs(events)
+        assert len(runs) == 1
+        assert runs[0][0] is None
+        assert runs[0][1] == events
+
+
+class TestEndToEndJobs:
+    def _designs(self, tmp_path):
+        paths = []
+        for arch in ("SP-AR-RC", "SP-WT-CL"):
+            path = tmp_path / f"{arch}.aag"
+            path.write_text(write_aag(generate_multiplier(arch, 4)),
+                            encoding="ascii")
+            paths.append(str(path))
+        return paths
+
+    def test_jobs2_produces_one_merged_lossless_trace(self, tmp_path,
+                                                      capsys):
+        paths = self._designs(tmp_path)
+        trace = tmp_path / "merged.jsonl"
+        out = tmp_path / "verify.json"
+        code = cli.main(["verify", *paths, "--jobs", "2",
+                         "--trace-out", str(trace), "--json", str(out)])
+        capsys.readouterr()
+        assert code == 0
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["jobs"] == 2
+        assert payload["event_loss"] == 0
+        # on a loaded single-core box one worker may steal both tasks,
+        # so only demand that every active worker is a real pool slot
+        worker_ids = {row["worker_id"] for row in payload["workers"]}
+        assert worker_ids and worker_ids <= {1, 2}
+        for row in payload["workers"]:
+            assert row["events"] == row["declared"]
+        events = [json.loads(line) for line in
+                  trace.read_text(encoding="utf-8").splitlines()]
+        # every event carries the worker dimension
+        for event in events:
+            assert event["worker_id"] in (1, 2)
+            assert event["pid"] > 0
+            assert event["seq"] >= 1
+        # causal order within each worker is preserved
+        for worker in (1, 2):
+            seqs = [e["seq"] for e in events if e["worker_id"] == worker]
+            assert seqs == sorted(seqs)
+        # the merged timeline is globally ordered
+        stamps = [e["t"] for e in events]
+        assert stamps == sorted(stamps)
+        # both designs ran to a verdict
+        ends = [e for e in events if e["ev"] == "run_end"]
+        assert [e["status"] for e in ends] == ["correct", "correct"]
+
+    def test_merged_trace_feeds_report_and_ingest(self, tmp_path, capsys):
+        from repro.obs import RunStore
+
+        paths = self._designs(tmp_path)
+        trace = tmp_path / "merged.jsonl"
+        assert cli.main(["verify", *paths, "--jobs", "2",
+                         "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        assert cli.main(["report", str(trace)]) == 0
+        text = capsys.readouterr().out
+        assert "Relay workers (merged trace)" in text
+        with RunStore() as store:
+            run_ids, skipped = store.ingest_trace_file(trace)
+            assert skipped == 0
+            assert len(run_ids) == 2
+            designs = {store.run(rid)["design"] for rid in run_ids}
+            assert designs == {"SP-AR-RC", "SP-WT-CL"}
+            for rid in run_ids:
+                run = store.run(rid)
+                assert run["status"] == "correct"
+                assert len(run["workers"]) == 1
+
+    def test_serial_jobs1_batch_still_merges_a_trace(self, tmp_path,
+                                                     capsys):
+        paths = self._designs(tmp_path)
+        trace = tmp_path / "serial.jsonl"
+        assert cli.main(["verify", *paths, "--jobs", "1",
+                         "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        events = [json.loads(line) for line in
+                  trace.read_text(encoding="utf-8").splitlines()]
+        assert all(e["worker_id"] == 0 for e in events)
+        assert len([e for e in events if e["ev"] == "run_end"]) == 2

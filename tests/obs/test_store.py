@@ -239,6 +239,135 @@ class TestIngestPayloads:
                 store.ingest_file(bogus)
 
 
+class TestSchemaV2:
+    def test_workers_and_resources_round_trip(self):
+        with RunStore() as store:
+            run_id = store.add_run(
+                "d", "dyposub", seconds=1.0, status="correct",
+                workers=[{"worker_id": 1, "pid": 42, "events": 10,
+                          "first_t": 0.0, "last_t": 0.9},
+                         {"worker_id": 2, "pid": 43, "events": 12,
+                          "first_t": 0.1, "last_t": 1.0}],
+                resources={"rewrite": {"rss_peak_kb": 50000,
+                                       "tracemalloc_kb": 100.0,
+                                       "tracemalloc_peak_kb": 200.0,
+                                       "gc_collections": 3}})
+            workers = store.workers(run_id)
+            assert [w["worker_id"] for w in workers] == [1, 2]
+            assert workers[0]["pid"] == 42
+            assert workers[1]["events"] == 12
+            resources = store.resources(run_id)
+            assert resources["rewrite"]["rss_peak_kb"] == 50000
+            assert resources["rewrite"]["gc_collections"] == 3
+            # run() carries both child tables
+            record = store.run(run_id)
+            assert len(record["workers"]) == 2
+            assert "rewrite" in record["resources"]
+
+    def test_v1_file_upgrades_in_place(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "old.db"
+        with RunStore(path) as store:
+            store.add_run("d", "dyposub", seconds=1.0)
+        # rewind the file to schema v1: drop the v2 tables and stamp
+        conn = sqlite3.connect(path)
+        conn.executescript("DROP TABLE workers; DROP TABLE resources;")
+        conn.execute("UPDATE meta SET value = '1' "
+                     "WHERE key = 'schema_version'")
+        conn.commit()
+        conn.close()
+        with RunStore(path) as store:
+            assert len(store) == 1  # v1 data survives the upgrade
+            run_id = store.add_run("d2", "dyposub",
+                                   workers=[{"worker_id": 1, "pid": 9,
+                                             "events": 1}])
+            assert store.workers(run_id)[0]["pid"] == 9
+        conn = sqlite3.connect(path)
+        stamped = conn.execute("SELECT value FROM meta WHERE key = "
+                               "'schema_version'").fetchone()[0]
+        conn.close()
+        assert stamped == "2"
+
+    def test_newer_schema_is_refused_not_corrupted(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "future.db"
+        with RunStore(path) as store:
+            store.add_run("d", "dyposub", seconds=1.0)
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE meta SET value = '99' "
+                     "WHERE key = 'schema_version'")
+        conn.commit()
+        conn.close()
+        with pytest.raises(ValueError, match="newer than this build"):
+            RunStore(path)
+        # the refused file is untouched and still opens as v99
+        conn = sqlite3.connect(path)
+        assert conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0] == 1
+        conn.close()
+
+
+class TestPrune:
+    def _seed(self, store):
+        for index in range(4):
+            store.add_run("a", "dyposub", seconds=1.0 + index,
+                          created_at=100.0 + index,
+                          phases={"rewrite": 0.5},
+                          workers=[{"worker_id": 1, "pid": 1,
+                                    "events": index}])
+        store.add_run("b", "dyposub", seconds=9.0, created_at=50.0,
+                      resources={"rewrite": {"rss_peak_kb": 1}})
+
+    def test_keep_last_is_per_series(self):
+        with RunStore() as store:
+            self._seed(store)
+            result = store.prune(keep_last=2, vacuum=False)
+            assert result["deleted"] == 2  # only series "a" had extras
+            assert result["remaining"] == 3
+            # newest two of "a" survive, "b"'s single run survives
+            assert [r["seconds"] for r in store.runs(design="a")] == \
+                [3.0, 4.0]
+            assert len(store.runs(design="b")) == 1
+
+    def test_before_cutoff_composes_with_keep_last(self):
+        with RunStore() as store:
+            self._seed(store)
+            result = store.prune(keep_last=3, before=101.5)
+            # keep_last=3 dooms a's oldest; before=101.5 dooms a's first
+            # two and b's run — the union is 3 deletions
+            assert result["deleted"] == 3
+            assert result["remaining"] == 2
+            assert store.runs(design="b") == []
+
+    def test_children_cascade_and_counts_report(self):
+        with RunStore() as store:
+            self._seed(store)
+            before = store.table_counts()
+            assert before["workers"] == 4
+            assert before["resources"] == 1
+            result = store.prune(keep_last=1)
+            tables = result["tables"]
+            assert tables["runs"] == 2
+            assert tables["workers"] == 1  # cascaded with their runs
+            assert tables["phases"] == 1
+            assert tables["resources"] == 1
+
+    def test_prune_on_disk_store_vacuums(self, tmp_path):
+        path = tmp_path / "runs.db"
+        with RunStore(path) as store:
+            self._seed(store)
+            result = store.prune(keep_last=1, vacuum=True)
+            assert result["remaining"] == 2
+
+    def test_noop_prune(self):
+        with RunStore() as store:
+            self._seed(store)
+            result = store.prune(keep_last=10, vacuum=False)
+            assert result["deleted"] == 0
+            assert result["remaining"] == 5
+
+
 class TestGitRev:
     def test_current_git_rev_in_repo(self):
         rev = current_git_rev()
