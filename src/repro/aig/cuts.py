@@ -23,29 +23,57 @@ def enumerate_cuts(aig, k=4, limit=12, include_trivial=True):
     variables.  The trivial cut ``(var,)`` is included first when
     ``include_trivial`` is set.  Constant and input variables only get
     their trivial cut.
+
+    Internally cuts are carried as leaf *frozensets*: with the small
+    ``k`` used here a union, size test or subset probe touches a
+    handful of machine ints, where the previous whole-AIG-wide leaf
+    bitmasks paid O(num_vars/64) words per ``|``, popcount and hash.
+    Cuts decode to sorted tuples once per surviving cut at the end.
     """
-    cuts = {0: [()]}
+    empty = frozenset()
+    masks = {0: [empty]}
     for var in aig.inputs:
-        cuts[var] = [(var,)]
+        masks[var] = [frozenset((var,))]
+    fanin0 = aig._fanin0
+    fanin1 = aig._fanin1
+    keep = limit - 1 if include_trivial else limit
     for v in aig.and_vars():
-        f0, f1 = aig.fanins(v)
-        v0, v1 = lit_var(f0), lit_var(f1)
+        m0 = masks[fanin0[v] >> 1]
+        m1 = masks[fanin1[v] >> 1]
         merged = []
         seen = set()
-        for c0 in cuts[v0]:
-            for c1 in cuts[v1]:
-                union = _merge(c0, c1, k)
-                if union is None or union in seen:
+        seen_add = seen.add
+        append = merged.append
+        for a in m0:
+            a_union = a.union
+            for b in m1:
+                union = a_union(b)
+                if len(union) > k or union in seen:
                     continue
-                seen.add(union)
-                merged.append(union)
-        merged = _prune_dominated(merged)
-        merged.sort(key=len)
-        merged = merged[: limit - 1 if include_trivial else limit]
-        node_cuts = [(v,)] if include_trivial else []
-        node_cuts.extend(merged)
-        cuts[v] = node_cuts
-    return cuts
+                seen_add(union)
+                append(union)
+        merged = _prune_dominated_sets(merged)[:keep]
+        # the trivial cut leads (and participates in the consumers'
+        # merges) exactly as in the tuple-based formulation
+        masks[v] = ([frozenset((v,))] + merged if include_trivial
+                    else merged)
+    return {v: [tuple(sorted(cut)) for cut in cut_list]
+            for v, cut_list in masks.items()}
+
+
+def _prune_dominated_sets(cut_list):
+    """Drop cuts that are supersets of another cut in the list,
+    returning the survivors sorted by leaf count (stable, so ties keep
+    their discovery order exactly as the mask formulation did)."""
+    cut_list.sort(key=len)
+    kept = []
+    for cut in cut_list:
+        for smaller in kept:
+            if smaller <= cut:
+                break
+        else:
+            kept.append(cut)
+    return kept
 
 
 def _merge(cut_a, cut_b, k):

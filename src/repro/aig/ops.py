@@ -10,17 +10,23 @@ def reachable_vars(aig, roots=None):
     """Set of variables reachable from ``roots`` (default: the outputs)."""
     if roots is None:
         roots = [lit_var(out) for out in aig.outputs]
+    fanin0 = aig._fanin0
+    fanin1 = aig._fanin1
+    first_and = len(aig._inputs) + 1
+    n = len(fanin0)
     seen = set()
+    add = seen.add
     stack = [v for v in roots if v > 0]
+    pop = stack.pop
+    push = stack.append
     while stack:
-        v = stack.pop()
+        v = pop()
         if v in seen:
             continue
-        seen.add(v)
-        if aig.is_and(v):
-            f0, f1 = aig.fanins(v)
-            stack.append(lit_var(f0))
-            stack.append(lit_var(f1))
+        add(v)
+        if first_and <= v < n:
+            push(fanin0[v] >> 1)
+            push(fanin1[v] >> 1)
     return seen
 
 
@@ -83,15 +89,20 @@ def cone_vars(aig, root, leaves):
     """
     leaves = set(leaves)
     cone = set()
+    fanin0 = aig._fanin0
+    fanin1 = aig._fanin1
+    first_and = len(aig._inputs) + 1
+    n = len(fanin0)
     stack = [root]
+    pop = stack.pop
+    push = stack.append
     while stack:
-        v = stack.pop()
-        if v in cone or v in leaves or not aig.is_and(v):
+        v = pop()
+        if v in cone or v in leaves or v < first_and or v >= n:
             continue
         cone.add(v)
-        f0, f1 = aig.fanins(v)
-        stack.append(lit_var(f0))
-        stack.append(lit_var(f1))
+        push(fanin0[v] >> 1)
+        push(fanin1[v] >> 1)
     return cone
 
 

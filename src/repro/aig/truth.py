@@ -28,28 +28,77 @@ def tt_mask(num_vars):
     return (1 << (1 << num_vars)) - 1
 
 
+# var_pattern(pos, k) for the cut sizes the matchers use, precomputed —
+# atomic-block detection calls cone_truth_table once per (node, cut)
+# pair, thousands of times per design.
+_PATTERNS = [[var_pattern(pos, k) for pos in range(k)] for k in range(7)]
+
+
 def cone_truth_table(aig, root_var, leaves):
     """Truth table of ``root_var`` as a function of the ordered ``leaves``.
 
     Every path from the root must terminate at a leaf (or the constant);
     otherwise an :class:`AigError` is raised.
+
+    Single-pass iterative DFS over the raw fan-in arrays: this runs once
+    per (node, cut) pair during atomic-block detection, so accessor
+    method calls and a separate topological-order pass are measurable.
     """
     k = len(leaves)
     mask = tt_mask(k)
     values = {0: 0}
-    for pos, leaf in enumerate(leaves):
-        values[leaf] = var_pattern(pos, k)
-    order = _cone_topo(aig, root_var, set(leaves))
-    for v in order:
-        f0, f1 = aig.fanins(v)
-        a = values[lit_var(f0)]
-        if lit_is_negated(f0):
+    if k < len(_PATTERNS):
+        values.update(zip(leaves, _PATTERNS[k]))
+    else:
+        for pos, leaf in enumerate(leaves):
+            values[leaf] = var_pattern(pos, k)
+    root = root_var
+    cached = values.get(root)
+    if cached is not None:
+        return cached & mask
+    fanin0 = aig._fanin0
+    fanin1 = aig._fanin1
+    first_and = len(aig._inputs) + 1
+    get = values.get
+    if root >= first_and:
+        # depth-1 fast path: half-adder carries and many matcher probes
+        # are a single AND over the leaves — skip the DFS bookkeeping
+        f0 = fanin0[root]
+        f1 = fanin1[root]
+        a = get(f0 >> 1)
+        b = get(f1 >> 1)
+        if a is not None and b is not None:
+            if f0 & 1:
+                a ^= mask
+            if f1 & 1:
+                b ^= mask
+            return a & b & mask
+    stack = [root]
+    push = stack.append
+    while stack:
+        v = stack[-1]
+        if v in values:
+            stack.pop()
+            continue
+        if v < first_and:
+            raise AigError(f"cone of {root} escapes the given leaves at {v}")
+        f0 = fanin0[v]
+        f1 = fanin1[v]
+        a = get(f0 >> 1)
+        b = get(f1 >> 1)
+        if a is None or b is None:
+            if a is None:
+                push(f0 >> 1)
+            if b is None:
+                push(f1 >> 1)
+            continue
+        stack.pop()
+        if f0 & 1:
             a ^= mask
-        b = values[lit_var(f1)]
-        if lit_is_negated(f1):
+        if f1 & 1:
             b ^= mask
         values[v] = a & b
-    return values[root_var] & mask
+    return values[root] & mask
 
 
 def _cone_topo(aig, root, leaves):

@@ -132,7 +132,18 @@ def detect_atomic_blocks(aig, cuts=None, max_cuts=24):
 
     # Collect block candidates: carry fixes the input polarity; the sum
     # output polarity is the observed parity polarity corrected by the
-    # parity of the input flips.
+    # parity of the input flips.  The same (root, cut) cone appears in
+    # many carry/sum pairings, so its variable set is computed once.
+    cone_cache = {}
+
+    def cached_cone(root, cut):
+        key = (root, cut)
+        cone = cone_cache.get(key)
+        if cone is None:
+            cone = cone_vars(aig, root, cut)
+            cone_cache[key] = cone
+        return cone
+
     candidates = []
     for cut, roles in by_cut.items():
         for carry_var, (polarity, carry_neg) in roles.get("carry", []):
@@ -142,9 +153,14 @@ def detect_atomic_blocks(aig, cuts=None, max_cuts=24):
                     continue
                 sum_neg = tt_neg != flip_parity
                 kind = "HA" if len(cut) == 2 else "FA"
-                candidates.append(_make_block(
-                    aig, kind, cut, polarity,
-                    carry_var, carry_neg, sum_var, sum_neg))
+                internal = frozenset(cached_cone(carry_var, cut)
+                                     | cached_cone(sum_var, cut))
+                candidates.append(AtomicBlock(
+                    kind=kind, inputs=tuple(cut),
+                    input_negations=tuple(polarity),
+                    carry_var=carry_var, carry_negated=carry_neg,
+                    sum_var=sum_var, sum_negated=sum_neg,
+                    internal=internal))
 
     # Validate and select greedily: FAs first.
     valid = [blk for blk in candidates

@@ -69,24 +69,67 @@ def derive_zero_pairs(aig, blocks, interesting_vars, cap=128,
                      _lit(blk.sum_var, blk.sum_negated))
 
     and_nodes = [(v,) + aig.fanins(v) for v in aig.and_vars()]
+    conflicts_get = conflicts.get
+    conflicts_setdefault = conflicts.setdefault
     for _sweep in range(max_passes):
         changed = False
         for v, f0, f1 in and_nodes:
+            nf0 = f0 ^ 1
+            nf1 = f1 ^ 1
             w_pos = 2 * v
             w_neg = w_pos + 1
             # w = f0 & f1: conflicts with the branch complements and
-            # with everything a conjunct conflicts with
-            for target in (f0 ^ 1, f1 ^ 1):
-                if add_conflict(w_pos, target):
+            # with everything a conjunct conflicts with.  The symmetric
+            # cap-bounded insert of ``add_conflict`` is inlined with the
+            # node's own set hoisted out of the target loop — this runs
+            # for every (node, target) pair of every sweep.  Iterating
+            # the conjunct sets live is safe: a target's partner set is
+            # never the set being iterated (no literal conflicts with
+            # itself, and ``w`` is above its fan-ins).  A target already
+            # in ``set_w`` is skipped outright: every membership was
+            # established by a symmetric attempt, whose reverse insert
+            # either succeeded then or was cap-blocked — and stays
+            # blocked, since conflict sets only grow.  That turns the
+            # stable majority of pairs in later sweeps into a single
+            # membership test.
+            set_w = conflicts_setdefault(w_pos, set())
+            cf0 = conflicts_get(f0, _EMPTY)
+            cf1 = conflicts_get(f1, _EMPTY)
+            for target in (nf0, nf1):
+                if target in set_w:
+                    continue
+                if len(set_w) < cap:
+                    set_w.add(target)
                     changed = True
-            for target in tuple(conf(f0)) + tuple(conf(f1)):
-                if target >> 1 != v and add_conflict(w_pos, target):
+                set_t = conflicts_setdefault(target, set())
+                if w_pos not in set_t and len(set_t) < cap:
+                    set_t.add(w_pos)
                     changed = True
+            for source in (cf0, cf1):
+                for target in source:
+                    if target in set_w or target >> 1 == v:
+                        continue
+                    if len(set_w) < cap:
+                        set_w.add(target)
+                        changed = True
+                    set_t = conflicts_setdefault(target, set())
+                    if w_pos not in set_t and len(set_t) < cap:
+                        set_t.add(w_pos)
+                        changed = True
             # !w = !f0 | !f1: disjunction elimination
-            both = conf(f0 ^ 1) & conf(f1 ^ 1)
-            for target in both:
-                if target >> 1 != v and add_conflict(w_neg, target):
-                    changed = True
+            both = conflicts_get(nf0, _EMPTY) & conflicts_get(nf1, _EMPTY)
+            if both:
+                set_wn = conflicts_setdefault(w_neg, set())
+                for target in both:
+                    if target in set_wn or target >> 1 == v:
+                        continue
+                    if len(set_wn) < cap:
+                        set_wn.add(target)
+                        changed = True
+                    set_t = conflicts_setdefault(target, set())
+                    if w_neg not in set_t and len(set_t) < cap:
+                        set_t.add(w_neg)
+                        changed = True
         if not changed:
             break
 

@@ -102,6 +102,11 @@ class VerifyConfig:
     record_certificate: bool = False
     preflight: bool = True
     check_invariants: bool = False
+    # Internal representation switch: the arena (sorted-column) rewrite
+    # kernels vs the historical dict kernels.  Results are identical;
+    # the dict path is kept as the oracle for parity gates and the
+    # interleaved-pair benchmark.  Not exposed on the CLI.
+    use_arena: bool = True
     ring: object = "exact"
     primes: int = 4
     prime_schedule: tuple = ()
@@ -286,7 +291,8 @@ class Pipeline:
                                  time_budget=time_budget,
                                  record_trace=config.record_trace,
                                  record_certificate=config.record_certificate,
-                                 recorder=rec, monitor=monitor, ring=ring)
+                                 recorder=rec, monitor=monitor, ring=ring,
+                                 use_arena=config.use_arena)
         try:
             with rec.span("rewrite"):
                 if config.method == "dyposub":

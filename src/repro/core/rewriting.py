@@ -25,6 +25,7 @@ import time
 from repro.core.result import Trace, TraceStep
 from repro.errors import BudgetExceeded, VerificationError
 from repro.obs.recorder import NULL
+from repro.poly.arena import PolyArena
 from repro.poly.polynomial import Polynomial
 from repro.poly.ring import EXACT
 
@@ -45,12 +46,21 @@ class RewritingEngine:
     def __init__(self, spec, components, vanishing, monomial_budget=None,
                  time_budget=None, record_trace=False,
                  record_certificate=False, recorder=None, monitor=None,
-                 ring=EXACT):
+                 ring=EXACT, use_arena=True):
         self.ring = ring
         self.vanishing = vanishing
         vanishing.set_ring(ring)
         self.spec = spec
         self.sp = vanishing.apply(ring.convert_poly(spec))
+        # Arena mode runs substitution on sorted columns (bisect
+        # partitions + slice merges) instead of dict scans; the dict path
+        # is kept as the boundary/oracle implementation.  Seed the
+        # occurrence index before the first arena conversion so every
+        # kernel carries it forward by delta updates.
+        self.use_arena = use_arena
+        if use_arena:
+            self.sp.occurrence_index()
+            self.sp.to_arena()
         self.record_certificate = record_certificate
         self.certificate_steps = [] if record_certificate else None
         self.components = {comp.index: comp for comp in components}
@@ -188,6 +198,8 @@ class RewritingEngine:
         copied through without re-checking — this is what makes vanishing
         removal cheap enough to run after *every* substitution.
         """
+        if self.use_arena:
+            return self._substitute_normalized_arena(sp, var, replacement)
         rules = self.vanishing
         rep_terms = replacement._terms
         bit = 1 << var
@@ -208,6 +220,45 @@ class RewritingEngine:
                 raise AttemptTooLarge(len(out))
         return Polynomial({m: c for m, c in out.items() if c}, _trusted=True,
                           ring=self.ring)
+
+    def _substitute_normalized_arena(self, sp, var, replacement):
+        """Arena path of :meth:`_substitute_normalized`: bisect-bounded
+        partition of the sorted columns, vanishing-normalized product
+        accumulation into a small fresh dict, one segment-copy merge
+        back.  The untouched prefix of ``SP_i`` is never walked.
+        """
+        arena = sp.to_arena()
+        keep_m, keep_c, touched = arena.partition_var(var)
+        if not touched:
+            return sp
+        rules = self.vanishing
+        bit = 1 << var
+        rep_items = list(replacement._terms.items())
+        cap = self.hard_cap
+        reduce_products = rules.reduce_products_into
+        if len(touched) * len(rep_items) >= len(keep_m):
+            # High churn: the segment-copy merge has no edge left.
+            # Accumulate straight into the untouched terms like the dict
+            # path does (one pass instead of fresh-dict + merge) and pay
+            # a single flat sort for the columns.
+            out = dict(zip(keep_m, keep_c))
+            for mono, coeff in touched:
+                reduce_products(out, mono ^ bit, rep_items, coeff)
+                if cap is not None and len(out) > cap:
+                    raise AttemptTooLarge(len(out))
+            out = {m: c for m, c in out.items() if c}
+            monos = sorted(out)
+            return Polynomial._from_arena(PolyArena(
+                monos, [out[m] for m in monos], ring=self.ring))
+        base_len = len(keep_m)
+        fresh = {}
+        for mono, coeff in touched:
+            reduce_products(fresh, mono ^ bit, rep_items, coeff)
+            if cap is not None and base_len + len(fresh) > cap:
+                raise AttemptTooLarge(base_len + len(fresh))
+        return Polynomial._from_arena(
+            arena.rebuild(keep_m, keep_c, fresh,
+                          removed=[m for m, _ in touched]))
 
     def commit(self, index, new_sp, threshold=None):
         """Install the result of :meth:`attempt` and retire the component.
@@ -277,6 +328,8 @@ class RewritingEngine:
     def _try_compact(self, comp):
         """Rule 1: substitute through ``G(outs) = F(ins)`` when ``SP_i``
         contains ``G`` exactly; returns None when the pattern is absent."""
+        if self.use_arena:
+            return self._try_compact_arena(comp)
         g_coeffs, f_poly = comp.compact
         (var_a, coeff_a), (var_b, coeff_b) = sorted(g_coeffs.items())
         bit_a = 1 << var_a
@@ -330,6 +383,56 @@ class RewritingEngine:
                                            q_coeff * f_coeff)
         return Polynomial({m: c for m, c in out.items() if c}, _trusted=True,
                           ring=self.ring)
+
+    def _try_compact_arena(self, comp):
+        """Arena path of :meth:`_try_compact`: one bisect-bounded
+        partition splits the G-part off the sorted columns; the fresh
+        ``Q*F`` products are normalized into a dict and merged back with
+        segment copies."""
+        g_coeffs, f_poly = comp.compact
+        (var_a, coeff_a), (var_b, coeff_b) = sorted(g_coeffs.items())
+        arena = self.sp.to_arena()
+        parts = arena.partition_pair(var_a, var_b)
+        if parts is None:
+            return None  # some monomial contains both outputs
+        keep_m, keep_c, part_a, part_b = parts
+        if not part_a and not part_b:
+            return self.sp  # outputs do not occur; substitution is a no-op
+        if part_a.keys() != part_b.keys():
+            return None
+        q_terms = {}
+        mod = self.ring.modulus
+        if mod is None:
+            for mono, coeff in part_a.items():
+                quotient, remainder_c = divmod(coeff, coeff_a)
+                if remainder_c:
+                    return None
+                if part_b[mono] != coeff_b * quotient:
+                    return None
+                q_terms[mono] = quotient
+        else:
+            try:
+                inv_a = pow(coeff_a % mod, -1, mod)
+            except ValueError:
+                return None  # coeff_a ≡ 0 mod p: not a unit
+            for mono, coeff in part_a.items():
+                quotient = coeff * inv_a % mod
+                if (part_b[mono] - coeff_b * quotient) % mod:
+                    return None
+                q_terms[mono] = quotient
+        # the keep columns are already rule-normalized (SP_i invariant);
+        # only the fresh Q*F products need normalization.
+        fresh = {}
+        f_items = list(f_poly._terms.items())
+        reduce_products = self.vanishing.reduce_products_into
+        for q_mono, q_coeff in q_terms.items():
+            reduce_products(fresh, q_mono, f_items, q_coeff)
+        bit_a = 1 << var_a
+        bit_b = 1 << var_b
+        removed = [m | bit_a for m in part_a]
+        removed += [m | bit_b for m in part_b]
+        return Polynomial._from_arena(
+            arena.rebuild(keep_m, keep_c, fresh, removed=removed))
 
     def _check_budget(self):
         if self.monomial_budget is not None and len(self.sp) > self.monomial_budget:

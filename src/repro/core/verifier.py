@@ -32,7 +32,7 @@ def verify_multiplier(aig, width_a=None, width_b=None, signed=False,
                       use_implications=True, record_certificate=False,
                       recorder=None, preflight=True,
                       check_invariants=False, ring="exact", primes=4,
-                      prime_schedule=()):
+                      prime_schedule=(), use_arena=True):
     """Formally verify a multiplier AIG.
 
     ``method`` is ``"dyposub"`` (dynamic backward rewriting) or
@@ -80,5 +80,5 @@ def verify_multiplier(aig, width_a=None, width_b=None, signed=False,
         use_implications=use_implications,
         record_certificate=record_certificate, preflight=preflight,
         check_invariants=check_invariants, ring=ring, primes=primes,
-        prime_schedule=tuple(prime_schedule))
+        prime_schedule=tuple(prime_schedule), use_arena=use_arena)
     return Pipeline(config).run(aig, recorder=recorder)

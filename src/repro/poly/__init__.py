@@ -12,6 +12,7 @@ from repro.poly.monomial import (
     monomial_mul,
     monomial_vars,
 )
+from repro.poly.arena import PolyArena, merge_sorted_columns
 from repro.poly.polynomial import Polynomial
 from repro.poly.parse import VariablePool, parse_polynomial
 from repro.poly.ring import (
@@ -24,7 +25,8 @@ from repro.poly.ring import (
 )
 
 __all__ = [
-    "CONST_MONOMIAL", "Polynomial", "VariablePool", "parse_polynomial",
+    "CONST_MONOMIAL", "Polynomial", "PolyArena", "merge_sorted_columns",
+    "VariablePool", "parse_polynomial",
     "monomial", "monomial_from_iterable", "monomial_mul", "monomial_degree",
     "monomial_contains", "monomial_divide_by_var", "monomial_key",
     "monomial_vars", "format_monomial",

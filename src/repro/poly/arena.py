@@ -1,0 +1,455 @@
+"""Flat columnar arena for the backward-rewriting hot loop.
+
+The dict-of-monomial->coefficient :class:`~repro.poly.polynomial.Polynomial`
+representation pays an O(n) full scan + dict rebuild on *every*
+substitution attempt: partitioning ``SP_i`` into touched/untouched
+monomials walks all n entries in Python bytecode, the merged result is a
+freshly grown hash table, and carrying the occurrence index across a
+commit costs two more key-set differences.  Backward rewriting makes
+most of that work unnecessary:
+
+* monomials are packed bitmasks, and every monomial containing variable
+  ``v`` is an integer ``>= 2**v`` — in columns *sorted by monomial* the
+  candidates for a substitution of ``v`` live entirely in the tail
+  ``[bisect_left(monos, 1 << v):]``.  Backward rewriting substitutes
+  from the outputs (high variables) towards the inputs, so that tail is
+  typically a small suffix of ``SP_i`` while the untouched prefix is
+  bulk-copied at C speed (one slice), never walked;
+* the occurrence index bounds the tail walk further: once ``occ(v)``
+  hits have been found the rest of the tail is untouched by
+  construction and is bulk-copied too;
+* the freshly created products of one substitution are few (touched
+  monomials x replacement terms, after vanishing-rule normalization), so
+  merging them into the sorted untouched columns is a handful of
+  bisects and slice copies — O(k log n) instead of an O(n) dict rebuild.
+
+The occurrence index is carried through the kernels *adaptively*.  When
+a substitution's churn (removed + appeared monomials) is small next to
+the polynomial — the common backward-rewriting regime — :meth:`rebuild`
+updates the index by decoding only the delta, which is far cheaper than
+re-deriving it and keeps the partition early-exit armed mid-chain.  But
+a component substitutes several variables in sequence (the sum's tail
+references the carry, which the next step eliminates again), so on
+high-churn workloads per-step deltas pay for work that cancels
+end-to-end — and attempts that exceed the growth threshold pay for an
+index that is then thrown away.  Above the churn threshold the kernel
+therefore drops the index and the engine resolves it once per *commit*
+from the old/new key sets (:meth:`Polynomial.adopt_occurrence_index`),
+syncing it back onto the committed arena.
+
+An arena is a pair of parallel columns (``monos`` strictly ascending,
+``coeffs`` canonical non-zero coefficients in ``ring``) plus a lazily
+built occurrence column.  Like :class:`Polynomial`, arenas are immutable
+by convention: every kernel returns a new arena and shares the unchanged
+column segments via slices, which is what keeps the dynamic engine's
+snapshot/backtrack a reference copy.
+
+The arena is an *internal* representation: the dict form remains the
+boundary/oracle representation (``repro.obs``, analysis invariants and
+baselines are unchanged), with cheap :meth:`from_dict`/:meth:`to_dict`
+converters at the edges.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from repro.poly.ring import EXACT
+
+
+def _occ_delta(occ, removed, cancelled, added):
+    """New occurrence index from ``occ`` after the monomials in
+    ``removed``/``cancelled`` left the polynomial and those in ``added``
+    entered it.
+
+    The accounting is multiset-exact even when the same monomial value
+    appears on both sides (a replacement product recreating a removed
+    monomial decrements and then increments — net zero, as it must be).
+    """
+    counts = dict(occ)
+    for group in (removed, cancelled):
+        for mono in group:
+            while mono:
+                low = mono & -mono
+                var = low.bit_length() - 1
+                left = counts[var] - 1
+                if left:
+                    counts[var] = left
+                else:
+                    del counts[var]
+                mono ^= low
+    get = counts.get
+    for mono in added:
+        while mono:
+            low = mono & -mono
+            var = low.bit_length() - 1
+            counts[var] = get(var, 0) + 1
+            mono ^= low
+    return counts
+
+
+def merge_sorted_columns(base_m, base_c, fresh, mod):
+    """Merge the ``{monomial: coefficient}`` accumulator ``fresh`` into
+    sorted columns ``(base_m, base_c)``.
+
+    Returns ``(monos, coeffs, added, cancelled)``: the merged columns
+    (still sorted, zero coefficients dropped), the fresh monomials that
+    were not present in the base, and the base monomials whose
+    coefficient cancelled to zero.  Segments of the base between
+    insertion points are copied with slices (C memcpy), so the Python
+    work is O(len(fresh) * log n), not O(n).
+
+    Base coefficients must be canonical in the ring; ``fresh`` values
+    under a modular ring must be canonical too (the vanishing reducer
+    guarantees this), which reduces the collision fold to one
+    conditional subtract.
+    """
+    added = []
+    cancelled = []
+    if not fresh:
+        return base_m, base_c, added, cancelled
+    res_m = []
+    res_c = []
+    blen = len(base_m)
+    prev = 0
+    for mono in sorted(fresh):
+        coeff = fresh[mono]
+        if not coeff:
+            continue
+        j = bisect_left(base_m, mono, prev)
+        if j > prev:
+            res_m += base_m[prev:j]
+            res_c += base_c[prev:j]
+        if j < blen and base_m[j] == mono:
+            total = base_c[j] + coeff
+            if mod is not None and total >= mod:
+                total -= mod
+            if total:
+                res_m.append(mono)
+                res_c.append(total)
+            else:
+                cancelled.append(mono)
+            prev = j + 1
+        else:
+            res_m.append(mono)
+            res_c.append(coeff)
+            added.append(mono)
+            prev = j
+    if prev < blen:
+        res_m += base_m[prev:]
+        res_c += base_c[prev:]
+    return res_m, res_c, added, cancelled
+
+
+class PolyArena:
+    """Sorted parallel columns of one multilinear polynomial.
+
+    ``monos`` is strictly ascending (packed-bitmask order), ``coeffs``
+    holds the matching non-zero canonical coefficients, ``occ`` is the
+    lazily built variable->occurrence-count column (``None`` until
+    requested, carried through a low-churn :meth:`rebuild`, or synced in
+    by the engine at commit time).  The raw constructor trusts its
+    arguments.
+    """
+
+    __slots__ = ("monos", "coeffs", "ring", "occ")
+
+    def __init__(self, monos, coeffs, ring=None, occ=None):
+        self.monos = monos
+        self.coeffs = coeffs
+        self.ring = EXACT if ring is None else ring
+        self.occ = occ
+
+    # ------------------------------------------------------------------
+    # Converters (the dict form is the boundary representation)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, terms, ring=None, occ=None):
+        """Build from a ``{monomial: coefficient}`` dict (one sort)."""
+        monos = sorted(terms)
+        coeffs = [terms[m] for m in monos]
+        return cls(monos, coeffs, ring=ring, occ=occ)
+
+    def to_dict(self):
+        return dict(zip(self.monos, self.coeffs))
+
+    def __len__(self):
+        return len(self.monos)
+
+    def __bool__(self):
+        return bool(self.monos)
+
+    def items(self):
+        return zip(self.monos, self.coeffs)
+
+    def constant_coefficient(self):
+        """Coefficient of the constant monomial — always column 0 when
+        present (the constant monomial is the smallest bitmask)."""
+        monos = self.monos
+        if monos and monos[0] == 0:
+            return self.coeffs[0]
+        return 0
+
+    def support_mask(self):
+        """Union of all monomial masks."""
+        union = 0
+        for mono in self.monos:
+            union |= mono
+        return union
+
+    # ------------------------------------------------------------------
+    # Occurrence column
+    # ------------------------------------------------------------------
+
+    def occurrence_index(self):
+        """Variable -> number of monomials containing it (cached; the
+        returned dict is the live cache — callers must not mutate it)."""
+        occ = self.occ
+        if occ is None:
+            occ = {}
+            get = occ.get
+            for mono in self.monos:
+                while mono:
+                    low = mono & -mono
+                    var = low.bit_length() - 1
+                    occ[var] = get(var, 0) + 1
+                    mono ^= low
+            self.occ = occ
+        return occ
+
+    # ------------------------------------------------------------------
+    # Partition kernels
+    # ------------------------------------------------------------------
+
+    def partition_var(self, var):
+        """Split off the monomials containing ``var``.
+
+        Returns ``(keep_m, keep_c, touched)`` where ``touched`` is a
+        list of ``(monomial, coefficient)`` pairs and the keep columns
+        stay sorted.  Monomials below ``2**var`` cannot contain the
+        variable, so the prefix is slice-copied and only the tail is
+        walked; with an occurrence column the walk stops after the last
+        hit and bulk-copies the rest.
+        """
+        bit = 1 << var
+        monos = self.monos
+        coeffs = self.coeffs
+        n = len(monos)
+        start = bisect_left(monos, bit)
+        if start == n:
+            return monos, coeffs, []
+        keep_m = monos[:start]
+        keep_c = coeffs[:start]
+        touched = []
+        occ = self.occ
+        remaining = occ.get(var, 0) if occ is not None else None
+        if remaining == 0:
+            return monos, coeffs, []
+        i = start
+        while i < n:
+            mono = monos[i]
+            if mono & bit:
+                touched.append((mono, coeffs[i]))
+                if remaining is not None:
+                    remaining -= 1
+                    if not remaining:
+                        i += 1
+                        break
+            else:
+                keep_m.append(mono)
+                keep_c.append(coeffs[i])
+            i += 1
+        if i < n:
+            keep_m += monos[i:]
+            keep_c += coeffs[i:]
+        return keep_m, keep_c, touched
+
+    def partition_pair(self, var_a, var_b):
+        """Split off the monomials containing ``var_a`` or ``var_b``
+        (the G-part of a compact word-level substitution).
+
+        Returns ``(keep_m, keep_c, part_a, part_b)`` where
+        ``part_a``/``part_b`` map the monomial *without* the output
+        variable to its coefficient, or ``None`` as soon as a monomial
+        contains both variables (rule 1 does not apply then).
+        """
+        bit_a = 1 << var_a
+        bit_b = 1 << var_b
+        monos = self.monos
+        coeffs = self.coeffs
+        n = len(monos)
+        start = bisect_left(monos, min(bit_a, bit_b))
+        keep_m = monos[:start]
+        keep_c = coeffs[:start]
+        part_a = {}
+        part_b = {}
+        occ = self.occ
+        remaining = (occ.get(var_a, 0) + occ.get(var_b, 0)
+                     if occ is not None else None)
+        if remaining == 0:
+            return monos, coeffs, part_a, part_b
+        i = start
+        while i < n:
+            mono = monos[i]
+            in_a = mono & bit_a
+            in_b = mono & bit_b
+            if in_a:
+                if in_b:
+                    return None
+                part_a[mono ^ bit_a] = coeffs[i]
+            elif in_b:
+                part_b[mono ^ bit_b] = coeffs[i]
+            else:
+                keep_m.append(mono)
+                keep_c.append(coeffs[i])
+                i += 1
+                continue
+            if remaining is not None:
+                remaining -= 1
+                if not remaining:
+                    i += 1
+                    break
+            i += 1
+        if i < n:
+            keep_m += monos[i:]
+            keep_c += coeffs[i:]
+        return keep_m, keep_c, part_a, part_b
+
+    # ------------------------------------------------------------------
+    # Rebuild after a substitution
+    # ------------------------------------------------------------------
+
+    def rebuild(self, keep_m, keep_c, fresh, removed=None):
+        """New arena from untouched columns + the ``fresh`` accumulator.
+
+        ``removed`` lists the monomials the caller partitioned out.  When
+        this arena carries an occurrence column and the total churn is
+        small next to the result, the column is carried forward by
+        decoding only the delta; above the threshold (or with no
+        ``removed`` information) the result carries no column and the
+        engine resolves the index per commit instead (see the module
+        docstring for why both regimes exist).
+
+        When ``fresh`` rivals the untouched columns in size the per-key
+        bisect merge has no segment-copy advantage left, so the columns
+        are rebuilt flat: one dict fold plus one C-level sort.
+        """
+        mod = self.ring.modulus
+        if len(fresh) >= len(keep_m):
+            terms = dict(zip(keep_m, keep_c))
+            get = terms.get
+            for mono, coeff in fresh.items():
+                if not coeff:
+                    continue
+                total = get(mono, 0) + coeff
+                if mod is not None and total >= mod:
+                    total -= mod
+                if total:
+                    terms[mono] = total
+                else:
+                    del terms[mono]
+            monos = sorted(terms)
+            return PolyArena(monos, [terms[m] for m in monos],
+                             ring=self.ring)
+        monos, coeffs, added, cancelled = merge_sorted_columns(
+            keep_m, keep_c, fresh, mod)
+        occ = self.occ
+        if occ is not None and removed is not None:
+            churn = len(removed) + len(added) + 2 * len(cancelled)
+            if churn * 4 <= len(monos):
+                return PolyArena(monos, coeffs, ring=self.ring,
+                                 occ=_occ_delta(occ, removed, cancelled,
+                                                added))
+        return PolyArena(monos, coeffs, ring=self.ring)
+
+    # ------------------------------------------------------------------
+    # Algebra (used by the Polynomial threading)
+    # ------------------------------------------------------------------
+
+    def substitute(self, var, rep_items):
+        """Replace ``var`` by the replacement terms (no vanishing rules).
+
+        ``rep_items`` iterates ``(monomial, coefficient)`` pairs with
+        coefficients canonical in this arena's ring.  Returns ``self``
+        when the variable does not occur.
+        """
+        keep_m, keep_c, touched = self.partition_var(var)
+        if not touched:
+            return self
+        bit = 1 << var
+        mod = self.ring.modulus
+        rep = list(rep_items)
+        fresh = {}
+        get = fresh.get
+        if mod is None:
+            for mono, coeff in touched:
+                rest = mono ^ bit
+                for rm, rc in rep:
+                    key = rest | rm
+                    fresh[key] = get(key, 0) + coeff * rc
+        else:
+            for mono, coeff in touched:
+                rest = mono ^ bit
+                for rm, rc in rep:
+                    key = rest | rm
+                    fresh[key] = (get(key, 0) + coeff * rc) % mod
+        return self.rebuild(keep_m, keep_c, fresh,
+                            removed=[m for m, _ in touched])
+
+    def combined(self, other_items, sign, ring=None):
+        """This arena plus (``sign=+1``) or minus (``sign=-1``) the
+        ``(monomial, coefficient)`` pairs of ``other_items``, which must
+        arrive in ascending monomial order.
+
+        The same segment-copy merge as :func:`merge_sorted_columns`, but
+        inline so the sign and the canonical fold stay branch-hoisted.
+        """
+        ring = self.ring if ring is None else ring
+        mod = ring.modulus
+        base_m = self.monos
+        base_c = self.coeffs
+        blen = len(base_m)
+        res_m = []
+        res_c = []
+        prev = 0
+        for mono, coeff in other_items:
+            if sign < 0:
+                coeff = -coeff if mod is None else (mod - coeff) % mod
+            if not coeff:
+                continue
+            j = bisect_left(base_m, mono, prev)
+            if j > prev:
+                res_m += base_m[prev:j]
+                res_c += base_c[prev:j]
+            if j < blen and base_m[j] == mono:
+                total = base_c[j] + coeff
+                if mod is not None and total >= mod:
+                    total -= mod
+                if total:
+                    res_m.append(mono)
+                    res_c.append(total)
+                prev = j + 1
+            else:
+                res_m.append(mono)
+                res_c.append(coeff)
+                prev = j
+        if prev < blen:
+            res_m += base_m[prev:]
+            res_c += base_c[prev:]
+        return PolyArena(res_m, res_c, ring=ring)
+
+    def scaled(self, value):
+        """Every coefficient multiplied by the (canonical) scalar."""
+        mod = self.ring.modulus
+        if mod is None:
+            return PolyArena(self.monos, [c * value for c in self.coeffs],
+                             ring=self.ring)
+        monos = []
+        coeffs = []
+        for mono, coeff in zip(self.monos, self.coeffs):
+            coeff = coeff * value % mod
+            if coeff:
+                monos.append(mono)
+                coeffs.append(coeff)
+        return PolyArena(monos, coeffs, ring=self.ring)

@@ -1,0 +1,81 @@
+"""End-to-end arena vs dict parity across a 19-design sweep.
+
+The arena is an *internal representation switch* (``use_arena``): with
+it on, ``SP_i`` lives in sorted parallel columns and every substitution
+runs through the sorted-merge kernels; with it off, the engine uses the
+historical dict path.  Nothing observable may change — verdicts,
+remainder polynomials, counterexamples and the per-step ``SP_i``-size
+trace (the Fig. 5 curve) have to be bit-identical, because the dynamic
+engine's accept/reject decisions feed off exact polynomial sizes.
+
+The sweep covers all eight Table I architectures, the optimization
+scripts that destroy atomic-block boundaries, both rewriting methods
+and injected faults (exercising the counterexample extractor), in the
+exact and modular coefficient rings — 19 designs in total.
+"""
+
+import pytest
+
+from repro.core.verifier import verify_multiplier
+from repro.genmul import generate_multiplier
+from repro.genmul.faults import inject_visible_fault
+from repro.opt.scripts import optimize
+
+# (architecture, width, optimization, method, fault-kind or None)
+DESIGNS = [
+    ("SP-DT-LF", 4, "none", "dyposub", None),
+    ("SP-AR-CK", 4, "none", "dyposub", None),
+    ("SP-BD-KS", 4, "none", "dyposub", None),
+    ("SP-WT-CL", 4, "none", "dyposub", None),
+    ("BP-AR-RC", 4, "none", "dyposub", None),
+    ("BP-OS-CU", 4, "none", "dyposub", None),
+    ("SP-AR-RC", 4, "none", "dyposub", None),
+    ("SP-WT-BK", 4, "none", "dyposub", None),
+    ("SP-DT-LF", 4, "dc2", "dyposub", None),
+    ("SP-WT-CL", 4, "resyn3", "dyposub", None),
+    ("SP-AR-RC", 4, "map3", "dyposub", None),
+    ("BP-AR-RC", 4, "dc2", "dyposub", None),
+    ("SP-AR-RC", 4, "none", "static", None),
+    ("SP-DT-LF", 4, "dc2", "static", None),
+    ("SP-WT-CL", 4, "none", "static", None),
+    ("SP-WT-CL", 8, "none", "dyposub", None),
+    ("SP-DT-LF", 8, "none", "static", None),
+    ("SP-AR-RC", 4, "none", "dyposub", "gate-type"),
+    ("SP-DT-LF", 4, "none", "dyposub", "wrong-wire"),
+]
+
+assert len(DESIGNS) == 19
+
+
+def _build(architecture, width, optimization, fault):
+    aig = optimize(generate_multiplier(architecture, width), optimization)
+    if fault is not None:
+        aig = inject_visible_fault(aig, kind=fault, seed=0)
+    return aig
+
+
+def fingerprint(aig, method, ring, use_arena):
+    result = verify_multiplier(aig, method=method, ring=ring,
+                               record_trace=True, monomial_budget=200_000,
+                               use_arena=use_arena)
+    remainder = (result.remainder.to_string()
+                 if result.remainder is not None else None)
+    return {"status": result.status,
+            "remainder": remainder,
+            "counterexample": result.counterexample,
+            "sizes": result.sizes()}
+
+
+@pytest.mark.parametrize("architecture,width,optimization,method,fault",
+                         DESIGNS)
+@pytest.mark.parametrize("ring", ["exact", "modular"])
+def test_arena_matches_dict_end_to_end(architecture, width, optimization,
+                                       method, fault, ring):
+    aig = _build(architecture, width, optimization, fault)
+    with_arena = fingerprint(aig, method, ring, use_arena=True)
+    with_dict = fingerprint(aig, method, ring, use_arena=False)
+    assert with_arena == with_dict
+    expected = "buggy" if fault else "correct"
+    assert with_arena["status"] == expected
+    if fault:
+        assert with_arena["counterexample"] is not None

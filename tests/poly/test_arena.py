@@ -1,0 +1,210 @@
+"""Three-way randomized differential suite: arena vs dict vs frozenset.
+
+The arena refactor gives :class:`~repro.poly.Polynomial` a second inner
+representation (sorted parallel columns, :mod:`repro.poly.arena`) next
+to the historical dict form.  Every algebraic operation is therefore
+replayed three ways over hundreds of random polynomials:
+
+* *dict* — the operation on dict-backed polynomials (the boundary and
+  oracle representation inside the kernel);
+* *arena* — the same operation on arena-backed polynomials (built via
+  ``PolyArena.from_dict`` so the sorted-merge kernels do the work);
+* *frozenset* — the independent naive reimplementation from
+  :mod:`tests.poly.frozenset_oracle`.
+
+All three must agree term for term, in the exact ring and in a small
+modular ring (where coefficients must additionally come out canonical
+in ``[0, p)``).  Arena results are also checked for the columnar
+invariants (strictly ascending monomials, no stored zeros) and for
+occurrence-index consistency — the index is carried by delta updates
+through the kernels, so a drift here means a stale candidate sort in
+Algorithm 2.
+"""
+
+import random
+
+import pytest
+
+from repro.poly import Polynomial
+from repro.poly.arena import PolyArena
+from repro.poly.ring import EXACT, ModularRing
+from tests.poly.frozenset_oracle import OraclePoly
+
+N_VARS = 10
+N_POLYS = 320
+MOD_RING = ModularRing(10007)
+
+RINGS = [pytest.param(EXACT, id="exact"),
+         pytest.param(MOD_RING, id="modular")]
+
+
+def random_terms(rng, max_terms=8, max_degree=4, n_vars=N_VARS):
+    return [(rng.randint(-8, 8),
+             frozenset(rng.sample(range(n_vars),
+                                  rng.randrange(max_degree + 1))))
+            for _ in range(rng.randrange(max_terms + 1))]
+
+
+def build_three(terms, ring):
+    """(dict-backed, arena-backed, oracle) polynomials from one term list."""
+    dict_poly = Polynomial.from_terms(terms, ring=ring)
+    arena_poly = Polynomial._from_arena(
+        PolyArena.from_dict(dict(dict_poly.terms()), ring=ring))
+    oracle = OraclePoly()
+    for coeff, mono in terms:
+        oracle = oracle.add(OraclePoly({mono: coeff}))
+    return dict_poly, arena_poly, oracle
+
+
+def oracle_terms(oracle, ring):
+    """The oracle's terms canonicalized into ``ring``."""
+    mod = ring.modulus
+    if mod is None:
+        return oracle.to_mask_terms()
+    return {m: c % mod for m, c in oracle.to_mask_terms().items()
+            if c % mod}
+
+
+def check_arena_invariants(poly, ring):
+    """Columnar invariants of an arena-backed result."""
+    if poly._arena is None:
+        return
+    arena = poly._arena
+    monos = arena.monos
+    assert all(monos[i] < monos[i + 1] for i in range(len(monos) - 1)), \
+        "arena monomial column not strictly ascending"
+    mod = ring.modulus
+    for coeff in arena.coeffs:
+        assert coeff != 0, "arena stores a zero coefficient"
+        if mod is not None:
+            assert 0 < coeff < mod, "non-canonical modular coefficient"
+    if poly._occ is not None:
+        counts = {}
+        for mono in monos:
+            while mono:
+                low = mono & -mono
+                var = low.bit_length() - 1
+                counts[var] = counts.get(var, 0) + 1
+                mono ^= low
+        assert poly._occ == counts, "carried occurrence index drifted"
+
+
+def assert_three_way(dict_result, arena_result, oracle, ring, context=""):
+    want = oracle_terms(oracle, ring)
+    assert dict(dict_result.terms()) == want, f"dict path: {context}"
+    assert dict(arena_result.terms()) == want, f"arena path: {context}"
+    check_arena_invariants(arena_result, ring)
+
+
+@pytest.fixture(scope="module")
+def triples():
+    rng = random.Random(20260808)
+    out = {}
+    for ring in (EXACT, MOD_RING):
+        term_rng = random.Random(20260808)
+        out[ring.modulus] = [build_three(random_terms(term_rng), ring)
+                             for _ in range(N_POLYS)]
+    return out
+
+
+def _ring_triples(triples, ring):
+    return triples[ring.modulus]
+
+
+@pytest.mark.parametrize("ring", RINGS)
+def test_roundtrip(triples, ring):
+    for dict_poly, arena_poly, oracle in _ring_triples(triples, ring):
+        assert_three_way(dict_poly, arena_poly, oracle, ring, "roundtrip")
+        assert arena_poly == dict_poly
+        assert len(arena_poly) == len(dict_poly)
+        assert arena_poly.support() == dict_poly.support()
+        assert (arena_poly.occurrence_counts()
+                == dict_poly.occurrence_counts())
+
+
+@pytest.mark.parametrize("ring", RINGS)
+def test_add(triples, ring):
+    items = _ring_triples(triples, ring)
+    for (da, aa, oa), (db, ab, ob) in zip(items, reversed(items)):
+        assert_three_way(da + db, aa + ab, oa.add(ob), ring, "add")
+
+
+@pytest.mark.parametrize("ring", RINGS)
+def test_sub(triples, ring):
+    items = _ring_triples(triples, ring)
+    for (da, aa, oa), (db, ab, ob) in zip(items, reversed(items)):
+        assert_three_way(da - db, aa - ab, oa.sub(ob), ring, "sub")
+        assert_three_way(db - da, ab - aa, ob.sub(oa), ring, "rsub")
+
+
+@pytest.mark.parametrize("ring", RINGS)
+def test_mul(triples, ring):
+    items = _ring_triples(triples, ring)
+    half = len(items) // 2
+    for (da, aa, oa), (db, ab, ob) in zip(items[:half], items[half:]):
+        assert_three_way(da * db, aa * ab, oa.mul(ob), ring, "mul")
+
+
+@pytest.mark.parametrize("ring", RINGS)
+def test_substitute(triples, ring):
+    rng = random.Random(31)
+    for dict_poly, arena_poly, oracle in _ring_triples(triples, ring):
+        var = rng.randrange(N_VARS)
+        rep_terms = random_terms(rng, max_terms=3, max_degree=2)
+        drep, arep, orep = build_three(rep_terms, ring)
+        assert_three_way(dict_poly.substitute(var, drep),
+                         arena_poly.substitute(var, arep),
+                         oracle.substitute_many({var: orep}),
+                         ring, f"substitute v{var}")
+
+
+@pytest.mark.parametrize("ring", RINGS)
+def test_substitute_many(triples, ring):
+    rng = random.Random(37)
+    for dict_poly, arena_poly, oracle in _ring_triples(triples, ring):
+        dmap, amap, omap = {}, {}, {}
+        for var in rng.sample(range(N_VARS), rng.randrange(1, 4)):
+            rep_terms = random_terms(rng, max_terms=3, max_degree=2)
+            dmap[var], amap[var], omap[var] = build_three(rep_terms, ring)
+        assert_three_way(dict_poly.substitute_many(dmap),
+                         arena_poly.substitute_many(amap),
+                         oracle.substitute_many(omap),
+                         ring, f"substitute_many {sorted(dmap)}")
+
+
+@pytest.mark.parametrize("ring", RINGS)
+def test_substitute_untouched_returns_self(triples, ring):
+    """A substitution that touches nothing must not rebuild either
+    representation (the engine relies on identity to skip commits)."""
+    spare = Polynomial.variable(N_VARS + 5, ring=ring)
+    for dict_poly, arena_poly, _oracle in _ring_triples(triples, ring):
+        assert dict_poly.substitute(N_VARS + 3, spare) is dict_poly
+        assert arena_poly.substitute(N_VARS + 3, spare) is arena_poly
+
+
+@pytest.mark.parametrize("ring", RINGS)
+def test_arena_dict_conversion_roundtrip(triples, ring):
+    """to_arena/to_dict round-trips preserve terms exactly."""
+    for dict_poly, arena_poly, _oracle in _ring_triples(triples, ring):
+        assert dict_poly.to_arena().to_dict() == dict(dict_poly.terms())
+        rebuilt = Polynomial._from_arena(arena_poly.to_arena())
+        assert dict(rebuilt.terms()) == dict(dict_poly.terms())
+
+
+@pytest.mark.parametrize("ring", RINGS)
+def test_sorted_terms_match_across_representations(triples, ring):
+    for dict_poly, arena_poly, _oracle in _ring_triples(triples, ring):
+        assert arena_poly.sorted_terms() == dict_poly.sorted_terms()
+        assert arena_poly.to_string() == dict_poly.to_string()
+
+
+def test_slots_prevent_instance_dicts():
+    """Both representations are __slots__-only: the rewriting loop
+    allocates millions of short-lived instances, and a per-instance
+    __dict__ would roughly double the allocation volume."""
+    poly = Polynomial.variable(3)
+    arena = poly.to_arena()
+    for obj in (poly, arena):
+        assert not hasattr(obj, "__dict__")
+        with pytest.raises(AttributeError):
+            obj.stray_attribute = 1
