@@ -15,11 +15,17 @@ then runs the linter through the actual CLI (``repro lint --json``) and
 asserts the expected verdict for each case.  Exit code 0 when the whole
 matrix matches, 1 otherwise.
 
+The clean designs are additionally run through ``repro analyze --json``
+so the matrix emits **one** machine-readable artifact bundling the lint
+verdicts with the RS0xx architecture verdicts (``--artifact PATH``;
+the lint verdict logic itself is untouched by the analyze pass).
+
 Run locally with::
 
-    PYTHONPATH=src python scripts/lint_matrix.py
+    PYTHONPATH=src python scripts/lint_matrix.py --artifact matrix.json
 """
 
+import argparse
 import json
 import pathlib
 import random
@@ -47,13 +53,17 @@ CLEAN_MATRIX = [
 ]
 
 
-def run_lint(paths, json_path):
+def run_cli(command, paths, json_path):
     proc = subprocess.run(
-        [sys.executable, "-m", "repro", "lint", *map(str, paths),
+        [sys.executable, "-m", "repro", command, *map(str, paths),
          "--json", str(json_path)],
         env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
         capture_output=True, text=True, cwd=str(ROOT))
     return proc.returncode, json.loads(json_path.read_text())
+
+
+def run_lint(paths, json_path):
+    return run_cli("lint", paths, json_path)
 
 
 def corrupt(text, seed):
@@ -70,7 +80,14 @@ def corrupt(text, seed):
     return "\n".join(lines) + "\n"
 
 
-def main():
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--artifact", default=None, metavar="PATH",
+                        help="write one merged JSON artifact bundling the "
+                             "lint reports with the RS0xx architecture "
+                             "verdicts of the clean designs")
+    args = parser.parse_args(argv)
+
     failures = []
     with tempfile.TemporaryDirectory() as tmp:
         tmp = pathlib.Path(tmp)
@@ -82,12 +99,21 @@ def main():
             write_aag(aig, str(path))
             clean_paths.append(path)
         code, payload = run_lint(clean_paths, tmp / "clean.json")
-        for report in payload["reports"]:
+        clean_reports = payload["reports"]
+        for report in clean_reports:
             if report["verdict"] != "clean":
                 failures.append(f"expected clean: {report['subject']} -> "
                                 f"{report['diagnostics']}")
         if code != 0:
             failures.append(f"clean sweep exited {code}, expected 0")
+
+        # Architecture verdicts ride along in the same artifact; they do
+        # not influence the lint verdicts above.
+        arch_code, arch_payload = run_cli("analyze", clean_paths,
+                                          tmp / "arch.json")
+        if arch_code not in (0, 1):
+            failures.append(f"analyze exited {arch_code}, expected 0 or 1")
+        arch_reports = arch_payload["reports"]
 
         dirty_paths = []
         base = generate_multiplier("SP-AR-RC", 4)
@@ -103,7 +129,8 @@ def main():
             path.write_text(corrupt(clean_text, seed))
             dirty_paths.append(path)
         code, payload = run_lint(dirty_paths, tmp / "dirty.json")
-        for report in payload["reports"]:
+        dirty_reports = payload["reports"]
+        for report in dirty_reports:
             if report["verdict"] != "dirty":
                 failures.append(f"expected dirty: {report['subject']}")
                 continue
@@ -121,13 +148,25 @@ def main():
 
         total = len(clean_paths) + len(dirty_paths)
 
+        if args.artifact:
+            artifact = {
+                "command": "lint-matrix",
+                "lint": {"clean": clean_reports, "dirty": dirty_reports},
+                "architecture": arch_reports,
+            }
+            with open(args.artifact, "w", encoding="utf-8") as handle:
+                json.dump(artifact, handle, indent=2)
+
     if failures:
         print(f"lint matrix: {len(failures)} FAILURE(S) over {total} designs")
         for failure in failures:
             print(f"  - {failure}")
         return 1
+    arch_summary = ", ".join(
+        f"{record['architecture']}" for record in arch_reports)
     print(f"lint matrix: all {total} designs produced the expected verdict "
           f"({len(CLEAN_MATRIX)} clean, {total - len(CLEAN_MATRIX)} dirty)")
+    print(f"lint matrix: architecture verdicts: {arch_summary}")
     return 0
 
 

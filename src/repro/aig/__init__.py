@@ -35,7 +35,8 @@ from repro.aig.simulate import (
     exhaustive_truth_tables,
     outputs_as_int,
 )
-from repro.aig.cuts import enumerate_cuts, nontrivial_cuts
+from repro.aig.cuts import (cached_cuts, clear_cut_memo,
+                            enumerate_cuts, nontrivial_cuts)
 from repro.aig.truth import cone_truth_table
 from repro.aig.aiger import read_aag, write_aag
 
@@ -47,6 +48,7 @@ __all__ = [
     "transitive_fanin_support",
     "simulate", "simulate_words", "evaluate_single", "functionally_equal",
     "exhaustive_equal", "exhaustive_truth_tables", "outputs_as_int",
+    "cached_cuts", "clear_cut_memo",
     "enumerate_cuts", "nontrivial_cuts", "cone_truth_table",
     "read_aag", "write_aag",
 ]

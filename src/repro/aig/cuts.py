@@ -13,7 +13,44 @@ most ``k`` leaves bottom-up, pruning dominated cuts and keeping at most
 
 from __future__ import annotations
 
-from repro.aig.aig import lit_var
+from collections import OrderedDict
+
+#: Shared cut-enumeration memo: maps
+#: ``(structural_signature(aig), k, limit, include_trivial)`` to the
+#: ``enumerate_cuts`` result.  Small and LRU-bounded — the point is that
+#: lint, ``repro analyze`` and the verify pipeline, which all run over
+#: the *same* ingested AIG within one process, pay for one enumeration
+#: instead of three.
+_CUT_MEMO_LIMIT = 8
+_cut_memo: OrderedDict = OrderedDict()
+
+
+def cached_cuts(aig, k=4, limit=12, include_trivial=True):
+    """Memoised :func:`enumerate_cuts`.
+
+    The key is the AIG's :func:`repro.aig.ops.structural_signature`, so
+    structurally identical graphs (including the same object re-linted
+    and then verified) share one enumeration.  Entries are evicted LRU
+    beyond a small bound; results must be treated as read-only.
+    """
+    from repro.aig.ops import structural_signature
+
+    key = (structural_signature(aig), k, limit, include_trivial)
+    hit = _cut_memo.get(key)
+    if hit is not None:
+        _cut_memo.move_to_end(key)
+        return hit
+    cuts = enumerate_cuts(aig, k=k, limit=limit,
+                          include_trivial=include_trivial)
+    _cut_memo[key] = cuts
+    while len(_cut_memo) > _CUT_MEMO_LIMIT:
+        _cut_memo.popitem(last=False)
+    return cuts
+
+
+def clear_cut_memo():
+    """Drop all memoised enumerations (tests and long-lived services)."""
+    _cut_memo.clear()
 
 
 def enumerate_cuts(aig, k=4, limit=12, include_trivial=True):

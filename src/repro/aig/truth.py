@@ -7,7 +7,7 @@ significant input of the minterm index).
 
 from __future__ import annotations
 
-from repro.aig.aig import lit_var, lit_is_negated
+from repro.aig.aig import lit_var
 from repro.errors import AigError
 
 

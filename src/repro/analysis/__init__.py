@@ -10,12 +10,17 @@ The correctness-tooling layer of the pipeline.  Three parts:
   netlists plus a cheap random-simulation probe that flags "this is not
   an n x n multiplier" before any polynomial work starts;
 * :mod:`repro.analysis.invariants` — cross-phase invariant checkers run
-  inside the verifier behind ``--check-invariants``.
+  inside the verifier behind ``--check-invariants``;
+* :mod:`repro.analysis.structure` — static architecture recognition
+  (PPG/PPA/FSA segmentation + family classification) and blow-up
+  prediction, surfaced as ``repro analyze`` and the verifier's
+  ``--auto-tune`` advisory.
 
-``repro lint <design>`` is the CLI entry point; ``repro verify`` and the
-benchmark harness run the structural subset as a pre-flight so broken
-designs are reported and skipped instead of crashing deep inside spec
-construction or backward rewriting.
+``repro lint <design>`` and ``repro analyze <design>`` are the CLI
+entry points; ``repro verify`` and the benchmark harness run the
+structural subset as a pre-flight so broken designs are reported and
+skipped instead of crashing deep inside spec construction or backward
+rewriting.
 """
 
 from repro.analysis.diagnostics import (
@@ -37,6 +42,15 @@ from repro.analysis.lint import (
     preflight,
     probe_multiplier,
 )
+from repro.analysis.structure import (
+    ArchitectureReport,
+    StageGuess,
+    analyze_aig,
+    analyze_design,
+    recommend_overrides,
+    risk_calibration,
+    spearman,
+)
 
 __all__ = [
     "CODES", "Diagnostic", "DiagnosticReport", "Severity",
@@ -45,4 +59,6 @@ __all__ = [
     "probe_multiplier",
     "InvariantMonitor", "check_component_coverage",
     "check_vanishing_rules",
+    "ArchitectureReport", "StageGuess", "analyze_aig", "analyze_design",
+    "recommend_overrides", "risk_calibration", "spearman",
 ]

@@ -15,7 +15,10 @@ Code ranges:
 * ``RA03x`` — multiplier-interface / behavioural problems,
 * ``RA04x`` — configuration problems,
 * ``RP00x`` — pipeline invariants (``--check-invariants``),
-* ``RP01x`` — budgets, ``RP02x`` — polynomial engine.
+* ``RP01x`` — budgets, ``RP02x`` — polynomial engine,
+* ``RS0xx`` — architecture recognition and static cost prediction
+  (``repro analyze``): ``RS00x`` recognition outcomes, ``RS01x``
+  structural hazards, ``RS02x`` blow-up risk.
 
 Codes are append-only: a released code never changes meaning.
 """
@@ -84,6 +87,17 @@ CODES = {
     "RP011": (Severity.WARNING, "rewriting stalled: no commit within the "
                                 "stall budget"),
     "RP020": (Severity.ERROR, "invalid polynomial operation"),
+    # RS00x — architecture recognition (repro analyze)
+    "RS001": (Severity.INFO, "multiplier architecture recognized"),
+    "RS002": (Severity.INFO, "architecture analysis inconclusive"),
+    # RS01x — structural hazards found by the recognizer
+    "RS010": (Severity.WARNING, "stage-boundary smearing detected"),
+    "RS011": (Severity.WARNING, "low atomic-block coverage"),
+    "RS012": (Severity.INFO, "low-confidence stage classification"),
+    "RS013": (Severity.WARNING, "partial products bypass the "
+                                "accumulator"),
+    # RS02x — static cost prediction
+    "RS020": (Severity.WARNING, "high static blow-up risk"),
 }
 
 

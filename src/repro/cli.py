@@ -12,6 +12,8 @@ observability layer::
     python -m repro verify mult.aag --live --stall-budget 5
     python -m repro verify mult.aag --check-invariants
     python -m repro lint mult.aag --json findings.json
+    python -m repro analyze mult.aag --json arch.json
+    python -m repro verify mult.aag --auto-tune
     python -m repro report run.jsonl
     python -m repro obs ingest --db runs.db run.jsonl bench.json
     python -m repro obs trends --db runs.db --check
@@ -22,7 +24,9 @@ observability layer::
 
 Exit codes of ``verify``: 0 correct, 1 buggy, 2 timeout, 3 the design
 failed pre-flight lint.  ``lint`` exits 0 when every input is clean and
-1 when any has findings (errors or warnings).  ``obs trends --check``
+1 when any has findings (errors or warnings).  ``analyze`` exits 0 when
+every design was classified without findings, 1 when any RS0xx warning
+fired, 3 when an input could not be parsed.  ``obs trends --check``
 exits 1 on any regression verdict.
 
 The run-history database path defaults to ``$REPRO_OBS_DB`` (or
@@ -134,6 +138,11 @@ def build_parser():
                           "order, SP_i signatures)")
     ver.add_argument("--no-preflight", action="store_true",
                      help="skip the structural pre-flight lint")
+    ver.add_argument("--auto-tune", action="store_true",
+                     help="run the static architecture analysis first "
+                          "and let its blow-up advisory pick defaults "
+                          "(prime-schedule depth, initial threshold, "
+                          "extended rules) you did not set explicitly")
     ver.add_argument("--live", action="store_true",
                      help="render a live one-line progress status and "
                           "flag stalls (no commit within the stall "
@@ -165,6 +174,21 @@ def build_parser():
                      help="write the merged reports as JSON")
     lnt.add_argument("--sarif", default=None, metavar="PATH",
                      help="write the findings as a SARIF 2.1.0 document")
+
+    ana = sub.add_parser("analyze",
+                         help="static architecture recognition and "
+                              "blow-up prediction (no verification)",
+                         parents=[verbosity])
+    ana.add_argument("inputs", nargs="+", metavar="input",
+                     help="AIGER input path(s)")
+    ana.add_argument("--width-a", type=int, default=None,
+                     help="operand-A width (default: inferred from port "
+                          "names or an even input split)")
+    ana.add_argument("--json", default=None, metavar="PATH",
+                     help="write the merged architecture reports as JSON")
+    ana.add_argument("--sarif", default=None, metavar="PATH",
+                     help="write the RS0xx findings as a SARIF 2.1.0 "
+                          "document")
 
     rep = sub.add_parser("report",
                          help="rebuild the SP_i curve and backtracking "
@@ -687,6 +711,58 @@ def _cmd_lint(args):
     return 0 if all(report.clean for report in reports) else 1
 
 
+def _cmd_analyze(args):
+    """Statically classify one or more designs.
+
+    Exit codes: 0 every design analyzed without findings, 1 at least
+    one RS0xx warning/error finding, 3 at least one input could not be
+    read or parsed.
+    """
+    import json
+
+    from repro.analysis import DiagnosticReport, report_from_error
+    from repro.analysis.structure import analyze_aig
+    from repro.errors import ReproError
+
+    records = []
+    findings = False
+    unreadable = False
+    for path in args.inputs:
+        try:
+            aig = read_aag(path)
+        except ReproError as exc:
+            unreadable = True
+            report = report_from_error(exc, subject=path)
+            print(report.render())
+            records.append({"subject": path, "architecture": None,
+                            "diagnostics": report.as_dict()})
+            continue
+        arch = analyze_aig(aig, width_a=args.width_a, subject=path)
+        print(arch.render())
+        records.append(arch.as_dict())
+        if not arch.report.clean:
+            findings = True
+    if args.json:
+        payload = {"command": "analyze", "reports": records}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        log.info("wrote %d report(s) to %s", len(records), args.json)
+    if args.sarif:
+        merged = DiagnosticReport(subject="analyze")
+        for record in records:
+            diags = record["diagnostics"]["diagnostics"]
+            for diag in diags:
+                merged.add(diag["code"], diag["message"],
+                           severity=diag["severity"],
+                           node=diag.get("node"), line=diag.get("line"))
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            json.dump(merged.to_sarif(), handle, indent=2)
+        log.info("wrote SARIF to %s", args.sarif)
+    if unreadable:
+        return 3
+    return 1 if findings else 0
+
+
 def _obs_view(ref, db, label=None):
     """Resolve a ``repro obs diff`` operand: ``run:ID`` hits the store,
     anything else is read as a trace JSONL file."""
@@ -835,6 +911,8 @@ def main(argv=None):
         return _cmd_verify(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     if args.command == "obs":
         return _cmd_obs(args)
     if args.command == "report":

@@ -21,7 +21,7 @@ import logging
 
 from dataclasses import dataclass, field
 
-from repro.aig.cuts import enumerate_cuts
+from repro.aig.cuts import cached_cuts
 from repro.aig.ops import cone_vars, fanout_map
 from repro.aig.truth import (
     AND2,
@@ -107,7 +107,7 @@ def detect_atomic_blocks(aig, cuts=None, max_cuts=24):
     from repro.aig.truth import cone_truth_table
 
     if cuts is None:
-        cuts = enumerate_cuts(aig, k=3, limit=max_cuts)
+        cuts = cached_cuts(aig, k=3, limit=max_cuts)
     fanouts, po_refs = fanout_map(aig)
 
     # Classify every (node, cut) pair by role.

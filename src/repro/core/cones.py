@@ -44,7 +44,6 @@ def build_components(aig, blocks, vanishing=None):
     for blk in blocks:
         block_internal |= blk.internal
         block_outputs.update(blk.output_vars)
-    strictly_internal = block_internal - block_outputs
 
     remaining = [v for v in aig.and_vars() if v not in block_internal]
     remaining_set = set(remaining)

@@ -102,6 +102,11 @@ class VerifyConfig:
     record_certificate: bool = False
     preflight: bool = True
     check_invariants: bool = False
+    # Static-architecture advisory (repro.analysis.structure): when on,
+    # the pipeline analyzes the design before any polynomial work and
+    # may retune fields the user left at their defaults (prime-schedule
+    # depth, initial threshold, extended rules).
+    auto_tune: bool = False
     # Internal representation switch: the arena (sorted-column) rewrite
     # kernels vs the historical dict kernels.  Results are identical;
     # the dict path is kept as the oracle for parity gates and the
@@ -140,6 +145,7 @@ class VerifyConfig:
             "initial_threshold": args.threshold,
             "check_invariants": args.check_invariants,
             "preflight": not args.no_preflight,
+            "auto_tune": getattr(args, "auto_tune", False),
             "ring": getattr(args, "ring", "exact"),
             "primes": getattr(args, "primes", 4),
         }
@@ -192,6 +198,39 @@ class Pipeline:
                 f"design failed pre-flight lint with "
                 f"{len(report.errors)} error(s): "
                 f"{report.errors[0].message}", report=report)
+
+    def stage_autotune(self, aig, width_a, rec):
+        """Static architecture advisory (``--auto-tune``).
+
+        Runs :func:`repro.analysis.structure.analyze_aig` before any
+        polynomial work and retunes config fields the user left at
+        their defaults via
+        :func:`~repro.analysis.structure.recommend_overrides` — a
+        high-risk design gets a deeper prime schedule and looser
+        initial threshold, a crisp low-risk one drops the extended
+        vanishing rules.  Returns the advisory dict that lands in
+        ``result.stats["autotune"]``.
+        """
+        from repro.analysis.structure import (analyze_aig,
+                                              recommend_overrides)
+
+        with rec.span("analyze"):
+            arch = analyze_aig(aig, width_a=width_a)
+        overrides = recommend_overrides(arch, self.config)
+        if overrides:
+            self.config = dataclasses.replace(self.config, **overrides)
+        advisory = {
+            "architecture": arch.architecture,
+            "risk_factor": arch.risk["factor"],
+            "risk_score": arch.risk["score"],
+            "warnings": [d.code for d in arch.report.warnings],
+            "overrides": dict(overrides),
+        }
+        if rec.enabled:
+            rec.event("autotune", **advisory)
+        log.debug("auto-tune: %s factor=%.2f overrides=%r",
+                  arch.architecture, arch.risk["factor"], overrides)
+        return advisory
 
     def stage_prepare(self, aig, width_a, width_b, rec):
         """Spec → atomic → vanishing → components → implications."""
@@ -379,8 +418,14 @@ class Pipeline:
                       width_a=width_a, width_b=width_b, signed=config.signed)
         if config.preflight:
             self.stage_preflight(aig, width_a, rec)
+        advisory = None
+        if config.auto_tune:
+            advisory = self.stage_autotune(aig, width_a, rec)
+            config = self.config
 
         art = self.stage_prepare(aig, width_a, width_b, rec)
+        if advisory is not None:
+            art.stats["autotune"] = advisory
         rings = self.ring_schedule(2 * self.crt_bound(art.aig))
         modular = rings[0].modulus is not None
         monitor = None

@@ -80,7 +80,6 @@ def adder_specification(aig, width_a, width_b=None, signed=False):
     inputs = aig.inputs
     a_word = operand_word_polynomial(inputs[:width_a], signed)
     b_word = operand_word_polynomial(inputs[width_a:width_a + width_b], signed)
-    modulus = 1 << aig.num_outputs
     # Adders are verified modulo 2**outputs; the wrap-around term is the
     # carry out, which the generated adders discard.  We verify exact
     # equality only when the output width can hold the full sum.

@@ -39,7 +39,6 @@ import gc
 import os
 import sys
 import threading
-import time
 import tracemalloc
 
 from repro.obs.recorder import Recorder

@@ -84,7 +84,6 @@ def _grow_cut(aig, root, k):
 
 def _resynthesis_pass(aig, cut_provider, zero_cost, min_cone):
     fanouts, po_refs = fanout_map(aig)
-    refs = {v: len(fanouts[v]) + po_refs[v] for v in range(aig.num_vars)}
     new = Aig(aig.name)
     old2new = {0: 0}
     for var, name in zip(aig.inputs, aig.input_names):

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.aig.aig import Aig, lit_var
-from repro.aig.cuts import enumerate_cuts, nontrivial_cuts
+from repro.aig.cuts import (
+    _CUT_MEMO_LIMIT,
+    cached_cuts,
+    clear_cut_memo,
+    enumerate_cuts,
+    nontrivial_cuts,
+)
 from repro.aig.truth import (
     AND2,
     MAJ3,
@@ -130,3 +136,119 @@ class TestCutEnumeration:
             for j, c2 in enumerate(cut_sets):
                 if i != j:
                     assert not (c1 < c2)
+
+
+class TestCutEdgeCases:
+    def _chain(self, n):
+        """A linear AND chain over n inputs (rich cut space)."""
+        aig = Aig()
+        lits = aig.add_inputs(n)
+        acc = lits[0]
+        for lit in lits[1:]:
+            acc = aig.add_and(acc, lit)
+        aig.add_output(acc)
+        return aig, lit_var(acc)
+
+    def test_limit_truncates_cut_lists(self):
+        aig, root = self._chain(6)
+        full = enumerate_cuts(aig, k=4, limit=16)
+        small = enumerate_cuts(aig, k=4, limit=2)
+        assert len(full[root]) > 2
+        assert len(small[root]) == 2
+        # the trivial cut survives truncation and stays first
+        assert small[root][0] == (root,)
+
+    def test_limit_without_trivial(self):
+        aig, root = self._chain(6)
+        cuts = enumerate_cuts(aig, k=4, limit=2, include_trivial=False)
+        for var in aig.and_vars():
+            assert (var,) not in cuts[var]
+            assert len(cuts[var]) <= 2
+        # shallow nodes still get their boundary cut; deep ones may run
+        # out once truncation cascades, but never exceed the limit
+        first_and = next(iter(aig.and_vars()))
+        assert cuts[first_and]
+
+    def test_k1_leaves_only_trivial_cuts_on_ands(self):
+        aig, root = self._chain(4)
+        cuts = enumerate_cuts(aig, k=1, limit=8)
+        for var in aig.and_vars():
+            assert cuts[var] == [(var,)]
+
+    def test_k1_without_trivial_is_empty_on_ands(self):
+        aig, root = self._chain(4)
+        cuts = enumerate_cuts(aig, k=1, limit=8, include_trivial=False)
+        for var in aig.and_vars():
+            assert cuts[var] == []
+
+    def test_zero_and_design(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        aig.add_output(a)
+        cuts = enumerate_cuts(aig, k=3)
+        for var in aig.inputs:
+            assert cuts[var] == [(var,)]
+        assert not [v for v in cuts if v not in (0, *aig.inputs)]
+
+    def test_dominated_cut_dropped_not_just_deduplicated(self):
+        # AND(AND(a, b), a) has support {a, b}; the 3-leaf merge
+        # {a, b, ab} is dominated by {a, b} and must be absent entirely.
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        ab = aig.add_and(a, b)
+        deeper = aig.add_and(ab, a)
+        cuts = enumerate_cuts(aig, k=3, limit=16)
+        leaves = {lit_var(a), lit_var(b)}
+        assert tuple(sorted(leaves)) in cuts[lit_var(deeper)]
+        assert tuple(sorted(leaves | {lit_var(ab)})) \
+            not in cuts[lit_var(deeper)]
+
+
+class TestCachedCuts:
+    def setup_method(self):
+        clear_cut_memo()
+
+    def teardown_method(self):
+        clear_cut_memo()
+
+    def _pair(self):
+        aig = Aig()
+        a, b, c = aig.add_inputs(3)
+        ab = aig.add_and(a, b)
+        aig.add_output(aig.add_and(ab, c))
+        return aig
+
+    def test_hit_returns_same_object(self):
+        aig = self._pair()
+        first = cached_cuts(aig, k=3, limit=8)
+        assert cached_cuts(aig, k=3, limit=8) is first
+
+    def test_structural_twin_shares_entry(self):
+        first = cached_cuts(self._pair(), k=3, limit=8)
+        assert cached_cuts(self._pair(), k=3, limit=8) is first
+
+    def test_parameters_key_the_memo(self):
+        aig = self._pair()
+        assert cached_cuts(aig, k=2, limit=8) is not \
+            cached_cuts(aig, k=3, limit=8)
+        assert cached_cuts(aig, k=3, limit=4) is not \
+            cached_cuts(aig, k=3, limit=8)
+
+    def test_matches_direct_enumeration(self):
+        aig = self._pair()
+        assert cached_cuts(aig, k=3, limit=8) == \
+            enumerate_cuts(aig, k=3, limit=8)
+
+    def test_clear_forces_recompute(self):
+        aig = self._pair()
+        first = cached_cuts(aig, k=3, limit=8)
+        clear_cut_memo()
+        assert cached_cuts(aig, k=3, limit=8) is not first
+
+    def test_lru_eviction(self):
+        aig = self._pair()
+        first = cached_cuts(aig, k=3, limit=3)
+        for limit in range(4, 4 + _CUT_MEMO_LIMIT):
+            cached_cuts(aig, k=3, limit=limit)
+        # the original key fell off the LRU and is recomputed
+        assert cached_cuts(aig, k=3, limit=3) is not first

@@ -14,7 +14,7 @@ class TestCatalogue:
         for code, (severity, title) in CODES.items():
             assert severity in Severity.ORDER
             assert title
-            assert code[:2] in ("RA", "RP")
+            assert code[:2] in ("RA", "RP", "RS")
             assert code[2:].isdigit()
 
     def test_unknown_code_rejected(self):

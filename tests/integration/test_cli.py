@@ -386,6 +386,55 @@ class TestLintCommand:
         assert "clean" in out and "dirty" in out
 
 
+class TestAnalyzeCli:
+    def test_clean_simple_design_exits_zero(self, tmp_path, capsys):
+        src = tmp_path / "m.aag"
+        main(["generate", "SP-WT-CL", "6", "-o", str(src)])
+        assert main(["analyze", str(src)]) == 0
+        out = capsys.readouterr().out
+        assert "simple-tree-lookahead" in out
+        assert "RS001" in out
+
+    def test_booth_findings_exit_one(self, tmp_path, capsys):
+        src = tmp_path / "m.aag"
+        main(["generate", "BP-WT-RC", "6", "-o", str(src)])
+        assert main(["analyze", str(src)]) == 1
+        out = capsys.readouterr().out
+        assert "booth-tree-ripple" in out
+        assert "RS020" in out
+
+    def test_unparseable_input_exits_three(self, tmp_path, capsys):
+        bad = tmp_path / "bad.aag"
+        bad.write_text("not aiger\n")
+        assert main(["analyze", str(bad)]) == 3
+        out = capsys.readouterr().out
+        assert "RA001" in out
+
+    def test_json_and_sarif_export(self, tmp_path):
+        import json
+
+        src = tmp_path / "m.aag"
+        arch_json = tmp_path / "arch.json"
+        arch_sarif = tmp_path / "arch.sarif"
+        main(["generate", "SP-AR-RC", "6", "-o", str(src)])
+        main(["analyze", str(src), "--json", str(arch_json),
+              "--sarif", str(arch_sarif)])
+        payload = json.loads(arch_json.read_text())
+        assert payload["command"] == "analyze"
+        record = payload["reports"][0]
+        assert record["architecture"] == "simple-array-ripple"
+        assert record["stages"]["fsa"]["label"] == "ripple"
+        sarif = json.loads(arch_sarif.read_text())
+        assert sarif["version"] == "2.1.0"
+        assert any(res["ruleId"] == "RS001"
+                   for res in sarif["runs"][0]["results"])
+
+    def test_verify_auto_tune_flag(self, tmp_path, capsys):
+        src = tmp_path / "m.aag"
+        main(["generate", "SP-AR-RC", "4", "-o", str(src)])
+        assert main(["verify", str(src), "--auto-tune"]) == 0
+
+
 class TestVerifyPreflightCli:
     def test_invalid_design_exits_three(self, tmp_path, capsys):
         bad = tmp_path / "bad.aag"
