@@ -328,6 +328,21 @@ def collect_schema_events():
     monitor.tick()
     events += monitor.events
 
+    # Commit-level anomaly detection: a detector-armed monitor over an
+    # injected size spike fires RP012 (run-local EWMA outlier) and
+    # RP013 (stored per-design baseline crossed), each as an "anomaly"
+    # event.
+    from repro.obs.attribution import AnomalyConfig, CommitAnomalyDetector
+
+    detector = CommitAnomalyDetector(
+        AnomalyConfig(tolerance=2.0, floor=1, min_history=3),
+        baseline={"peak": 20.0, "runs": 2}, design="SP-WT-CL-8")
+    monitor = LiveMonitor(Recorder(), detector=detector)
+    monitor.event("rewrite_begin", size=10, components=4, ring="exact")
+    for i, size in enumerate((10, 10, 10, 100), start=1):
+        monitor.event("step", i=i, comp=i, kind="FA", size=size)
+    events += monitor.events
+
     # Relay batch with resources and the sampling profiler: every
     # worker event gains worker_id/pid/seq tags, plus task_begin /
     # task_end bookkeeping, resource_sample / phase_resources /
@@ -345,6 +360,14 @@ def collect_schema_events():
                       "--trace-out", trace_path, "--resources",
                       "--profile-sample"])
         events += read_events(trace_path)
+
+        # Single-design --explain run: stage_map + rewrite_begin from
+        # the pipeline and the trailing "attribution" aggregate event.
+        explain_path = os.path.join(tmp, "explain.jsonl")
+        with contextlib.redirect_stdout(io.StringIO()):
+            cli.main(["verify", paths[0], "--trace-out", explain_path,
+                      "--explain"])
+        events += read_events(explain_path)
     return events
 
 

@@ -15,7 +15,8 @@ Code ranges:
 * ``RA03x`` — multiplier-interface / behavioural problems,
 * ``RA04x`` — configuration problems,
 * ``RP00x`` — pipeline invariants (``--check-invariants``),
-* ``RP01x`` — budgets, ``RP02x`` — polynomial engine,
+* ``RP01x`` — budgets and runtime watchdogs (stalls, commit-level
+  anomalies), ``RP02x`` — polynomial engine,
 * ``RS0xx`` — architecture recognition and static cost prediction
   (``repro analyze``): ``RS00x`` recognition outcomes, ``RS01x``
   structural hazards, ``RS02x`` blow-up risk.
@@ -86,6 +87,9 @@ CODES = {
     "RP010": (Severity.ERROR, "monomial or time budget exceeded"),
     "RP011": (Severity.WARNING, "rewriting stalled: no commit within the "
                                 "stall budget"),
+    "RP012": (Severity.WARNING, "commit-level SP_i growth outlier"),
+    "RP013": (Severity.WARNING, "SP_i exceeded the per-design history "
+                                "baseline"),
     "RP020": (Severity.ERROR, "invalid polynomial operation"),
     # RS00x — architecture recognition (repro analyze)
     "RS001": (Severity.INFO, "multiplier architecture recognized"),

@@ -126,6 +126,14 @@ class ArchitectureReport:
         return "unknown" not in (self.ppg.label, self.ppa.label,
                                  self.fsa.label)
 
+    def region_index(self):
+        """Cached :class:`RegionIndex` over this report's regions."""
+        index = getattr(self, "_region_index", None)
+        if index is None:
+            index = RegionIndex(self.regions)
+            self._region_index = index
+        return index
+
     def as_dict(self):
         return {
             "subject": self.subject,
@@ -573,6 +581,71 @@ def risk_calibration(store, entries, method="dyposub"):
             "spearman": round(spearman(risks, peaks), 4),
             "agreement": agreement,
             "risks": risks, "peaks": peaks, "labels": labels}
+
+
+# ----------------------------------------------------------------------
+# Region lookup
+# ----------------------------------------------------------------------
+
+#: Stage-region precedence for majority-vote ties: a component that
+#: straddles a boundary belongs to the *later* stage (its outputs are
+#: what the rewriting substitutes, and those sit downstream).
+_STAGE_PRECEDENCE = ("fsa", "ppa", "ppg")
+
+
+class RegionIndex:
+    """Var -> stage lookup over one report's ``regions`` partition.
+
+    Built once from :attr:`ArchitectureReport.regions`; answers both
+    single-variable and variable-set queries.  A set of variables (a
+    component's internal cone plus its outputs) is mapped by majority
+    vote, breaking ties toward the later pipeline stage — see
+    ``_STAGE_PRECEDENCE``.  Unknown variables (inputs, vars outside
+    every region) vote for no stage; an all-unknown set maps to None.
+    """
+
+    def __init__(self, regions):
+        self._where = {}
+        for stage, vars_ in regions.items():
+            for var in vars_:
+                self._where[var] = stage
+
+    def stage_of_var(self, var):
+        """The stage region holding ``var``, or None."""
+        return self._where.get(var)
+
+    def stage_of_vars(self, vars_):
+        """Majority-vote stage of a variable set, or None."""
+        votes = {}
+        for var in vars_:
+            stage = self._where.get(var)
+            if stage is not None:
+                votes[stage] = votes.get(stage, 0) + 1
+        if not votes:
+            return None
+        best = max(votes.values())
+        for stage in _STAGE_PRECEDENCE:
+            if votes.get(stage) == best:
+                return stage
+        return None  # pragma: no cover - precedence covers every stage
+
+
+def component_stage_map(arch, components):
+    """Map component index -> stage region for one analyzed design.
+
+    ``components`` is the pipeline's component list
+    (:class:`repro.core.components.Component`); each is located by its
+    internal AND cone plus its output variables.  This is the
+    commit -> region provenance the attribution layer keys on: a
+    ``step`` event names the component, the component names its vars,
+    the vars name the stage.
+    """
+    index = arch.region_index()
+    mapping = {}
+    for comp in components:
+        vars_ = set(comp.output_vars) | set(comp.internal)
+        mapping[comp.index] = index.stage_of_vars(vars_)
+    return mapping
 
 
 # ----------------------------------------------------------------------

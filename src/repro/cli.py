@@ -14,7 +14,10 @@ observability layer::
     python -m repro lint mult.aag --json findings.json
     python -m repro analyze mult.aag --json arch.json
     python -m repro verify mult.aag --auto-tune
+    python -m repro verify mult.aag --trace-out run.jsonl --explain
     python -m repro report run.jsonl
+    python -m repro explain run.jsonl
+    python -m repro explain run:12 --db runs.db --calibration
     python -m repro obs ingest --db runs.db run.jsonl bench.json
     python -m repro obs trends --db runs.db --check
     python -m repro obs diff static.jsonl dynamic.jsonl
@@ -27,7 +30,10 @@ failed pre-flight lint.  ``lint`` exits 0 when every input is clean and
 1 when any has findings (errors or warnings).  ``analyze`` exits 0 when
 every design was classified without findings, 1 when any RS0xx warning
 fired, 3 when an input could not be parsed.  ``obs trends --check``
-exits 1 on any regression verdict.
+exits 1 on any regression verdict.  ``explain`` exits 0 on success, 1
+when attribution coverage falls below 95% of the measured rewrite
+wall-time or SP_i growth, and 2 when the trace / run reference cannot
+be read or carries no rewriting instrumentation.
 
 The run-history database path defaults to ``$REPRO_OBS_DB`` (or
 ``runs.db``); batch ``verify`` auto-ingests its records whenever a
@@ -144,13 +150,18 @@ def build_parser():
                           "(prime-schedule depth, initial threshold, "
                           "extended rules) you did not set explicitly")
     ver.add_argument("--live", action="store_true",
-                     help="render a live one-line progress status and "
-                          "flag stalls (no commit within the stall "
-                          "budget) as RP011 diagnostics")
+                     help="render a live one-line progress status, flag "
+                          "stalls (no commit within the stall budget) as "
+                          "RP011 diagnostics, and screen every commit "
+                          "for SP_i outliers (RP012/RP013)")
     ver.add_argument("--stall-budget", type=float, default=10.0,
                      metavar="SECONDS",
                      help="--live watchdog: flag a stall after this "
                           "many seconds without a commit (default 10)")
+    ver.add_argument("--explain", action="store_true",
+                     help="print the commit/rule/stage cost-attribution "
+                          "report after the verdict (see `repro "
+                          "explain`)")
     ver.add_argument("--db", default=os.environ.get("REPRO_OBS_DB"),
                      metavar="PATH",
                      help="batch mode: also ingest the per-input records "
@@ -201,6 +212,32 @@ def build_parser():
     rep.add_argument("--hotspots", action="store_true",
                      help="append the sampling-profiler hotspot table "
                           "(traces recorded with --profile-sample)")
+
+    exp = sub.add_parser("explain",
+                         help="commit/rule/stage cost attribution of a "
+                              "recorded run, calibrated against the "
+                              "static blow-up predictor",
+                         parents=[verbosity])
+    exp.add_argument("target", nargs="?", default=None,
+                     help="JSONL trace path or run:ID (store reference); "
+                          "optional with --calibration")
+    exp.add_argument("--db", default=os.environ.get("REPRO_OBS_DB",
+                                                    "runs.db"),
+                     metavar="PATH",
+                     help="run-history store for run:ID references and "
+                          "--calibration")
+    exp.add_argument("--top", type=int, default=10, metavar="N",
+                     help="commits shown in the top-commits table "
+                          "(default 10; 0 hides it)")
+    exp.add_argument("--json", default=None, metavar="PATH",
+                     help="write the report as JSON ('-' for stdout "
+                          "instead of the text rendering)")
+    exp.add_argument("--calibration", action="store_true",
+                     help="append the store-wide predicted-risk vs "
+                          "observed-cost calibration report")
+    exp.add_argument("--method", default="dyposub",
+                     help="--calibration: series method filter "
+                          "(default dyposub)")
 
     obs = sub.add_parser("obs",
                          help="cross-run observability: run-history "
@@ -414,6 +451,11 @@ def _cmd_verify_batch(args):
               "(per-phase timings land in --json records)",
               file=sys.stderr)
         return 2
+    if args.explain:
+        print("verify: --explain needs a single input (ingest the "
+              "merged trace and use `repro explain run:ID` instead)",
+              file=sys.stderr)
+        return 2
     try:
         config = VerifyConfig.from_args(args)
     except ConfigError as exc:
@@ -560,7 +602,8 @@ def _cmd_verify(args):
     tracker = None
     profiler = None
     if (args.trace_out or args.profile or args.json or args.live
-            or args.db or args.resources or args.profile_sample):
+            or args.db or args.resources or args.profile_sample
+            or args.explain):
         sink = JsonlSink(args.trace_out) if args.trace_out else None
         recorder = Recorder(sink=sink)
     if args.resources:
@@ -569,10 +612,27 @@ def _cmd_verify(args):
         tracker = ResourceTracker(recorder)
         recorder = tracker
     if args.live:
+        import pathlib
+
+        from repro.obs.attribution import (CommitAnomalyDetector,
+                                           design_baseline)
         from repro.obs.live import LiveMonitor
 
+        baseline = None
+        design = pathlib.Path(args.inputs[0]).stem
+        if args.db:
+            from repro.obs.store import RunStore
+
+            try:
+                with RunStore(args.db) as store:
+                    baseline = design_baseline(store, design,
+                                               method=args.method)
+            except Exception as exc:  # noqa: BLE001 - observability only
+                log.warning("could not load %s baseline from %s: %s",
+                            design, args.db, exc)
+        detector = CommitAnomalyDetector(baseline=baseline, design=design)
         monitor = LiveMonitor(recorder, stall_budget=args.stall_budget,
-                              stream=sys.stderr)
+                              stream=sys.stderr, detector=detector)
         recorder = monitor
     if args.profile_sample:
         from repro.obs.resources import SamplingProfiler
@@ -601,6 +661,9 @@ def _cmd_verify(args):
             print(f"live: {len(monitor.stalls)} stall(s) flagged "
                   f"(RP011, budget {args.stall_budget:g}s)",
                   file=sys.stderr)
+        if monitor.anomalies:
+            print(f"live: {len(monitor.anomalies)} commit anomaly(ies) "
+                  f"flagged (RP012/RP013)", file=sys.stderr)
     profile_summary = None
     if profiler is not None:
         profile_summary = profiler.stop()
@@ -611,6 +674,16 @@ def _cmd_verify(args):
                      len(profiler.by_stack), args.collapsed_out)
     if tracker is not None:
         tracker.stop()
+    explain_report = None
+    if args.explain and recorder is not None:
+        from repro.obs.attribution import (attribute_events,
+                                           attribution_event_fields)
+
+        explain_report = attribute_events(recorder.events)
+        # record the aggregates in the trace so downstream consumers
+        # (report, ingest) see them without recomputing
+        recorder.event("attribution",
+                       **attribution_event_fields(explain_report))
     print(result.summary())
     if args.json or args.db:
         from repro.bench.harness import result_record
@@ -621,6 +694,9 @@ def _cmd_verify(args):
         record["timed_out"] = result.timed_out
         if monitor is not None and monitor.stalls:
             record["stalls"] = [diag.as_dict() for diag in monitor.stalls]
+        if monitor is not None and monitor.anomalies:
+            record["anomalies"] = [diag.as_dict()
+                                   for diag in monitor.anomalies]
         if args.json:
             payload = {"command": "verify", "inputs": args.inputs,
                        "records": [record]}
@@ -662,6 +738,13 @@ def _cmd_verify(args):
         print("Sampling profiler")
         print("-----------------")
         print(render_hotspot_table(profile_summary))
+    if explain_report is not None:
+        from repro.obs.attribution import render_attribution
+
+        print()
+        print("Cost attribution")
+        print("----------------")
+        print(render_attribution(explain_report))
     if result.status == "buggy":
         a = result.stats.get("counterexample_a")
         b = result.stats.get("counterexample_b")
@@ -761,6 +844,92 @@ def _cmd_analyze(args):
     if unreadable:
         return 3
     return 1 if findings else 0
+
+
+def _cmd_explain(args):
+    """Cost attribution of one recorded run (and/or the store-wide
+    calibration report); see the module docstring for exit codes."""
+    import json
+
+    from repro.obs.attribution import (COVERAGE_TARGET, attribute_events,
+                                       attribute_store_run,
+                                       calibration_from_store,
+                                       render_attribution,
+                                       render_calibration)
+
+    report = None
+    if args.target is not None:
+        if args.target.startswith("run:"):
+            from repro.obs.store import RunStore
+
+            try:
+                with RunStore(args.db) as store:
+                    report = attribute_store_run(
+                        store, int(args.target[len("run:"):]))
+            except (OSError, ValueError) as exc:
+                print(f"explain: {exc}", file=sys.stderr)
+                return 2
+        else:
+            from repro.obs.recorder import read_events_tolerant
+
+            try:
+                events, skipped = read_events_tolerant(args.target)
+            except OSError as exc:
+                print(f"explain: {exc}", file=sys.stderr)
+                return 2
+            if skipped:
+                log.warning("%s: skipped %d unparseable line(s)",
+                            args.target, skipped)
+            report = attribute_events(events)
+            if not report["rewrite_runs"]:
+                print(f"explain: {args.target}: no rewriting "
+                      "instrumentation in the trace (record it with "
+                      "`verify --trace-out`)", file=sys.stderr)
+                return 2
+    calibration = None
+    if args.calibration:
+        from repro.obs.store import RunStore
+
+        try:
+            with RunStore(args.db) as store:
+                calibration = calibration_from_store(store,
+                                                     method=args.method)
+        except (OSError, ValueError) as exc:
+            print(f"explain: {exc}", file=sys.stderr)
+            return 2
+    if report is None and calibration is None:
+        print("explain: give a trace path / run:ID and/or --calibration",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        payload = {"command": "explain"}
+        if report is not None:
+            payload["attribution"] = report
+        if calibration is not None:
+            payload["calibration"] = calibration
+        text = json.dumps(payload, indent=2)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            log.info("wrote %s", args.json)
+    if args.json != "-":
+        if report is not None:
+            print(render_attribution(report, top=args.top))
+        if calibration is not None:
+            if report is not None:
+                print()
+            print(render_calibration(calibration))
+    if report is not None:
+        wall_frac = report["wall"]["attributed_fraction"]
+        growth_frac = report["growth"]["attributed_fraction"]
+        if min(wall_frac, growth_frac) < COVERAGE_TARGET:
+            print(f"explain: attribution coverage below "
+                  f"{COVERAGE_TARGET:.0%} (wall {wall_frac:.1%}, "
+                  f"growth {growth_frac:.1%})", file=sys.stderr)
+            return 1
+    return 0
 
 
 def _obs_view(ref, db, label=None):
@@ -913,6 +1082,8 @@ def main(argv=None):
         return _cmd_lint(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
     if args.command == "obs":
         return _cmd_obs(args)
     if args.command == "report":

@@ -280,6 +280,34 @@ class Pipeline:
                          components=components,
                          implication_rules=implication_rules, stats=stats)
 
+    def _emit_stage_map(self, art, rec):
+        """Commit -> stage-region provenance for the attribution layer.
+
+        One ``stage_map`` event carrying the static architecture label,
+        the blow-up risk prediction, and every component's stage region
+        — so a recorded trace is self-contained: ``repro explain`` maps
+        each ``step`` event's component onto PPG/PPA/FSA without
+        re-reading the AIG.  Runs on the *prepared* (post-cleanup) AIG
+        so variable numbers line up with the components, and reuses the
+        atomic-block memo ``stage_prepare`` already warmed.  Traced
+        runs only — the NULL recorder never gets here.
+        """
+        from repro.analysis.structure import (analyze_aig,
+                                              component_stage_map)
+
+        with rec.span("stage_map"):
+            arch = analyze_aig(art.aig, width_a=art.width_a)
+            stages = component_stage_map(arch, art.components)
+        rec.event(
+            "stage_map",
+            architecture=arch.architecture,
+            risk_factor=arch.risk["factor"],
+            risk_score=arch.risk["score"],
+            regions={name: len(vars_)
+                     for name, vars_ in sorted(arch.regions.items())},
+            components={str(index): stage
+                        for index, stage in sorted(stages.items())})
+
     def stage_invariants(self, art, ring, rec):
         """One-time machinery checks + the first run's commit monitor."""
         from repro.analysis.invariants import (InvariantMonitor,
@@ -426,6 +454,8 @@ class Pipeline:
         art = self.stage_prepare(aig, width_a, width_b, rec)
         if advisory is not None:
             art.stats["autotune"] = advisory
+        if rec.enabled:
+            self._emit_stage_map(art, rec)
         rings = self.ring_schedule(2 * self.crt_bound(art.aig))
         modular = rings[0].modulus is not None
         monitor = None

@@ -112,6 +112,12 @@ class RewritingEngine:
         self._done = set()
         self._candidates = {idx for idx, count in self._pending_consumers.items()
                             if count == 0}
+        if self.obs.enabled:
+            # anchor of one rewrite run for the attribution layer: the
+            # SP_0 size the growth deltas start from, and the timestamp
+            # the first commit's wall-time window opens at
+            self.obs.event("rewrite_begin", size=len(self.sp),
+                           components=len(self.components), ring=ring.name)
 
     # ------------------------------------------------------------------
     # Queries

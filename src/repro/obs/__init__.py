@@ -7,10 +7,25 @@ rebuilding Fig.-5-style reports from recorded runs,
 :mod:`repro.obs.store` for the SQLite run-history database,
 :mod:`repro.obs.trends` for EWMA regression detection,
 :mod:`repro.obs.diff` for structural trace diffing,
-:mod:`repro.obs.live` for the heartbeat/stall watchdog, and
+:mod:`repro.obs.live` for the heartbeat/stall watchdog,
+:mod:`repro.obs.attribution` for commit/rule/stage cost attribution and
+anomaly detection (``repro explain``), and
 :mod:`repro.obs.dashboard` for HTML / Prometheus exports.
 """
 
+from repro.obs.attribution import (
+    AnomalyConfig,
+    CommitAnomalyDetector,
+    attribute_events,
+    attribute_store_run,
+    attribution_event_fields,
+    calibration_from_store,
+    design_baseline,
+    render_attribution,
+    render_calibration,
+    replay_anomalies,
+    stage_cost_metrics,
+)
 from repro.obs.recorder import (
     NULL,
     Histogram,
@@ -41,4 +56,9 @@ __all__ = [
     "LiveMonitor", "ChildRecorder", "EventRelay", "split_worker_runs",
     "ResourceTracker", "SamplingProfiler",
     "RunStore", "current_git_rev",
+    "AnomalyConfig", "CommitAnomalyDetector",
+    "attribute_events", "attribute_store_run",
+    "attribution_event_fields", "calibration_from_store",
+    "design_baseline", "render_attribution", "render_calibration",
+    "replay_anomalies", "stage_cost_metrics",
 ]

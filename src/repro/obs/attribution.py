@@ -1,0 +1,789 @@
+"""Dynamic cost attribution: commit / rule / stage-level forensics.
+
+PR 8's static analyzer predicts *where* a design should blow up; this
+module measures where a run's cost actually landed and closes the loop.
+It consumes the commit-level event stream one traced verification
+leaves behind — ``rewrite_begin`` anchors, per-commit ``step`` events,
+the ``attempt`` stream, the pipeline's ``stage_map`` provenance event,
+sampling-profiler ``by_commit`` buckets, and ``resource_sample``
+telemetry — and attributes three costs:
+
+* **wall-time**: the gap between consecutive ``step`` timestamps inside
+  the rewrite window is the cost of constructing the upcoming commit
+  (failed attempts and backtracks between commits included); the time
+  after the final commit is the explicitly reported *unattributed tail*,
+  never silently dropped;
+* **SP_i growth**: the positive size delta of each commit, anchored at
+  the ``rewrite_begin`` SP_0 size;
+* **peak RSS**: ``resource_sample`` events binned into commit windows.
+
+Each commit is labelled with its *rule* (substitution kind x
+compact/expand, joined from the most recent ``attempt`` for the same
+component) and its *stage region* (PPG/PPA/FSA via the ``stage_map``
+component provenance), so a run renders as "78% of SP_i growth landed
+in 12 commits inside the fsa region".
+
+On top of attribution:
+
+* :class:`CommitAnomalyDetector` — streaming commit-level outlier
+  detection (EWMA baseline with a noise floor, mirroring
+  :mod:`repro.obs.trends`), optionally armed with a per-design peak
+  baseline from the run-history store; fires RP012/RP013 diagnostics
+  through :class:`~repro.obs.live.LiveMonitor`;
+* a calibration layer — :func:`stage_cost_metrics` writes observed
+  per-stage cost back into the store (``attr:*`` metrics + the v3
+  ``attribution`` table) and :func:`calibration_from_store` reports
+  predicted-risk vs observed-cost agreement over the stored runs, so
+  the PR 8 Spearman check is continuously measured.
+
+Entry points: ``repro explain <trace-or-run:ID>`` and
+``verify --explain`` (see :mod:`repro.cli`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Attribution coverage bar: ``repro explain`` reports (and its CI
+#: consumers gate on) at least this fraction of measured rewrite
+#: wall-time and SP_i growth being assigned to a commit+rule+stage.
+COVERAGE_TARGET = 0.95
+
+#: Bucket label for commits whose component maps to no stage region
+#: (e.g. traces recorded before the ``stage_map`` event existed).
+UNKNOWN = "?"
+
+
+# ----------------------------------------------------------------------
+# Event-stream attribution
+# ----------------------------------------------------------------------
+
+def _rule_label(kind, compact):
+    """Substitution-rule label: component kind x replacement flavor."""
+    if kind is None:
+        return UNKNOWN
+    if compact is None:
+        return str(kind)
+    return f"{kind}/{'compact' if compact else 'expand'}"
+
+
+def _new_agg():
+    return {"seconds": 0.0, "growth": 0, "commits": 0, "samples": 0}
+
+
+def attribute_events(events):
+    """Fold one recorded event stream into an attribution report dict.
+
+    Handles multi-run traces (modular escalation re-runs the rewrite
+    stage): every ``rewrite_begin`` opens a new window and the
+    aggregates span all of them.  Returns a JSON-ready dict; see
+    :func:`render_attribution` for the human rendering.
+    """
+    meta = {}
+    stage_map = None
+    commits = []
+    rewrite_spans = []
+    resource_samples = []
+    profile = None
+    recorded_anomalies = 0
+    status = None
+    seconds = None
+
+    run = 0
+    sp0 = None
+    prev_t = None
+    prev_size = None
+    last_attempt = {}      # comp -> (kind, compact) of the latest attempt
+    run_last_t = {}        # run -> timestamp of its last commit
+    run_start = {}         # run -> rewrite_begin timestamp
+
+    for event in events:
+        kind = event.get("ev")
+        if kind == "run_begin":
+            meta = {k: v for k, v in event.items() if k not in ("ev", "t")}
+        elif kind == "run_end":
+            status = event.get("status")
+            seconds = event.get("seconds")
+        elif kind == "stage_map":
+            stage_map = {k: v for k, v in event.items()
+                         if k not in ("ev", "t")}
+        elif kind == "rewrite_begin":
+            run += 1
+            prev_t = event.get("t")
+            prev_size = event.get("size", 0)
+            if sp0 is None:
+                sp0 = prev_size
+            run_start[run] = prev_t
+            run_last_t[run] = prev_t
+            last_attempt = {}
+        elif kind == "attempt":
+            last_attempt[event.get("comp")] = (event.get("kind"),
+                                               event.get("compact"))
+        elif kind == "step" and run:
+            t = event.get("t")
+            size = event.get("size", 0)
+            comp = event.get("comp")
+            attempt = last_attempt.get(comp, (event.get("kind"), None))
+            commits.append({
+                "run": run,
+                "step": event.get("i"),
+                "comp": comp,
+                "kind": event.get("kind"),
+                "rule": _rule_label(attempt[0] or event.get("kind"),
+                                    attempt[1]),
+                "stage": None,  # filled in below from the stage map
+                "seconds": (round(t - prev_t, 6)
+                            if None not in (t, prev_t) else 0.0),
+                "growth": max(size - (prev_size or 0), 0),
+                "size": size,
+                "samples": 0,
+            })
+            prev_t = t if t is not None else prev_t
+            prev_size = size
+            run_last_t[run] = prev_t
+        elif kind == "span" and event.get("path") == "rewrite":
+            rewrite_spans.append(event)
+        elif kind == "resource_sample":
+            resource_samples.append(event)
+        elif kind == "profile":
+            profile = event
+        elif kind == "anomaly":
+            recorded_anomalies += 1
+
+    # stage provenance: component index -> region
+    comp_stages = {}
+    if stage_map is not None:
+        comp_stages = {int(idx): stage for idx, stage in
+                       (stage_map.get("components") or {}).items()}
+    for record in commits:
+        record["stage"] = comp_stages.get(record["comp"]) or UNKNOWN
+
+    # wall windows: rewrite_begin.t .. span end, one per rewrite run
+    windows = {}
+    for index, span in enumerate(rewrite_spans, start=1):
+        if index in run_start:
+            start = run_start[index]
+            end = span.get("t", start) + span.get("dur", 0.0)
+            windows[index] = (start, max(end, run_last_t.get(index, start)))
+    for index in run_start:
+        if index not in windows:  # truncated trace: close at last commit
+            windows[index] = (run_start[index], run_last_t[index])
+
+    total_wall = sum(end - start for start, end in windows.values())
+    attributed_wall = sum(record["seconds"] for record in commits)
+    tail = max(total_wall - attributed_wall, 0.0)
+
+    # profiler samples: by_commit buckets are keyed by the upcoming
+    # step; attach them to the final rewrite run (the decisive one)
+    samples_unassigned = 0
+    if profile is not None:
+        buckets = {int(step): count for step, count in
+                   (profile.get("commits") or {}).items()}
+        final = {record["step"]: record for record in commits
+                 if record["run"] == run}
+        for step, count in buckets.items():
+            if step in final:
+                final[step]["samples"] += count
+            else:
+                samples_unassigned += count
+
+    by_stage = {}
+    by_rule = {}
+    cells = {}
+    for record in commits:
+        for table, key in ((by_stage, record["stage"]),
+                           (by_rule, record["rule"])):
+            agg = table.setdefault(key, _new_agg())
+            agg["seconds"] += record["seconds"]
+            agg["growth"] += record["growth"]
+            agg["commits"] += 1
+            agg["samples"] += record["samples"]
+        cell = cells.setdefault((record["stage"], record["rule"]),
+                                _new_agg())
+        cell["seconds"] += record["seconds"]
+        cell["growth"] += record["growth"]
+        cell["commits"] += 1
+        cell["samples"] += record["samples"]
+
+    total_growth = sum(record["growth"] for record in commits)
+    known_wall = sum(record["seconds"] for record in commits
+                     if record["stage"] != UNKNOWN)
+    known_growth = sum(record["growth"] for record in commits
+                       if record["stage"] != UNKNOWN)
+    for table, total in ((by_stage, None), (by_rule, None)):
+        for agg in table.values():
+            agg["seconds"] = round(agg["seconds"], 6)
+            agg["share_seconds"] = (round(agg["seconds"] / total_wall, 4)
+                                    if total_wall else 0.0)
+            agg["share_growth"] = (round(agg["growth"] / total_growth, 4)
+                                   if total_growth else 0.0)
+
+    report = {
+        "source": "events",
+        "meta": meta,
+        "status": status,
+        "seconds": seconds,
+        "architecture": (stage_map or {}).get("architecture"),
+        "risk": ({"factor": stage_map.get("risk_factor"),
+                  "score": stage_map.get("risk_score")}
+                 if stage_map else None),
+        "regions": (stage_map or {}).get("regions"),
+        "rewrite_runs": run,
+        "sp0": sp0,
+        "commits": commits,
+        "by_stage": by_stage,
+        "by_rule": by_rule,
+        "cells": [{"stage": stage, "rule": rule, **agg}
+                  for (stage, rule), agg in sorted(cells.items())],
+        "wall": {
+            "rewrite_seconds": round(total_wall, 6),
+            "attributed_seconds": round(known_wall, 6),
+            "unattributed_seconds": round(tail + (attributed_wall
+                                                  - known_wall), 6),
+            "attributed_fraction": (round(known_wall / total_wall, 4)
+                                    if total_wall else 1.0),
+        },
+        "growth": {
+            "total": total_growth,
+            "attributed": known_growth,
+            "unattributed": total_growth - known_growth,
+            "attributed_fraction": (round(known_growth / total_growth, 4)
+                                    if total_growth else 1.0),
+        },
+        "samples_unassigned": samples_unassigned,
+        "anomalies_recorded": recorded_anomalies,
+        "rss": _attribute_rss(resource_samples, commits, windows),
+    }
+    report["anomalies"] = [diag.as_dict() for diag in
+                           replay_anomalies(events)]
+    return report
+
+
+def _attribute_rss(samples, commits, windows):
+    """Peak-RSS deltas binned into commit windows, rolled up by stage.
+
+    Returns None when the run carried no ``resource_sample`` telemetry
+    (``verify --resources`` off).
+    """
+    stamped = [(event.get("t"), event.get("rss_kb")) for event in samples
+               if event.get("t") is not None
+               and event.get("rss_kb") is not None]
+    if not stamped or not windows:
+        return None
+    stamped.sort()
+    start = min(w[0] for w in windows.values())
+    end = max(w[1] for w in windows.values())
+    inside = [(t, rss) for t, rss in stamped if start <= t <= end]
+    before = [rss for t, rss in stamped if t < start]
+    baseline = before[-1] if before else (inside[0][1] if inside
+                                          else stamped[0][1])
+    if not inside:
+        return {"samples": 0, "baseline_kb": baseline, "peak_kb": baseline,
+                "delta_kb": 0.0, "by_stage": {}}
+    peak = max(rss for _, rss in inside)
+    # commit wall windows reconstructed from the per-commit seconds
+    # within each rewrite window; a sample belongs to the commit whose
+    # window contains its timestamp (the commit being constructed)
+    by_stage = {}
+    per_run = {}
+    for record in sorted(commits, key=lambda r: (r["run"], r["step"])):
+        per_run.setdefault(record["run"], []).append(record)
+    spans = []
+    for run_index, run_commits in per_run.items():
+        window = windows.get(run_index)
+        if window is None:
+            continue
+        t = window[0]
+        for record in run_commits:
+            end_t = t + record["seconds"]
+            spans.append((t, end_t, record["stage"]))
+            t = end_t
+    spans.sort()
+    for t, rss in inside:
+        stage = None
+        for s, e, st in spans:
+            if s <= t <= e:
+                stage = st
+                break
+        key = stage or UNKNOWN
+        slot = by_stage.setdefault(key, {"peak_kb": rss, "samples": 0})
+        slot["peak_kb"] = max(slot["peak_kb"], rss)
+        slot["samples"] += 1
+    for slot in by_stage.values():
+        slot["delta_kb"] = round(slot["peak_kb"] - baseline, 1)
+    return {"samples": len(inside), "baseline_kb": baseline,
+            "peak_kb": peak, "delta_kb": round(peak - baseline, 1),
+            "by_stage": by_stage}
+
+
+# ----------------------------------------------------------------------
+# Streaming anomaly detection
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AnomalyConfig:
+    """Knobs of the commit-level outlier detector.
+
+    ``tolerance`` is the ratio over the run-local EWMA that flags an
+    RP012 outlier; ``alpha`` the EWMA weight (shared semantics with
+    :class:`repro.obs.trends.TrendConfig`); ``floor`` the SP_i size
+    under which commits are never flagged (the trends noise floor,
+    in monomials); ``min_history`` the commits required before the
+    EWMA gates; ``baseline_margin`` the headroom over the per-design
+    store baseline before RP013 fires.
+    """
+
+    tolerance: float = 3.0
+    alpha: float = 0.3
+    floor: int = 64
+    min_history: int = 3
+    baseline_margin: float = 0.25
+
+
+class CommitAnomalyDetector:
+    """Streaming commit-size outlier detection for one verification.
+
+    Two signals, both reusing the trends EWMA/noise-floor logic:
+
+    * **RP012** — a commit whose SP_i size exceeds ``tolerance`` x the
+      run-local EWMA of earlier commits (and the noise floor): a local
+      blow-up outlier.  The EWMA then absorbs the new level, so a
+      genuine regime change fires once instead of on every subsequent
+      commit.
+    * **RP013** — the run crossed the per-design peak baseline learned
+      from the run-history store (see :func:`design_baseline`); fires
+      at most once per rewrite run.
+
+    Feed ``observe_step(fields)`` every ``step`` event (the
+    :class:`~repro.obs.live.LiveMonitor` does this when armed with a
+    detector) and ``reset()`` on every ``rewrite_begin``.
+    """
+
+    def __init__(self, config=None, baseline=None, design=None):
+        self.config = config or AnomalyConfig()
+        self.baseline = baseline
+        self.design = design
+        self.anomalies = []
+        self._ewma = None
+        self._seen = 0
+        self._baseline_fired = False
+
+    def reset(self):
+        """New rewrite run (escalation re-run): run-local state over."""
+        self._ewma = None
+        self._seen = 0
+        self._baseline_fired = False
+
+    def observe_step(self, fields):
+        """Observe one ``step`` event; returns newly fired diagnostics."""
+        from repro.analysis.diagnostics import Diagnostic
+
+        size = fields.get("size")
+        if size is None:
+            return []
+        config = self.config
+        fired = []
+        if size >= config.floor:
+            if (self._ewma is not None and self._seen >= config.min_history
+                    and size > self._ewma * config.tolerance):
+                ratio = size / self._ewma
+                fired.append(Diagnostic(
+                    code="RP012",
+                    message=(f"commit {fields.get('i')}: SP_i jumped to "
+                             f"{size} monomials, {ratio:.1f}x the EWMA "
+                             f"baseline ({self._ewma:.0f})"),
+                    context={"step": fields.get("i"), "size": size,
+                             "baseline": round(self._ewma, 1),
+                             "ratio": round(ratio, 2),
+                             "comp": fields.get("comp"),
+                             "kind": fields.get("kind")}))
+            peak = (self.baseline or {}).get("peak")
+            if (peak and not self._baseline_fired
+                    and size > peak * (1.0 + config.baseline_margin)):
+                self._baseline_fired = True
+                ratio = size / peak
+                fired.append(Diagnostic(
+                    code="RP013",
+                    message=(f"commit {fields.get('i')}: SP_i {size} "
+                             f"exceeds the stored per-design peak "
+                             f"baseline ({peak:.0f}, "
+                             f"{(self.baseline or {}).get('runs', 0)} "
+                             f"run(s)) by {ratio:.1f}x"),
+                    context={"step": fields.get("i"), "size": size,
+                             "baseline": round(peak, 1),
+                             "ratio": round(ratio, 2),
+                             "design": self.design}))
+        self._ewma = (float(size) if self._ewma is None
+                      else config.alpha * size
+                      + (1.0 - config.alpha) * self._ewma)
+        self._seen += 1
+        self.anomalies.extend(fired)
+        return fired
+
+
+def design_baseline(store, design, optimization="none", method="dyposub",
+                    alpha=0.3):
+    """Per-design peak baseline from the run-history store: the EWMA of
+    the series' ``max_poly_size`` history.  None without history."""
+    history = store.history(design, optimization, method, "max_poly_size")
+    if not history:
+        return None
+    from repro.obs.trends import ewma
+
+    return {"peak": ewma([value for _, value in history], alpha),
+            "runs": len(history)}
+
+
+def replay_anomalies(events, config=None, baseline=None):
+    """Run the streaming detector offline over a recorded stream — so
+    ``repro explain`` flags outlier commits even in traces recorded
+    without a live watchdog.  Returns the fired diagnostics."""
+    detector = CommitAnomalyDetector(config=config, baseline=baseline)
+    for event in events:
+        kind = event.get("ev")
+        if kind == "rewrite_begin":
+            detector.reset()
+        elif kind == "step":
+            detector.observe_step(event)
+    return detector.anomalies
+
+
+# ----------------------------------------------------------------------
+# Store integration: persisted attribution + calibration
+# ----------------------------------------------------------------------
+
+def stage_cost_metrics(report):
+    """Flatten one attribution report into store metrics rows.
+
+    These are the ``attr:*`` metrics the calibration layer and the
+    trend gate read back: per-stage/per-rule observed cost, the
+    unattributed remainder, the SP_0 anchor, and the static risk
+    prediction carried along so predicted-vs-observed agreement can be
+    computed from the store alone.
+    """
+    metrics = {}
+    for stage, agg in report["by_stage"].items():
+        metrics[f"attr:stage:{stage}:seconds"] = agg["seconds"]
+        metrics[f"attr:stage:{stage}:growth"] = agg["growth"]
+    for rule, agg in report["by_rule"].items():
+        metrics[f"attr:rule:{rule}:seconds"] = agg["seconds"]
+        metrics[f"attr:rule:{rule}:growth"] = agg["growth"]
+    metrics["attr:wall:rewrite:seconds"] = report["wall"]["rewrite_seconds"]
+    metrics["attr:unattributed:seconds"] = (
+        report["wall"]["unattributed_seconds"])
+    metrics["attr:unattributed:growth"] = report["growth"]["unattributed"]
+    if report.get("risk"):
+        if report["risk"].get("factor") is not None:
+            metrics["attr:risk:factor"] = report["risk"]["factor"]
+        if report["risk"].get("score") is not None:
+            metrics["attr:risk:score"] = report["risk"]["score"]
+    return metrics
+
+
+def attribute_store_run(store, run_id):
+    """Rebuild an attribution report from the store's v3 rows.
+
+    Per-commit wall-time is not persisted (only the (stage, rule)
+    aggregation is), so the commit list carries growth recomputed from
+    the stored SP_i curve; aggregates and coverage come back exactly.
+    Raises ``ValueError`` for unknown runs; a run ingested without
+    attribution rows (pre-v3 trace, no step events) yields a report
+    with everything in the unattributed bucket.
+    """
+    record = store.run(run_id)
+    if record is None:
+        raise ValueError(f"run:{run_id}: no such run in the store")
+    cells = store.attribution(run_id)
+    metrics = record.get("metrics", {})
+    commits = store.commits(run_id)
+
+    by_stage = {}
+    by_rule = {}
+    for cell in cells:
+        for table, key in ((by_stage, cell["stage"]),
+                           (by_rule, cell["rule"])):
+            agg = table.setdefault(key, _new_agg())
+            agg["seconds"] += cell["seconds"] or 0.0
+            agg["growth"] += cell["growth"] or 0
+            agg["commits"] += cell["commits"] or 0
+            agg["samples"] += cell["samples"] or 0
+
+    total_wall = metrics.get("attr:wall:rewrite:seconds",
+                             sum(agg["seconds"]
+                                 for agg in by_stage.values()))
+    total_growth = sum(agg["growth"] for agg in by_stage.values())
+    known_wall = sum(agg["seconds"] for stage, agg in by_stage.items()
+                     if stage != UNKNOWN)
+    known_growth = sum(agg["growth"] for stage, agg in by_stage.items()
+                       if stage != UNKNOWN)
+    for table in (by_stage, by_rule):
+        for agg in table.values():
+            agg["seconds"] = round(agg["seconds"], 6)
+            agg["share_seconds"] = (round(agg["seconds"] / total_wall, 4)
+                                    if total_wall else 0.0)
+            agg["share_growth"] = (round(agg["growth"] / total_growth, 4)
+                                   if total_growth else 0.0)
+
+    sp0 = metrics.get("attr:sp0:size")
+    commit_rows = []
+    prev = sp0
+    for row in commits:
+        growth = (max(row["size"] - prev, 0)
+                  if prev is not None else 0)
+        commit_rows.append({"run": 1, "step": row["step"],
+                            "comp": row["component"], "kind": row["kind"],
+                            "rule": UNKNOWN, "stage": UNKNOWN,
+                            "seconds": 0.0, "growth": growth,
+                            "size": row["size"], "samples": 0})
+        prev = row["size"]
+
+    risk = None
+    if "attr:risk:factor" in metrics or "attr:risk:score" in metrics:
+        risk = {"factor": metrics.get("attr:risk:factor"),
+                "score": metrics.get("attr:risk:score")}
+    meta = record.get("meta") or {}
+    return {
+        "source": "store",
+        "run_id": run_id,
+        "meta": meta,
+        "design": record.get("design"),
+        "optimization": record.get("optimization"),
+        "method": record.get("method"),
+        "status": record.get("status"),
+        "seconds": record.get("seconds"),
+        "architecture": meta.get("architecture"),
+        "risk": risk,
+        "regions": None,
+        "rewrite_runs": 1 if commits else 0,
+        "commits": commit_rows,
+        "by_stage": by_stage,
+        "by_rule": by_rule,
+        "cells": cells,
+        "wall": {
+            "rewrite_seconds": round(total_wall, 6),
+            "attributed_seconds": round(known_wall, 6),
+            "unattributed_seconds": round(max(total_wall - known_wall,
+                                              0.0), 6),
+            "attributed_fraction": (round(known_wall / total_wall, 4)
+                                    if total_wall else 1.0),
+        },
+        "growth": {
+            "total": total_growth,
+            "attributed": known_growth,
+            "unattributed": total_growth - known_growth,
+            "attributed_fraction": (round(known_growth / total_growth, 4)
+                                    if total_growth else 1.0),
+        },
+        "samples_unassigned": 0,
+        "anomalies_recorded": 0,
+        "anomalies": [],
+        "rss": None,
+    }
+
+
+def calibration_from_store(store, method="dyposub", optimization=None):
+    """Predicted-risk vs observed-cost agreement over stored runs.
+
+    The continuously-measured version of PR 8's one-off Spearman check:
+    every series that ingested an ``attr:risk:score`` prediction is
+    compared against its observed ``max_poly_size`` history (via
+    :func:`repro.analysis.structure.risk_calibration`, same agreement
+    shape), and the observed per-stage cost distribution rides along so
+    the report can say which region actually dominated each design.
+    """
+    from repro.analysis.structure import risk_calibration
+
+    entries = []
+    for design, opt, meth in store.series():
+        if meth != method:
+            continue
+        if optimization is not None and opt != optimization:
+            continue
+        history = store.history(design, opt, meth, "metric:attr:risk:score")
+        if not history:
+            continue
+        entries.append((design, opt, history[-1][1]))
+
+    calibration = risk_calibration(store, entries, method=method)
+    stage_costs = {}
+    for design, opt, _score in entries:
+        latest = store.latest(design, opt, method)
+        if latest is None:
+            continue
+        growth = {}
+        for name, value in latest.get("metrics", {}).items():
+            if name.startswith("attr:stage:") and name.endswith(":growth"):
+                stage = name[len("attr:stage:"):-len(":growth")]
+                growth[stage] = value
+        total = sum(growth.values())
+        stage_costs[f"{design}/{opt}"] = {
+            "growth": growth,
+            "shares": {stage: round(value / total, 4)
+                       for stage, value in sorted(growth.items())}
+            if total else {},
+            "peak": latest.get("max_poly_size"),
+            "risk_score": latest.get("metrics", {}).get("attr:risk:score"),
+        }
+    return {"method": method, "samples": len(entries),
+            "risk_vs_peak": calibration, "stage_costs": stage_costs}
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+def _fmt_seconds(value):
+    return f"{value:.4f}"
+
+
+def render_attribution(report, top=10):
+    """Human-readable attribution report (the ``repro explain`` output)."""
+    from repro.bench.render import render_table
+
+    lines = []
+    head = []
+    design = (report.get("design")
+              or (report.get("meta") or {}).get("design"))
+    if design:
+        head.append(str(design))
+    if report.get("architecture"):
+        head.append(f"architecture {report['architecture']}")
+    if report.get("risk") and report["risk"].get("factor") is not None:
+        head.append(f"risk factor {report['risk']['factor']:.2f}")
+    if report.get("status"):
+        head.append(f"outcome {report['status']}")
+    if head:
+        lines.append("# " + ", ".join(head))
+
+    growth = report["growth"]
+    wall = report["wall"]
+    by_stage = report["by_stage"]
+    if by_stage and growth["total"]:
+        dominant = max(by_stage.items(), key=lambda kv: kv[1]["growth"])
+        stage, agg = dominant
+        lines.append(
+            f"{agg['share_growth']:.0%} of SP_i growth landed in "
+            f"{agg['commits']} commit(s) inside the {stage} region "
+            f"({agg['growth']} of {growth['total']} monomials)")
+    lines.append(
+        f"wall attribution: {wall['attributed_fraction']:.1%} of "
+        f"{wall['rewrite_seconds']:.4f}s rewrite time assigned "
+        f"({wall['unattributed_seconds']:.4f}s unattributed remainder); "
+        f"growth attribution: {growth['attributed_fraction']:.1%} "
+        f"({growth['unattributed']} monomial(s) unattributed)")
+
+    if by_stage:
+        rows = []
+        for stage, agg in sorted(by_stage.items(),
+                                 key=lambda kv: -kv[1]["growth"]):
+            rows.append([stage, agg["commits"],
+                         _fmt_seconds(agg["seconds"]),
+                         f"{agg['share_seconds']:.1%}", agg["growth"],
+                         f"{agg['share_growth']:.1%}", agg["samples"]])
+        lines.append("")
+        lines.append(render_table(
+            ["stage", "commits", "seconds", "wall%", "growth", "growth%",
+             "samples"], rows, title="Cost by stage region"))
+    if report["by_rule"]:
+        rows = []
+        for rule, agg in sorted(report["by_rule"].items(),
+                                key=lambda kv: -kv[1]["growth"]):
+            rows.append([rule, agg["commits"],
+                         _fmt_seconds(agg["seconds"]),
+                         f"{agg['share_seconds']:.1%}", agg["growth"],
+                         f"{agg['share_growth']:.1%}"])
+        lines.append("")
+        lines.append(render_table(
+            ["rule", "commits", "seconds", "wall%", "growth", "growth%"],
+            rows, title="Cost by substitution rule"))
+
+    commits = report["commits"]
+    if commits and top:
+        costly = sorted(commits, key=lambda r: (-r["growth"],
+                                                -r["seconds"]))[:top]
+        rows = [[r["step"], r["comp"] if r["comp"] is not None else "-",
+                 r["rule"], r["stage"], r["size"], r["growth"],
+                 _fmt_seconds(r["seconds"]), r["samples"]]
+                for r in costly]
+        lines.append("")
+        lines.append(render_table(
+            ["step", "comp", "rule", "stage", "SP_i", "growth", "seconds",
+             "samples"], rows,
+            title=f"Top {len(costly)} commits by SP_i growth"))
+
+    rss = report.get("rss")
+    if rss and rss.get("by_stage"):
+        rows = [[stage, slot["peak_kb"], slot["delta_kb"],
+                 slot["samples"]]
+                for stage, slot in sorted(rss["by_stage"].items())]
+        lines.append("")
+        lines.append(render_table(
+            ["stage", "peak RSS kB", "delta kB", "samples"], rows,
+            title=f"Peak RSS by stage (baseline {rss['baseline_kb']} kB)"))
+
+    anomalies = report.get("anomalies") or []
+    if anomalies:
+        lines.append("")
+        lines.append(f"Anomalies ({len(anomalies)}):")
+        for diag in anomalies:
+            lines.append(f"  {diag['code']} {diag['severity']}: "
+                         f"{diag['message']}")
+    elif report.get("anomalies_recorded"):
+        lines.append("")
+        lines.append(f"({report['anomalies_recorded']} anomaly event(s) "
+                     "recorded in the trace)")
+    return "\n".join(lines)
+
+
+def render_calibration(calibration):
+    """Human rendering of :func:`calibration_from_store`'s report."""
+    from repro.bench.render import render_table
+
+    lines = []
+    risk = calibration["risk_vs_peak"]
+    if risk.get("spearman") is None:
+        lines.append(f"calibration: {risk['samples']} sample(s) — need at "
+                     "least 2 series with stored risk + peak history")
+        return "\n".join(lines)
+    agreement = risk["agreement"]
+    lines.append(
+        f"calibration over {risk['samples']} stored series: Spearman "
+        f"{risk['spearman']:+.3f}, top-{agreement['count']} agreement "
+        f"{agreement['top']}/{agreement['count']}, bottom "
+        f"{agreement['bottom']}/{agreement['count']}")
+    rows = []
+    for label, risk_score, peak in sorted(
+            zip(risk["labels"], risk["risks"], risk["peaks"]),
+            key=lambda item: -item[1]):
+        cost = calibration["stage_costs"].get(label, {})
+        shares = cost.get("shares") or {}
+        dominant = (max(shares.items(), key=lambda kv: kv[1])
+                    if shares else None)
+        rows.append([label, f"{risk_score:.0f}", peak,
+                     (f"{dominant[0]} {dominant[1]:.0%}"
+                      if dominant else "-")])
+    lines.append("")
+    lines.append(render_table(
+        ["series", "risk score", "observed peak", "dominant stage"],
+        rows, title="Predicted risk vs observed cost"))
+    return "\n".join(lines)
+
+
+def attribution_event_fields(report):
+    """Compact ``attribution`` event body for the trace (aggregates
+    only — the full report is recomputable from the stream)."""
+    return {
+        "architecture": report.get("architecture"),
+        "rewrite_runs": report["rewrite_runs"],
+        "wall": report["wall"],
+        "growth": report["growth"],
+        "stages": {stage: {"seconds": agg["seconds"],
+                           "growth": agg["growth"],
+                           "commits": agg["commits"]}
+                   for stage, agg in report["by_stage"].items()},
+        "rules": {rule: {"seconds": agg["seconds"],
+                         "growth": agg["growth"],
+                         "commits": agg["commits"]}
+                  for rule, agg in report["by_rule"].items()},
+        "anomalies": len(report.get("anomalies") or ()),
+    }

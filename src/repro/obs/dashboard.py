@@ -11,7 +11,10 @@ inline SVG:
 * a phase waterfall of each series' latest run,
 * worker lanes (one bar per relay worker's active window) for runs
   ingested from merged ``--jobs`` traces, and a per-phase peak-RSS
-  table for runs recorded with ``--resources``.
+  table for runs recorded with ``--resources``,
+* a cost-attribution table (observed SP_i growth and wall-time per
+  stage region, from the v3 ``attribution`` cells) for runs whose
+  traces carried commit-level instrumentation.
 
 ``--prometheus`` additionally writes a text-format metrics snapshot
 (one gauge sample per series from its latest run) so an external
@@ -305,6 +308,46 @@ def render_dashboard(store, title="repro run history", trends=None):
                 f"<td>{data.get('gc_collections', '-')}</td>"
                 "</tr>")
         parts.append("</table>")
+    # cost attribution (v3 attribution cells) --------------------------
+    attribution_rows = []
+    for design, optimization, method in series:
+        latest = store.latest(design, optimization, method)
+        if latest is None or not latest.get("attribution"):
+            continue
+        cells = latest["attribution"]
+        total_growth = sum(cell.get("growth") or 0 for cell in cells)
+        by_stage = {}
+        for cell in cells:
+            slot = by_stage.setdefault(cell["stage"],
+                                       {"seconds": 0.0, "growth": 0,
+                                        "commits": 0})
+            slot["seconds"] += cell.get("seconds") or 0.0
+            slot["growth"] += cell.get("growth") or 0
+            slot["commits"] += cell.get("commits") or 0
+        for stage, slot in sorted(by_stage.items(),
+                                  key=lambda kv: -kv[1]["growth"]):
+            share = (slot["growth"] / total_growth
+                     if total_growth else 0.0)
+            attribution_rows.append((design, method, stage, slot, share))
+    if attribution_rows:
+        parts.append("<h2>Cost attribution by stage region "
+                     "(latest run)</h2>")
+        parts.append("<table><tr><th>design</th><th>method</th>"
+                     "<th>stage</th><th>commits</th><th>seconds</th>"
+                     "<th>SP_i growth</th><th>growth share</th></tr>")
+        for design, method, stage, slot, share in attribution_rows:
+            css = " class='bad'" if share >= 0.5 else ""
+            parts.append(
+                "<tr>"
+                f"<td>{html.escape(design)}</td>"
+                f"<td>{html.escape(method)}</td>"
+                f"<td>{html.escape(stage)}</td>"
+                f"<td>{slot['commits']}</td>"
+                f"<td>{slot['seconds']:.4f}</td>"
+                f"<td>{slot['growth']}</td>"
+                f"<td{css}>{share:.0%}</td>"
+                "</tr>")
+        parts.append("</table>")
     parts.append("</body></html>")
     return "\n".join(parts)
 
@@ -331,8 +374,11 @@ def render_prometheus(store):
 
     Gauges: ``repro_run_seconds``, ``repro_run_steps``,
     ``repro_run_max_poly_size``, ``repro_run_backtracks``,
-    ``repro_phase_seconds{phase=...}``; plus the ``repro_runs_total``
-    counter over the whole store.
+    ``repro_phase_seconds{phase=...}``,
+    ``repro_attr_growth{stage=...}`` /
+    ``repro_attr_seconds{stage=...}`` (cost attribution per stage
+    region); plus the ``repro_runs_total`` counter over the whole
+    store.
     """
     lines = [
         "# HELP repro_runs_total Verification runs recorded in the store.",
@@ -351,6 +397,7 @@ def render_prometheus(store):
     phase_samples = []
     rss_samples = []
     worker_samples = []
+    attr_samples = []
     for design, optimization, method in store.series():
         latest = store.latest(design, optimization, method)
         if latest is None:
@@ -374,6 +421,18 @@ def render_prometheus(store):
         if workers:
             worker_samples.append(
                 f"repro_run_workers{labels} {len(workers)}")
+        by_stage = {}
+        for cell in latest.get("attribution") or ():
+            slot = by_stage.setdefault(cell["stage"], [0.0, 0])
+            slot[0] += cell.get("seconds") or 0.0
+            slot[1] += cell.get("growth") or 0
+        for stage, (seconds, growth) in sorted(by_stage.items()):
+            stage_labels = _labels(design, optimization, method,
+                                   stage=stage)
+            attr_samples.append(
+                f"repro_attr_seconds{stage_labels} {round(seconds, 6)}")
+            attr_samples.append(
+                f"repro_attr_growth{stage_labels} {growth}")
     for name, _column, help_text in gauges:
         if samples[name]:
             lines.append(f"# HELP {name} {help_text}")
@@ -394,4 +453,15 @@ def render_prometheus(store):
                      "of the latest run.")
         lines.append("# TYPE repro_run_workers gauge")
         lines.extend(worker_samples)
+    if attr_samples:
+        lines.append("# HELP repro_attr_seconds Attributed rewrite "
+                     "wall-time per stage region (latest run).")
+        lines.append("# TYPE repro_attr_seconds gauge")
+        lines.extend(s for s in attr_samples
+                     if s.startswith("repro_attr_seconds"))
+        lines.append("# HELP repro_attr_growth Attributed SP_i growth "
+                     "(monomials) per stage region (latest run).")
+        lines.append("# TYPE repro_attr_growth gauge")
+        lines.extend(s for s in attr_samples
+                     if s.startswith("repro_attr_growth"))
     return "\n".join(lines) + "\n"

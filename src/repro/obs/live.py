@@ -15,7 +15,12 @@ the event stream in real time:
 * when no commit lands within ``stall_budget`` seconds, the monitor
   flags a **stall**: a structured RP011 diagnostic (one per silent
   gap), a ``stall`` event in the trace, and a visible warning line —
-  instead of a silent hang.
+  instead of a silent hang;
+* armed with a :class:`~repro.obs.attribution.CommitAnomalyDetector`
+  (``detector=``), every ``step`` event is additionally screened for
+  commit-level SP_i outliers: an RP012/RP013 diagnostic, an
+  ``anomaly`` event in the trace, and a visible warning line, live
+  while the run is still going.
 
 Rendering adapts to the terminal: carriage-return in-place updates only
 when stderr is an interactive tty (and ``NO_COLOR``/``TERM=dumb`` are
@@ -93,20 +98,25 @@ class LiveMonitor:
     in-place ``\\r`` rendering mode on or off; the default ``None``
     auto-detects from the stream (tty, ``NO_COLOR``, ``TERM``) and
     falls back to plain line-per-update output when the stream is not
-    an interactive terminal.
+    an interactive terminal.  ``detector`` optionally arms streaming
+    commit-level anomaly detection (see
+    :class:`repro.obs.attribution.CommitAnomalyDetector`); fired
+    diagnostics accumulate in ``self.anomalies``.
     """
 
     enabled = True
 
     def __init__(self, inner=None, stall_budget=DEFAULT_STALL_BUDGET,
                  refresh=0.2, stream=None, clock=time.monotonic,
-                 interactive=None):
+                 interactive=None, detector=None):
         self.inner = inner if inner is not None else Recorder()
         self.stall_budget = stall_budget
         self.refresh = refresh
         self.stream = stream
         self.interactive = (detect_interactive(stream)
                             if interactive is None else interactive)
+        self.detector = detector
+        self.anomalies = []
         self.stalls = []
         self.workers = {}
         self._clock = clock
@@ -181,6 +191,11 @@ class LiveMonitor:
         elif kind == "step":
             self._last_commit = now
             self._stall_open = False
+            if self.detector is not None:
+                self._check_anomaly(fields)
+        elif kind == "rewrite_begin":
+            if self.detector is not None:
+                self.detector.reset()
         elif kind == "attempt":
             self.attempts += 1
         elif kind == "backtrack":
@@ -306,6 +321,20 @@ class LiveMonitor:
             self._clear_line()
             self.stream.write(diag.render() + "\n")
             self.stream.flush()
+
+    def _check_anomaly(self, fields):
+        for diag in self.detector.observe_step(fields):
+            self.anomalies.append(diag)
+            context = diag.context or {}
+            self.inner.event("anomaly", code=diag.code,
+                             step=context.get("step"),
+                             size=context.get("size"),
+                             baseline=context.get("baseline"),
+                             ratio=context.get("ratio"))
+            if self.stream is not None:
+                self._clear_line()
+                self.stream.write(diag.render() + "\n")
+                self.stream.flush()
 
     # -- terminal rendering --------------------------------------------
 

@@ -38,6 +38,10 @@ def summarize_events(events):
         "resources": {},
         "resources_summary": None,
         "profile": None,
+        "stage_map": None,
+        "rewrite_runs": 0,
+        "anomalies": 0,
+        "attribution": None,
     }
     for event in events:
         kind = event.get("ev")
@@ -90,6 +94,18 @@ def summarize_events(events):
                 if k not in ("ev", "t", "worker_id", "pid", "seq")}
         elif kind == "profile":
             summary["profile"] = {
+                k: v for k, v in event.items()
+                if k not in ("ev", "t", "worker_id", "pid", "seq")}
+        elif kind == "stage_map":
+            summary["stage_map"] = {
+                k: v for k, v in event.items()
+                if k not in ("ev", "t", "worker_id", "pid", "seq")}
+        elif kind == "rewrite_begin":
+            summary["rewrite_runs"] += 1
+        elif kind == "anomaly":
+            summary["anomalies"] += 1
+        elif kind == "attribution":
+            summary["attribution"] = {
                 k: v for k, v in event.items()
                 if k not in ("ev", "t", "worker_id", "pid", "seq")}
         elif kind == "summary":
@@ -155,6 +171,11 @@ def render_report(summary, plot_width=72, plot_height=14):
                  summary["thresholds"][-1] if summary["thresholds"] else "-"]]
     if summary["stalls"]:
         dynamics.append(["stalls flagged (watchdog)", summary["stalls"]])
+    if summary["anomalies"]:
+        dynamics.append(["commit anomalies flagged", summary["anomalies"]])
+    if summary["rewrite_runs"] > 1:
+        dynamics.append(["rewrite runs (escalation)",
+                         summary["rewrite_runs"]])
     lines.append("")
     lines.append(render_table(["metric", "value"], dynamics,
                               title="Backward-rewriting dynamics"))
@@ -184,6 +205,28 @@ def render_report(summary, plot_width=72, plot_height=14):
         lines.append(render_table(
             ["worker", "pid", "events", "designs"], rows,
             title="Relay workers (merged trace)"))
+    if summary["stage_map"]:
+        stage_map = summary["stage_map"]
+        regions = stage_map.get("regions") or {}
+        region_text = ", ".join(f"{name}={count}"
+                                for name, count in sorted(regions.items()))
+        lines.append("")
+        lines.append(
+            f"Stage map: {stage_map.get('architecture', '?')} "
+            f"(risk factor {stage_map.get('risk_factor', '?')}; "
+            f"AND vars per region: {region_text}) — run `repro explain` "
+            "on this trace for the full cost attribution")
+    if summary["attribution"]:
+        attr = summary["attribution"]
+        wall = attr.get("wall") or {}
+        growth = attr.get("growth") or {}
+        lines.append("")
+        lines.append(
+            f"Attribution summary: "
+            f"{wall.get('attributed_fraction', 0):.0%} of rewrite "
+            f"wall-time and {growth.get('attributed_fraction', 0):.0%} "
+            f"of SP_i growth attributed "
+            f"({attr.get('anomalies', 0)} anomaly(ies))")
     if summary["resources"] or summary["resources_summary"]:
         from repro.obs.resources import render_resource_table
 

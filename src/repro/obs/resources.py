@@ -23,8 +23,9 @@ Two independent tools live here:
     A timer-driven statistical profiler: a thread wakes every
     ``interval`` seconds, captures the target thread's Python stack via
     ``sys._current_frames()``, and attributes the sample to (a) the
-    innermost open recorder span (the pipeline phase) and (b) the most
-    recent committed rewriting step (``Recorder.last_step``).  Results
+    innermost open recorder span (the pipeline phase) and (b) the
+    rewriting commit being *constructed* — the step after the most
+    recently committed one (``Recorder.last_step + 1``).  Results
     are exported as a ``profile`` event (hotspot table, per-phase and
     per-commit sample counts) and as collapsed-stack text
     (:meth:`SamplingProfiler.collapsed`) for flamegraph tooling.
@@ -289,7 +290,9 @@ class SamplingProfiler:
     phases and rewrite commits.
 
     ``recorder`` provides phase attribution (its open-span stack) and
-    commit attribution (``last_step``), and receives the final
+    commit attribution (the upcoming step, ``last_step + 1``, since
+    time between commits is spent constructing the next one), and
+    receives the final
     ``profile`` event; ``interval`` is the sampling period.  The target
     is the thread that calls :meth:`start`.
     """
@@ -354,8 +357,13 @@ class SamplingProfiler:
         self.by_stack[collapsed] = self.by_stack.get(collapsed, 0) + 1
         base = _base_recorder(self.recorder)
         step = base.last_step if base is not None else None
-        if step is not None and phase == "rewrite":
-            self.by_commit[step] = self.by_commit.get(step, 0) + 1
+        if phase == "rewrite":
+            # a sample taken between step i and step i+1 is work spent
+            # *constructing* commit i+1, so bucket it under the upcoming
+            # step (matching the attribution layer's wall-time windows);
+            # samples before the first commit belong to step 1
+            upcoming = 1 if step is None else step + 1
+            self.by_commit[upcoming] = self.by_commit.get(upcoming, 0) + 1
 
     def _loop(self):
         while not self._stop.wait(self.interval):

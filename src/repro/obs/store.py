@@ -3,7 +3,8 @@
 The single-run recorder (:mod:`repro.obs.recorder`) sees one
 verification at a time; this module gives those runs a durable home so
 regressions have *history* and *attribution*.  A :class:`RunStore` is
-one SQLite file (stdlib ``sqlite3``, no dependencies) with six tables:
+one SQLite file (stdlib ``sqlite3``, no dependencies) with these
+tables:
 
 * ``runs``    — one row per verification run, keyed by
   design / optimization / method / git revision;
@@ -15,11 +16,16 @@ one SQLite file (stdlib ``sqlite3``, no dependencies) with six tables:
 * ``workers``   — (schema v2) per-worker relay accounting of parallel
   ``--jobs`` runs: pool slot, pid, event count, active window;
 * ``resources`` — (schema v2) per-phase resource telemetry from
-  ``--resources`` runs: peak RSS, tracemalloc deltas, GC counts.
+  ``--resources`` runs: peak RSS, tracemalloc deltas, GC counts;
+* ``attribution`` — (schema v3) the cost-attribution cells of
+  :mod:`repro.obs.attribution`: observed wall-time / SP_i growth /
+  profiler samples per (stage region, substitution rule), the data the
+  ``repro explain`` calibration layer reads back.
 
 The ``meta`` table records the schema version; opening an older file
-upgrades it in place (v1 → v2 only adds tables), while a file written
-by a *newer* schema is refused instead of being silently corrupted.
+upgrades it in place (v1 → v2 and v2 → v3 only add tables), while a
+file written by a *newer* schema is refused instead of being silently
+corrupted.
 Unbounded growth is handled by :meth:`RunStore.prune` (``repro obs
 prune``): retention by per-series ``keep_last`` and/or a cut-off
 timestamp, followed by ``VACUUM``.
@@ -50,7 +56,7 @@ import time
 
 log = logging.getLogger("repro.obs.store")
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 DEFAULT_DB = "runs.db"
 
@@ -109,6 +115,15 @@ CREATE TABLE IF NOT EXISTS resources (
     tracemalloc_peak_kb REAL,
     gc_collections INTEGER
 );
+CREATE TABLE IF NOT EXISTS attribution (
+    run_id INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+    stage TEXT NOT NULL,
+    rule TEXT NOT NULL,
+    seconds REAL,
+    growth INTEGER,
+    commits INTEGER,
+    samples INTEGER
+);
 CREATE INDEX IF NOT EXISTS idx_runs_series
     ON runs (design, optimization, method, id);
 CREATE INDEX IF NOT EXISTS idx_phases_run ON phases (run_id);
@@ -116,10 +131,12 @@ CREATE INDEX IF NOT EXISTS idx_commits_run ON commits (run_id);
 CREATE INDEX IF NOT EXISTS idx_metrics_run ON metrics (run_id, name);
 CREATE INDEX IF NOT EXISTS idx_workers_run ON workers (run_id);
 CREATE INDEX IF NOT EXISTS idx_resources_run ON resources (run_id);
+CREATE INDEX IF NOT EXISTS idx_attribution_run ON attribution (run_id);
 """
 
 #: Tables pruned (via cascade) with their runs; order is display order.
-_TABLES = ("runs", "phases", "commits", "metrics", "workers", "resources")
+_TABLES = ("runs", "phases", "commits", "metrics", "workers", "resources",
+           "attribution")
 
 
 def current_git_rev(cwd=None):
@@ -153,9 +170,9 @@ class RunStore:
                 f"this build (v{SCHEMA_VERSION}); refusing to open")
         self._conn.executescript(_SCHEMA)
         if found is not None and found < SCHEMA_VERSION:
-            # v1 -> v2 only adds tables; the IF NOT EXISTS script above
-            # already created them, so stamping the version completes
-            # the in-place upgrade
+            # every upgrade so far (v1 -> v2 -> v3) only adds tables;
+            # the IF NOT EXISTS script above already created them, so
+            # stamping the version completes the in-place upgrade
             log.info("%s: upgraded run store schema v%d -> v%d",
                      self.path, found, SCHEMA_VERSION)
             self._conn.execute(
@@ -197,7 +214,8 @@ class RunStore:
                 seconds=None, steps=None, max_poly_size=None,
                 backtracks=None, threshold_doublings=None, phases=None,
                 commits=None, metrics=None, workers=None, resources=None,
-                git_rev=None, source=None, meta=None, created_at=None):
+                attribution=None, git_rev=None, source=None, meta=None,
+                created_at=None):
         """Insert one run row (plus its phases/commits/metrics children);
         returns the new run id.
 
@@ -206,7 +224,10 @@ class RunStore:
         ``component``/``kind``/``threshold``) or plain sizes;
         ``workers`` is an iterable of relay accounting dicts
         (``worker_id``, ``pid``, ``events``, ``first_t``, ``last_t``);
-        ``resources`` maps phase name to a resource-telemetry dict.
+        ``resources`` maps phase name to a resource-telemetry dict;
+        ``attribution`` is an iterable of cost-attribution cell dicts
+        (``stage``, ``rule``, ``seconds``, ``growth``, ``commits``,
+        ``samples``) from :mod:`repro.obs.attribution`.
         """
         cur = self._conn.execute(
             "INSERT INTO runs (design, optimization, method, git_rev, "
@@ -262,6 +283,14 @@ class RunStore:
                   data.get("tracemalloc_peak_kb"),
                   data.get("gc_collections"))
                  for phase, data in sorted(resources.items())])
+        if attribution:
+            self._conn.executemany(
+                "INSERT INTO attribution (run_id, stage, rule, seconds, "
+                "growth, commits, samples) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                [(run_id, cell.get("stage", "?"), cell.get("rule", "?"),
+                  cell.get("seconds"), cell.get("growth"),
+                  cell.get("commits"), cell.get("samples"))
+                 for cell in attribution])
         self._conn.commit()
         return run_id
 
@@ -339,7 +368,13 @@ class RunStore:
 
     def ingest_events(self, events, design, optimization="none",
                       method=None, *, git_rev=None, source=None):
-        """Ingest one recorded event stream (a trace JSONL's contents)."""
+        """Ingest one recorded event stream (a trace JSONL's contents).
+
+        When the stream carries commit-level ``step`` events, the
+        cost-attribution cells and their ``attr:*`` calibration metrics
+        (see :mod:`repro.obs.attribution`) are computed and stored
+        alongside the raw trajectory.
+        """
         from repro.obs.report import summarize_events
 
         summary = summarize_events(events)
@@ -354,6 +389,22 @@ class RunStore:
                          "kind": event.get("kind"),
                          "size": event.get("size", 0),
                          "threshold": event.get("threshold")})
+        metrics = {f"counter:{name}": value
+                   for name, value in summary["counters"].items()}
+        attribution = None
+        if rows:
+            from repro.obs.attribution import (attribute_events,
+                                               stage_cost_metrics)
+
+            report = attribute_events(events)
+            if report["rewrite_runs"]:
+                attribution = report["cells"]
+                metrics.update(stage_cost_metrics(report))
+                if report.get("sp0") is not None:
+                    metrics["attr:sp0:size"] = report["sp0"]
+                if report.get("architecture"):
+                    meta.setdefault("architecture",
+                                    report["architecture"])
         return self.add_run(
             design=design, optimization=optimization,
             method=method or meta.get("method", "unknown"),
@@ -362,11 +413,10 @@ class RunStore:
             max_poly_size=max(sizes) if sizes else None,
             backtracks=summary["backtracks"],
             threshold_doublings=summary["threshold_doublings"],
-            phases=phases, commits=rows,
-            metrics={f"counter:{name}": value
-                     for name, value in summary["counters"].items()},
+            phases=phases, commits=rows, metrics=metrics,
             workers=self._worker_rows_from_events(events),
             resources=self._resources_from_events(events),
+            attribution=attribution,
             git_rev=git_rev, source=source, meta=meta or None)
 
     def ingest_merged_events(self, events, *, design=None,
@@ -558,6 +608,7 @@ class RunStore:
             (run_id,)).fetchone()[0]
         record["workers"] = self.workers(run_id)
         record["resources"] = self.resources(run_id)
+        record["attribution"] = self.attribution(run_id)
         return record
 
     def workers(self, run_id):
@@ -574,6 +625,13 @@ class RunStore:
                 for row in self._conn.execute(
                     "SELECT * FROM resources WHERE run_id = ? "
                     "ORDER BY phase", (run_id,))}
+
+    def attribution(self, run_id):
+        """Cost-attribution cells of one run, (stage, rule)-ordered."""
+        return [dict(row) for row in self._conn.execute(
+            "SELECT stage, rule, seconds, growth, commits, samples "
+            "FROM attribution WHERE run_id = ? ORDER BY stage, rule",
+            (run_id,))]
 
     def commits(self, run_id):
         """Per-step commit records of one run, in step order."""

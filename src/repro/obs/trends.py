@@ -17,7 +17,8 @@ verdict is machine-readable (one dict per series x metric):
   under ``floor`` (timer/allocator noise, reported but not gated).
   Normalized microbench metrics (``metric:normalized:<phase>``) borrow
   the floor decision from their ``phase:<phase>`` twin in the same
-  series.
+  series; attribution wall-time slices (``metric:attr:*:seconds``)
+  borrow ``phase:rewrite``, the phase they are fractions of.
 
 ``repro obs trends --check`` and ``scripts/perf_bench.py --check`` both
 fail on any ``regression`` verdict — this is the CI perf gate, with
@@ -73,6 +74,18 @@ def _floor_baseline(store, design, optimization, method, metric, config):
         twin = "phase:" + metric[len("metric:normalized:"):]
         history = [v for _, v in store.history(design, optimization,
                                                method, twin)]
+        if history:
+            return ewma(history[:-1] or history, config.alpha)
+    if metric.startswith("metric:attr:") and metric.endswith(":seconds"):
+        # attribution wall-time slices are fractions of the rewrite
+        # phase; borrow its history as the noise-floor twin so a
+        # microsecond jitter in a sub-floor run never gates, falling
+        # back to the metric's own history for stores without spans
+        history = [v for _, v in store.history(design, optimization,
+                                               method, "phase:rewrite")]
+        if not history:
+            history = [v for _, v in store.history(design, optimization,
+                                                   method, metric)]
         if history:
             return ewma(history[:-1] or history, config.alpha)
     return None

@@ -120,6 +120,104 @@ class TestWatchdog:
         assert monitor.stalls[0].context["step"] == 5
 
 
+class TestAnomalyDetection:
+    def _monitor(self, detector, stream=None):
+        clock = FakeClock()
+        monitor = LiveMonitor(Recorder(), stream=stream, clock=clock,
+                              detector=detector)
+        return monitor, clock
+
+    def test_outlier_commit_fires_rp012(self):
+        from repro.obs.attribution import (AnomalyConfig,
+                                           CommitAnomalyDetector)
+
+        detector = CommitAnomalyDetector(
+            AnomalyConfig(tolerance=2.0, floor=1, min_history=3))
+        monitor, _ = self._monitor(detector)
+        monitor.event("rewrite_begin", size=10, components=5, ring="exact")
+        for i, size in enumerate((10, 11, 12), start=1):
+            monitor.event("step", i=i, comp=i, kind="FA", size=size)
+        monitor.event("step", i=4, comp=4, kind="FA", size=400)
+        assert [d.code for d in monitor.anomalies] == ["RP012"]
+        anomaly_events = [e for e in monitor.events
+                          if e["ev"] == "anomaly"]
+        assert len(anomaly_events) == 1
+        assert anomaly_events[0]["step"] == 4
+        assert anomaly_events[0]["size"] == 400
+        assert anomaly_events[0]["ratio"] > 2.0
+
+    def test_steady_run_is_quiet(self):
+        from repro.obs.attribution import (AnomalyConfig,
+                                           CommitAnomalyDetector)
+
+        detector = CommitAnomalyDetector(
+            AnomalyConfig(tolerance=2.0, floor=1, min_history=3))
+        monitor, _ = self._monitor(detector)
+        monitor.event("rewrite_begin", size=10, components=9, ring="exact")
+        for i in range(1, 10):
+            monitor.event("step", i=i, comp=i, kind="FA", size=10 + i)
+        assert monitor.anomalies == []
+
+    def test_noise_floor_shields_small_polynomials(self):
+        from repro.obs.attribution import (AnomalyConfig,
+                                           CommitAnomalyDetector)
+
+        # a 4 -> 40 monomial jump is a 10x ratio but far below the floor
+        detector = CommitAnomalyDetector(
+            AnomalyConfig(tolerance=2.0, floor=64, min_history=3))
+        monitor, _ = self._monitor(detector)
+        monitor.event("rewrite_begin", size=4, components=4, ring="exact")
+        for i, size in enumerate((4, 4, 4, 40), start=1):
+            monitor.event("step", i=i, comp=i, kind="FA", size=size)
+        assert monitor.anomalies == []
+
+    def test_store_baseline_fires_rp013_once(self):
+        from repro.obs.attribution import (AnomalyConfig,
+                                           CommitAnomalyDetector)
+
+        detector = CommitAnomalyDetector(
+            AnomalyConfig(tolerance=100.0, floor=1, min_history=1,
+                          baseline_margin=0.25),
+            baseline={"peak": 100.0, "runs": 3}, design="m8")
+        monitor, _ = self._monitor(detector)
+        monitor.event("rewrite_begin", size=50, components=3, ring="exact")
+        monitor.event("step", i=1, comp=1, kind="FA", size=90)
+        assert monitor.anomalies == []  # under the margin
+        monitor.event("step", i=2, comp=2, kind="FA", size=140)
+        monitor.event("step", i=3, comp=3, kind="FA", size=150)
+        codes = [d.code for d in monitor.anomalies]
+        assert codes == ["RP013"]  # fired once, not per commit
+
+    def test_rewrite_begin_resets_the_run_local_ewma(self):
+        from repro.obs.attribution import (AnomalyConfig,
+                                           CommitAnomalyDetector)
+
+        detector = CommitAnomalyDetector(
+            AnomalyConfig(tolerance=2.0, floor=1, min_history=3))
+        monitor, _ = self._monitor(detector)
+        monitor.event("rewrite_begin", size=10, components=3, ring="exact")
+        for i, size in enumerate((10, 10, 10), start=1):
+            monitor.event("step", i=i, comp=i, kind="FA", size=size)
+        # escalation re-run: sizes jump but the detector starts fresh
+        monitor.event("rewrite_begin", size=100, components=3,
+                      ring="exact")
+        monitor.event("step", i=1, comp=1, kind="FA", size=100)
+        assert monitor.anomalies == []
+
+    def test_anomaly_writes_a_warning_line(self):
+        from repro.obs.attribution import (AnomalyConfig,
+                                           CommitAnomalyDetector)
+
+        detector = CommitAnomalyDetector(
+            AnomalyConfig(tolerance=2.0, floor=1, min_history=3))
+        stream = io.StringIO()
+        monitor, _ = self._monitor(detector, stream=stream)
+        monitor.event("rewrite_begin", size=10, components=4, ring="exact")
+        for i, size in enumerate((10, 10, 10, 300), start=1):
+            monitor.event("step", i=i, comp=i, kind="FA", size=size)
+        assert "RP012" in stream.getvalue()
+
+
 class TestRendering:
     def test_status_line_renders_and_clears(self):
         stream = io.StringIO()

@@ -158,7 +158,10 @@ class TestSamplingProfiler:
         assert len([e for e in recorder.events
                     if e["ev"] == "profile"]) == 1
 
-    def test_commit_attribution_follows_last_step(self):
+    def test_commit_attribution_buckets_the_upcoming_step(self):
+        # time between commit i and commit i+1 is spent constructing
+        # commit i+1, so samples after step 7 belong to bucket 8 — not
+        # to the stale last_step
         recorder = Recorder()
         profiler = SamplingProfiler(recorder, interval=0.002)
         recorder.event("step", i=7, size=3)
@@ -169,7 +172,23 @@ class TestSamplingProfiler:
                    and time.perf_counter() < deadline):
                 sum(i * i for i in range(2000))
         summary = profiler.stop()
-        assert summary["commits"].get("7", 0) >= 1
+        assert summary["commits"].get("8", 0) >= 1
+        assert "7" not in summary["commits"]
+
+    def test_samples_before_the_first_commit_bucket_under_step_one(self):
+        # regression: rewrite-phase samples taken before any step event
+        # used to be dropped entirely (last_step is None); they are the
+        # cost of constructing commit 1
+        recorder = Recorder()
+        profiler = SamplingProfiler(recorder, interval=0.002)
+        profiler.start()
+        deadline = time.perf_counter() + 0.5
+        with recorder.span("rewrite"):
+            while (profiler.samples < 3
+                   and time.perf_counter() < deadline):
+                sum(i * i for i in range(2000))
+        summary = profiler.stop()
+        assert summary["commits"].get("1", 0) >= 1
 
     def test_collapsed_stack_format(self):
         profiler = SamplingProfiler(None, interval=0.002)

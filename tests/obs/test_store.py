@@ -7,6 +7,7 @@ import pytest
 from repro.core import verify_multiplier
 from repro.genmul import generate_multiplier
 from repro.obs import Recorder, RunStore, current_git_rev
+from repro.obs.store import SCHEMA_VERSION
 
 
 def _events(seconds=1.0, sizes=(4, 9, 3), backtracks=1, status="correct",
@@ -287,7 +288,7 @@ class TestSchemaV2:
         stamped = conn.execute("SELECT value FROM meta WHERE key = "
                                "'schema_version'").fetchone()[0]
         conn.close()
-        assert stamped == "2"
+        assert stamped == str(SCHEMA_VERSION)
 
     def test_newer_schema_is_refused_not_corrupted(self, tmp_path):
         import sqlite3
@@ -306,6 +307,107 @@ class TestSchemaV2:
         conn = sqlite3.connect(path)
         assert conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0] == 1
         conn.close()
+
+
+class TestSchemaV3:
+    def test_attribution_round_trip(self):
+        cells = [{"stage": "fsa", "rule": "FA/compact", "seconds": 0.4,
+                  "growth": 120, "commits": 7, "samples": 3},
+                 {"stage": "ppg", "rule": "HA/compact", "seconds": 0.1,
+                  "growth": 0, "commits": 12, "samples": 0}]
+        with RunStore() as store:
+            run_id = store.add_run("d", "dyposub", status="correct",
+                                   attribution=cells)
+            stored = store.attribution(run_id)
+            assert [(c["stage"], c["rule"]) for c in stored] == \
+                [("fsa", "FA/compact"), ("ppg", "HA/compact")]
+            assert stored[0]["growth"] == 120
+            assert stored[0]["samples"] == 3
+            # run() carries the cells too
+            assert store.run(run_id)["attribution"] == stored
+
+    def test_v2_file_upgrades_in_place(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "old.db"
+        with RunStore(path) as store:
+            store.add_run("d", "dyposub", seconds=1.0)
+        # rewind the file to schema v2: drop the v3 table and stamp
+        conn = sqlite3.connect(path)
+        conn.executescript("DROP TABLE attribution;")
+        conn.execute("UPDATE meta SET value = '2' "
+                     "WHERE key = 'schema_version'")
+        conn.commit()
+        conn.close()
+        with RunStore(path) as store:
+            assert len(store) == 1  # v2 data survives the upgrade
+            run_id = store.add_run(
+                "d2", "dyposub",
+                attribution=[{"stage": "fsa", "rule": "FA/compact",
+                              "seconds": 0.2, "growth": 5, "commits": 2,
+                              "samples": 0}])
+            assert store.attribution(run_id)[0]["stage"] == "fsa"
+        conn = sqlite3.connect(path)
+        stamped = conn.execute("SELECT value FROM meta WHERE key = "
+                               "'schema_version'").fetchone()[0]
+        conn.close()
+        assert stamped == str(SCHEMA_VERSION)
+        # the upgrade is idempotent: reopening changes nothing
+        with RunStore(path) as store:
+            assert len(store) == 2
+
+    def test_v4_file_is_refused(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "future.db"
+        with RunStore(path) as store:
+            store.add_run("d", "dyposub", seconds=1.0)
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE meta SET value = '4' "
+                     "WHERE key = 'schema_version'")
+        conn.commit()
+        conn.close()
+        with pytest.raises(ValueError, match="newer than this build"):
+            RunStore(path)
+
+    def test_trace_ingest_stores_attribution_cells_and_metrics(self):
+        events = [
+            {"ev": "run_begin", "t": 0.0, "method": "dyposub",
+             "nodes": 10, "width_a": 4, "width_b": 4, "signed": False},
+            {"ev": "stage_map", "t": 0.01, "architecture": "ripple",
+             "risk_factor": 1.2, "risk_score": 55.0,
+             "regions": {"ppg": 4, "ppa": 3, "fsa": 3},
+             "components": {"0": "fsa", "1": "ppg"}},
+            {"ev": "rewrite_begin", "t": 0.1, "size": 10,
+             "components": 2, "ring": "exact"},
+            {"ev": "attempt", "t": 0.15, "comp": 0, "kind": "FA",
+             "before": 10, "size": 14, "compact": False, "growth": 0.4},
+            {"ev": "step", "t": 0.2, "i": 1, "comp": 0, "kind": "FA",
+             "size": 14, "threshold": 0.5},
+            {"ev": "attempt", "t": 0.25, "comp": 1, "kind": "HA",
+             "before": 14, "size": 8, "compact": True, "growth": -0.4},
+            {"ev": "step", "t": 0.3, "i": 2, "comp": 1, "kind": "HA",
+             "size": 8, "threshold": 0.5},
+            {"ev": "span", "t": 0.1, "name": "rewrite",
+             "path": "rewrite", "dur": 0.25},
+            {"ev": "run_end", "t": 0.4, "status": "correct",
+             "seconds": 0.4},
+        ]
+        with RunStore() as store:
+            run_id = store.ingest_events(events, design="d")
+            cells = store.attribution(run_id)
+            assert {(c["stage"], c["rule"]) for c in cells} == \
+                {("fsa", "FA/expand"), ("ppg", "HA/compact")}
+            record = store.run(run_id)
+            metrics = record["metrics"]
+            assert metrics["attr:stage:fsa:growth"] == 4
+            assert metrics["attr:stage:ppg:growth"] == 0
+            assert metrics["attr:risk:score"] == 55.0
+            assert metrics["attr:sp0:size"] == 10
+            assert record["meta"]["architecture"] == "ripple"
+            history = store.history(
+                "d", "none", "dyposub", "metric:attr:stage:fsa:seconds")
+            assert len(history) == 1
 
 
 class TestPrune:

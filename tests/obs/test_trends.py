@@ -100,6 +100,67 @@ class TestTrendFor:
                                 "metric:normalized:dynamic_rewrite")
             assert verdict["verdict"] == "regression"
 
+    def test_attr_seconds_borrows_rewrite_phase_floor(self):
+        # attribution wall-time slices are fractions of the rewrite
+        # phase; when that phase sits under the noise floor, a jittery
+        # slice must not gate
+        with RunStore() as store:
+            for slice_seconds in (0.0001, 0.0001, 0.003):
+                store.add_run("m8", "dyposub",
+                              phases={"rewrite": 0.002},
+                              metrics={"attr:stage:fsa:seconds":
+                                       slice_seconds})
+            verdict = trend_for(store, "m8", "none", "dyposub",
+                                "metric:attr:stage:fsa:seconds")
+            assert verdict["verdict"] == "noise-floor"
+
+    def test_attr_seconds_gated_above_floor(self):
+        with RunStore() as store:
+            for slice_seconds in (1.0, 1.0, 2.5):
+                store.add_run("m8", "dyposub",
+                              phases={"rewrite": 2.0},
+                              metrics={"attr:stage:fsa:seconds":
+                                       slice_seconds})
+            verdict = trend_for(store, "m8", "none", "dyposub",
+                                "metric:attr:stage:fsa:seconds")
+            assert verdict["verdict"] == "regression"
+
+    def test_attr_seconds_floor_falls_back_to_own_history(self):
+        # a store ingested without span events has no phase:rewrite
+        # twin; the slice's own (sub-floor) history must still shield it
+        with RunStore() as store:
+            for slice_seconds in (0.0001, 0.0001, 0.003):
+                store.add_run("m8", "dyposub",
+                              metrics={"attr:rule:FA/compact:seconds":
+                                       slice_seconds})
+            verdict = trend_for(store, "m8", "none", "dyposub",
+                                "metric:attr:rule:FA/compact:seconds")
+            assert verdict["verdict"] == "noise-floor"
+
+    def test_first_attr_row_is_no_history_not_regression(self):
+        # the first-ever attribution row of a series must never read as
+        # a regression (there is nothing to regress from)
+        with RunStore() as store:
+            store.add_run("m8", "dyposub", phases={"rewrite": 2.0},
+                          metrics={"attr:stage:fsa:seconds": 1.5,
+                                   "attr:stage:fsa:growth": 900.0})
+            for metric in ("metric:attr:stage:fsa:seconds",
+                           "metric:attr:stage:fsa:growth"):
+                verdict = trend_for(store, "m8", "none", "dyposub", metric)
+                assert verdict["verdict"] == "no-history"
+
+    def test_attr_growth_is_not_floor_shielded(self):
+        # growth metrics are monomial counts, not seconds — the time
+        # noise floor must not hide a real growth regression
+        with RunStore() as store:
+            for growth in (100.0, 100.0, 400.0):
+                store.add_run("m8", "dyposub",
+                              phases={"rewrite": 0.0001},
+                              metrics={"attr:stage:fsa:growth": growth})
+            verdict = trend_for(store, "m8", "none", "dyposub",
+                                "metric:attr:stage:fsa:growth")
+            assert verdict["verdict"] == "regression"
+
     def test_tolerance_is_configurable(self):
         with RunStore() as store:
             _seed(store, [1.0, 1.2])
