@@ -165,3 +165,57 @@ def structural_signature(aig):
         tuple(aig.fanins(v) for v in aig.and_vars()),
         tuple(aig.outputs),
     )
+
+
+def canonical_labels(aig):
+    """Merkle-style canonical label (bytes digest) per reachable variable.
+
+    Labels are invariant under variable renumbering (any topological
+    insertion order) and AND-pin permutation, but *not* under primary
+    input reordering: an input's label is its declared position, because
+    the multiplier specification assigns operand bit weights by
+    position.  Two AIGs whose outputs carry the same label sequence are
+    structurally isomorphic as circuits over the declared input order.
+    """
+    import hashlib
+
+    labels = {0: hashlib.sha256(b"const0").digest()}
+    for position, var in enumerate(aig.inputs):
+        labels[var] = hashlib.sha256(b"in:%d" % position).digest()
+    # and_vars() is topologically ordered (fanins < var), so one pass
+    # suffices; sorting the two fanin labels folds pin permutation away
+    # (AND is commutative), while the complement bit stays attached to
+    # the edge it negates.
+    for v in aig.and_vars():
+        f0, f1 = aig.fanins(v)
+        edges = sorted((labels[lit_var(f0)] + (b"~" if f0 & 1 else b"."),
+                        labels[lit_var(f1)] + (b"~" if f1 & 1 else b".")))
+        labels[v] = hashlib.sha256(b"and:" + edges[0] + edges[1]).digest()
+    return labels
+
+
+def canonical_signature(aig, width_a=None, width_b=None, signed=False):
+    """Canonical structural signature for content-addressed caching.
+
+    Extends :func:`structural_signature` three ways, as the certificate
+    cache requires (see :mod:`repro.service.fingerprint`):
+
+    * **isomorphism-invariant** — internal variable numbering and AND
+      pin order are canonicalized away via Merkle hashing, so any
+      renumbered/pin-permuted rewrite of the same circuit maps to the
+      same signature;
+    * **input/output ordering** — inputs are labelled by declared
+      position and outputs contribute in declared order (with their
+      complement bits), because operand/product bit weights are
+      positional;
+    * **declared interface** — the claimed operand widths and
+      signedness are part of the signature, so the same graph verified
+      as 4x4 unsigned vs 4x4 signed occupies two distinct cache slots.
+
+    Returns a hashable tuple; hash it (sha256) for a compact key.
+    """
+    labels = canonical_labels(aig)
+    outputs = tuple(labels[lit_var(out)] + (b"~" if out & 1 else b".")
+                    for out in aig.outputs)
+    return (aig.num_inputs, aig.num_outputs, width_a, width_b,
+            bool(signed), outputs)

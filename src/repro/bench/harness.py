@@ -235,15 +235,13 @@ def result_record(result, recorder=None):
 
 def ingest_payload(payload, db):
     """Fold a bench ``--json`` payload into the run-history store at
-    ``db``; returns the new run ids.  This is what the ``--db`` flags of
-    the bench mains call so every table/figure run lands in the same
+    ``db``; returns the new run ids.  Delegates to the shared
+    persistence API (:mod:`repro.service.persistence`) so the bench
+    mains, the CLI and the verification service all write the same
     history that ``repro obs trends`` gates on."""
-    from repro.obs.store import RunStore, current_git_rev
+    from repro.service.persistence import ingest_payload as _ingest
 
-    with RunStore(db) as store:
-        return store.ingest_bench_payload(
-            payload, git_rev=current_git_rev(),
-            source=payload.get("bench"))
+    return _ingest(payload, db)
 
 
 def runtime_cell(result):

@@ -22,6 +22,9 @@ observability layer::
     python -m repro obs trends --db runs.db --check
     python -m repro obs diff static.jsonl dynamic.jsonl
     python -m repro obs dashboard --db runs.db -o report.html
+    python -m repro serve --port 8642 --jobs 2 --db runs.db
+    python -m repro submit mult.aag --port 8642
+    python -m repro status --port 8642
     python -m repro inject mult.aag --kind gate-type -o buggy.aag
     python -m repro stats mult.aag
 
@@ -164,9 +167,15 @@ def build_parser():
                           "explain`)")
     ver.add_argument("--db", default=os.environ.get("REPRO_OBS_DB"),
                      metavar="PATH",
-                     help="batch mode: also ingest the per-input records "
-                          "into this run-history database (default: "
-                          "$REPRO_OBS_DB when set)")
+                     help="also ingest the per-input records into this "
+                          "run-history database and use its certificate "
+                          "cache: designs whose canonical fingerprint is "
+                          "already certified are answered in O(hash) "
+                          "(default: $REPRO_OBS_DB when set)")
+    ver.add_argument("--no-cache", action="store_true",
+                     help="with --db: skip the certificate-cache lookup "
+                          "and re-verify (fresh verdicts are still "
+                          "cached)")
 
     lnt = sub.add_parser("lint",
                          help="static analysis: lint multiplier AIGs "
@@ -313,6 +322,68 @@ def build_parser():
                       help="also write a Prometheus text-format "
                            "metrics snapshot")
 
+    srv = sub.add_parser("serve",
+                         help="run the verification service: an HTTP/"
+                              "JSON job server with a priority queue, "
+                              "a worker pool and the certificate cache",
+                         parents=[verbosity])
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8642,
+                     help="listening port (default 8642; 0 picks an "
+                          "ephemeral port and prints it)")
+    srv.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker pool size (default 1)")
+    srv.add_argument("--db", default=os.environ.get("REPRO_OBS_DB",
+                                                    "runs.db"),
+                     metavar="PATH",
+                     help="run-history store backing the certificate "
+                          "cache (default: $REPRO_OBS_DB or runs.db)")
+    srv.add_argument("--inline", action="store_true",
+                     help="run jobs on dispatcher threads instead of a "
+                          "worker process pool (debugging)")
+
+    sbm = sub.add_parser("submit",
+                         help="submit AIGs to a running `repro serve` "
+                              "and print the verdicts",
+                         parents=[verbosity])
+    sbm.add_argument("inputs", nargs="+", metavar="input",
+                     help="AIGER input path(s)")
+    sbm.add_argument("--host", default="127.0.0.1")
+    sbm.add_argument("--port", type=int, default=8642)
+    sbm.add_argument("--priority", type=int, default=5,
+                     help="queue priority (lower runs first; default 5)")
+    sbm.add_argument("--width-a", type=int, default=None)
+    sbm.add_argument("--signed", action="store_true")
+    sbm.add_argument("--method", default=None,
+                     choices=["dyposub", "static"])
+    sbm.add_argument("--budget", type=int, default=None,
+                     help="per-job monomial budget")
+    sbm.add_argument("--time-budget", type=float, default=None,
+                     help="per-job wall-clock budget in seconds")
+    sbm.add_argument("--no-cache", action="store_true",
+                     help="force a fresh verification run")
+    sbm.add_argument("--no-wait", action="store_true",
+                     help="print the job ids and return without "
+                          "polling for the verdicts")
+    sbm.add_argument("--timeout", type=float, default=600.0,
+                     help="max seconds to wait per job (default 600)")
+    sbm.add_argument("--json", default=None, metavar="PATH",
+                     help="write the final job records as one JSON file")
+
+    stt = sub.add_parser("status",
+                         help="query a running `repro serve`: service "
+                              "stats, the job table, or one job",
+                         parents=[verbosity])
+    stt.add_argument("job", nargs="?", default=None,
+                     help="job id (default: service stats + job table)")
+    stt.add_argument("--host", default="127.0.0.1")
+    stt.add_argument("--port", type=int, default=8642)
+    stt.add_argument("--events", action="store_true",
+                     help="with a job id: print its obs event stream "
+                          "as JSONL")
+    stt.add_argument("--json", action="store_true",
+                     help="print the raw JSON response")
+
     inj = sub.add_parser("inject", help="inject a fault (for testing)",
                          parents=[verbosity])
     inj.add_argument("input")
@@ -372,19 +443,23 @@ def _verify_worker(job):
     record carries the ``worker_id`` that produced it; when no relay
     queue is bound (serial ``--jobs 1`` path) the tagged events ride
     back on the record itself so the parent can still merge one trace.
+    With a ``db``, the worker opens its own store connection (WAL-safe
+    across the pool) so fresh final verdicts land in the certificate
+    cache and resubmissions hit it.
     """
     import dataclasses
 
-    from repro.bench.harness import result_record
     from repro.core.pipeline import Pipeline
     from repro.errors import DesignLintError, ReproError
     from repro.obs.relay import child_recorder, flush_child
+    from repro.service.persistence import verdict_record
 
-    path, config, want_resources, want_profile = job
+    path, config, want_resources, want_profile, db, use_cache = job
     base = child_recorder()
     recorder = base
     tracker = None
     profiler = None
+    store = None
     if want_resources:
         from repro.obs.resources import ResourceTracker
 
@@ -397,29 +472,29 @@ def _verify_worker(job):
     base.event("task_begin", design=path)
     try:
         aig = read_aag(path)
+        if db:
+            from repro.obs.store import RunStore
+
+            store = RunStore(db)
         pipeline = Pipeline(dataclasses.replace(config, record_trace=True))
-        result = pipeline.run(aig, recorder=recorder)
+        result = pipeline.run(aig, recorder=recorder, store=store,
+                              design=path, use_cache=use_cache)
     except DesignLintError as exc:
         report = exc.report
         record = {"input": path, "status": "invalid", "timed_out": False,
-                  "summary": f"invalid: {exc}",
+                  "cache_hit": False, "summary": f"invalid: {exc}",
                   "diagnostics": report.as_dicts() if report else []}
         result = None
     except ReproError as exc:
         record = {"input": path, "status": "invalid", "timed_out": False,
-                  "summary": f"invalid: {exc}",
+                  "cache_hit": False, "summary": f"invalid: {exc}",
                   "diagnostics": [exc.as_dict()]}
         result = None
+    finally:
+        if store is not None:
+            store.close()
     if result is not None:
-        record = result_record(result, base)
-        record["input"] = path
-        record["summary"] = result.summary()
-        record["timed_out"] = result.timed_out
-        if result.status == "buggy":
-            record["counterexample"] = {
-                "a": result.stats.get("counterexample_a"),
-                "b": result.stats.get("counterexample_b"),
-            }
+        record = verdict_record(result, base, input_path=path)
     record["worker_id"] = base.worker
     if profiler is not None:
         record["profile"] = profiler.stop()
@@ -461,8 +536,18 @@ def _cmd_verify_batch(args):
     except ConfigError as exc:
         print(f"verify: {exc}", file=sys.stderr)
         return 2
-    jobs_args = [(path, config, args.resources, args.profile_sample)
-                 for path in args.inputs]
+    # certificate cache first: already-certified designs are answered
+    # here in O(hash) and never reach the worker pool
+    use_cache = not args.no_cache
+    cached = {}
+    if args.db and use_cache:
+        cached = _consult_cache(args.inputs, config, args.db)
+        if cached:
+            log.info("answered %d of %d input(s) from the certificate "
+                     "cache", len(cached), len(args.inputs))
+    pending = [path for path in args.inputs if path not in cached]
+    jobs_args = [(path, config, args.resources, args.profile_sample,
+                  args.db, use_cache) for path in pending]
 
     # parent telemetry: a relay merges the workers' tagged events into
     # one trace whenever anything downstream consumes events
@@ -500,7 +585,7 @@ def _cmd_verify_batch(args):
             log.info("worker %d picked up %s", worker_id, label)
 
     records = parallel_map(_verify_worker, jobs_args, jobs=args.jobs,
-                           progress=progress, labels=args.inputs,
+                           progress=progress, labels=pending,
                            initializer=initializer,
                            initargs=initargs or ())
     for record in records:
@@ -508,6 +593,10 @@ def _cmd_verify_batch(args):
         events = record.pop("_relay_events", None)
         if relay is not None and events:
             relay.collect(events)
+    # merge cache answers back in input order
+    if cached:
+        fresh = {record["input"]: record for record in records}
+        records = [cached.get(path) or fresh[path] for path in args.inputs]
     merged = []
     event_loss = 0
     worker_rows = []
@@ -530,7 +619,8 @@ def _cmd_verify_batch(args):
                   file=sys.stderr)
     exit_code = 0
     for record in records:
-        print(f"{record['input']}: {record['summary']}")
+        marker = " [cache hit]" if record.get("cache_hit") else ""
+        print(f"{record['input']}: {record['summary']}{marker}")
         if record["status"] == "buggy":
             cex = record["counterexample"]
             print(f"  counterexample: a={cex['a']} b={cex['b']}")
@@ -558,19 +648,44 @@ def _cmd_verify_batch(args):
 
 
 def _ingest_records(records, db):
-    """Fold verify records into the run-history store (best effort —
-    a broken database must not change the verify exit code)."""
-    from repro.obs.store import RunStore, current_git_rev
+    """Fold verify records into the run-history store via the shared
+    persistence API (best effort — a broken database must not change
+    the verify exit code)."""
+    from repro.service.persistence import ingest_verify_records
 
+    ingest_verify_records(records, db)
+
+
+def _consult_cache(paths, config, db):
+    """Answer batch inputs from the certificate cache before any worker
+    spawns; returns ``{path: verdict record}`` for the hits.  Inputs
+    that fail to parse or fingerprint fall through to the workers,
+    which produce the real diagnostic."""
+    from repro.errors import ReproError
+    from repro.obs.store import RunStore
+    from repro.service.fingerprint import design_fingerprint
+    from repro.service.persistence import cache_lookup
+
+    hits = {}
     try:
         with RunStore(db) as store:
-            run_ids = store.ingest_verify_payload(
-                {"records": records}, git_rev=current_git_rev(),
-                source="verify")
-    except Exception as exc:  # noqa: BLE001 - observability is optional
-        log.warning("could not ingest into %s: %s", db, exc)
-        return
-    log.info("ingested %d run(s) into %s", len(run_ids), db)
+            for path in paths:
+                try:
+                    aig = read_aag(path)
+                    fingerprint = design_fingerprint(
+                        aig, config.width_a, config.width_b,
+                        signed=config.signed)
+                except (OSError, ReproError, ValueError):
+                    continue
+                record = cache_lookup(store, fingerprint)
+                if record is not None:
+                    record["input"] = path
+                    record["worker_id"] = 0
+                    hits[path] = record
+    except Exception as exc:  # noqa: BLE001 - cache is an optimization
+        log.warning("could not consult certificate cache in %s: %s",
+                    db, exc)
+    return hits
 
 
 def _cmd_verify(args):
@@ -640,10 +755,20 @@ def _cmd_verify(args):
         profiler = SamplingProfiler(recorder,
                                     interval=args.profile_interval)
         profiler.start()
+    store = None
+    if args.db:
+        from repro.obs.store import RunStore
+
+        try:
+            store = RunStore(args.db)
+        except Exception as exc:  # noqa: BLE001 - cache is an optimization
+            log.warning("could not open %s: %s", args.db, exc)
     try:
         pipeline = Pipeline(dataclasses.replace(
             config, record_trace=recorder is not None))
-        result = pipeline.run(aig, recorder=recorder)
+        result = pipeline.run(aig, recorder=recorder, store=store,
+                              design=args.inputs[0],
+                              use_cache=not args.no_cache)
     except DesignLintError as exc:
         if exc.report is not None:
             exc.report.subject = exc.report.subject or args.inputs[0]
@@ -655,6 +780,9 @@ def _cmd_verify(args):
         if recorder is not None:
             recorder.close()
         return 3
+    finally:
+        if store is not None:
+            store.close()
     if monitor is not None:
         monitor.finish()
         if monitor.stalls:
@@ -684,14 +812,13 @@ def _cmd_verify(args):
         # (report, ingest) see them without recomputing
         recorder.event("attribution",
                        **attribution_event_fields(explain_report))
-    print(result.summary())
+    cache_note = " [cache hit]" if result.stats.get("cache_hit") else ""
+    print(result.summary() + cache_note)
     if args.json or args.db:
-        from repro.bench.harness import result_record
+        from repro.service.persistence import verdict_record
 
-        record = result_record(result, recorder)
-        record["input"] = args.inputs[0]
-        record["summary"] = result.summary()
-        record["timed_out"] = result.timed_out
+        record = verdict_record(result, recorder,
+                                input_path=args.inputs[0])
         if monitor is not None and monitor.stalls:
             record["stalls"] = [diag.as_dict() for diag in monitor.stalls]
         if monitor is not None and monitor.anomalies:
@@ -753,6 +880,160 @@ def _cmd_verify(args):
     if result.timed_out:
         return 2
     return 0
+
+
+def _cmd_serve(args):
+    """Run the verification service until ``POST /shutdown``."""
+    from repro.service.core import VerificationService
+    from repro.service.server import run_server
+
+    service = VerificationService(db=args.db, workers=args.jobs,
+                                  use_processes=not args.inline)
+
+    def ready(server):
+        print(f"repro serve: listening on "
+              f"http://{server.host}:{server.port} "
+              f"(db={args.db or 'none'}, {args.jobs} worker(s), "
+              f"{'inline' if args.inline else 'pool'})", flush=True)
+
+    run_server(service, host=args.host, port=args.port, ready=ready)
+    return 0
+
+
+def _cmd_submit(args):
+    """Submit designs to a running service; verdict line(s) + the
+    batch-verify exit code contract (0/1/2/3)."""
+    import json
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    options = {}
+    if args.width_a is not None:
+        options["width_a"] = args.width_a
+    if args.signed:
+        options["signed"] = True
+    if args.method:
+        options["method"] = args.method
+    if args.budget is not None:
+        options["monomial_budget"] = args.budget
+    if args.time_budget is not None:
+        options["time_budget"] = args.time_budget
+
+    client = ServiceClient(args.host, args.port)
+    jobs = []
+    for path in args.inputs:
+        try:
+            with open(path, "r", encoding="ascii") as handle:
+                text = handle.read()
+        except OSError as exc:
+            print(f"submit: {exc}", file=sys.stderr)
+            return 2
+        try:
+            info = client.submit(text, design=path,
+                                 priority=args.priority, options=options,
+                                 use_cache=not args.no_cache)
+        except (ServiceError, OSError) as exc:
+            print(f"submit: {exc}", file=sys.stderr)
+            return 2
+        jobs.append(info)
+        if args.no_wait:
+            print(f"{path}: {info['id']} {info['state']}")
+    if args.no_wait:
+        return 0
+    exit_code = 0
+    final = []
+    for info in jobs:
+        if info["state"] not in ("done", "failed"):
+            try:
+                info = client.wait(info["id"], timeout=args.timeout)
+            except (TimeoutError, ServiceError, OSError) as exc:
+                print(f"submit: {exc}", file=sys.stderr)
+                return 2
+        final.append(info)
+        record = info.get("record") or {}
+        if info["state"] == "failed":
+            print(f"{info['design']}: failed: {info.get('error')}")
+            exit_code = max(exit_code, 2)
+            continue
+        marker = " [cache hit]" if record.get("cache_hit") else ""
+        summary = record.get("summary", record.get("status", "?"))
+        print(f"{info['design']}: {summary}{marker}")
+        if record.get("status") == "buggy":
+            cex = record.get("counterexample") or {}
+            print(f"  counterexample: a={cex.get('a')} b={cex.get('b')}")
+            exit_code = max(exit_code, 1)
+        elif record.get("timed_out"):
+            exit_code = max(exit_code, 2)
+        elif record.get("status") == "invalid":
+            for diag in record.get("diagnostics", []):
+                print(f"  {diag.get('code', '?')} "
+                      f"{diag.get('severity', 'error')}: "
+                      f"{diag.get('message', '')}")
+            exit_code = max(exit_code, 3)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump({"command": "submit", "jobs": final}, handle,
+                      indent=2)
+        log.info("wrote %d job record(s) to %s", len(final), args.json)
+    return exit_code
+
+
+def _cmd_status(args):
+    """Query a running service: stats + job table, or one job."""
+    import json
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.host, args.port)
+    try:
+        if args.job:
+            if args.events:
+                for event in client.events(args.job):
+                    print(json.dumps(event, sort_keys=True))
+                return 0
+            info = client.job(args.job)
+            if args.json:
+                print(json.dumps(info, indent=2, sort_keys=True))
+                return 0
+            print(f"{info['id']}: {info['state']} "
+                  f"(design {info['design']}, priority {info['priority']})")
+            record = info.get("record") or {}
+            if record:
+                marker = (" [cache hit]" if record.get("cache_hit")
+                          else "")
+                print(f"  {record.get('summary', record.get('status'))}"
+                      f"{marker}")
+            if info.get("error"):
+                print(f"  error: {info['error']}")
+            return 0
+        stats = client.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+            return 0
+        print(f"service: {stats['workers']} worker(s) "
+              f"({stats['mode']}), up {stats['uptime']:.1f}s, "
+              f"db {stats['db'] or 'none'}")
+        jobs = stats["jobs"]
+        print(f"jobs: {jobs.get('done', 0)} done, "
+              f"{jobs.get('running', 0)} running, "
+              f"{jobs.get('queued', 0)} queued, "
+              f"{jobs.get('failed', 0)} failed")
+        print(f"cache: {stats.get('cache_hits', 0)} hit(s), "
+              f"{stats.get('certificates', 0)} certificate(s)")
+        for row in client.jobs():
+            line = (f"  {row['id']}  {row['state']:<8} "
+                    f"p{row['priority']}  {row['design']}")
+            if row.get("status"):
+                line += f"  {row['status']}"
+                if row.get("cache_hit"):
+                    line += " [cache hit]"
+            print(line)
+        return 0
+    except BrokenPipeError:
+        return 0                      # downstream pager/head went away
+    except (ServiceError, OSError) as exc:
+        print(f"status: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_lint(args):
@@ -1078,6 +1359,12 @@ def main(argv=None):
         return 0
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "status":
+        return _cmd_status(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "analyze":

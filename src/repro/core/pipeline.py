@@ -199,7 +199,7 @@ class Pipeline:
                 f"{len(report.errors)} error(s): "
                 f"{report.errors[0].message}", report=report)
 
-    def stage_autotune(self, aig, width_a, rec):
+    def stage_autotune(self, aig, width_a, rec, config=None):
         """Static architecture advisory (``--auto-tune``).
 
         Runs :func:`repro.analysis.structure.analyze_aig` before any
@@ -208,17 +208,22 @@ class Pipeline:
         :func:`~repro.analysis.structure.recommend_overrides` — a
         high-risk design gets a deeper prime schedule and looser
         initial threshold, a crisp low-risk one drops the extended
-        vanishing rules.  Returns the advisory dict that lands in
-        ``result.stats["autotune"]``.
+        vanishing rules.  Returns ``(advisory, config)``: the advisory
+        dict that lands in ``result.stats["autotune"]`` and the retuned
+        config copy.  The pipeline's own config is never mutated —
+        ``run()`` threads the returned copy through the remaining
+        stages, so one :class:`Pipeline` serves any number of
+        overlapping runs.
         """
         from repro.analysis.structure import (analyze_aig,
                                               recommend_overrides)
 
+        config = config if config is not None else self.config
         with rec.span("analyze"):
             arch = analyze_aig(aig, width_a=width_a)
-        overrides = recommend_overrides(arch, self.config)
+        overrides = recommend_overrides(arch, config)
         if overrides:
-            self.config = dataclasses.replace(self.config, **overrides)
+            config = dataclasses.replace(config, **overrides)
         advisory = {
             "architecture": arch.architecture,
             "risk_factor": arch.risk["factor"],
@@ -230,11 +235,11 @@ class Pipeline:
             rec.event("autotune", **advisory)
         log.debug("auto-tune: %s factor=%.2f overrides=%r",
                   arch.architecture, arch.risk["factor"], overrides)
-        return advisory
+        return advisory, config
 
-    def stage_prepare(self, aig, width_a, width_b, rec):
+    def stage_prepare(self, aig, width_a, width_b, rec, config=None):
         """Spec → atomic → vanishing → components → implications."""
-        config = self.config
+        config = config if config is not None else self.config
         aig = cleanup(aig)
         with rec.span("spec"):
             spec = multiplier_specification(aig, width_a, width_b,
@@ -267,6 +272,7 @@ class Pipeline:
             "nodes": aig.num_ands,
             "width_a": width_a,
             "width_b": width_b,
+            "signed": config.signed,
             "components": len(components),
             "atomic_blocks": sum(1 for c in components if c.is_atomic),
             "full_adders": sum(1 for c in components if c.kind == "FA"),
@@ -336,7 +342,8 @@ class Pipeline:
         return InvariantMonitor(art.aig, art.spec, art.components,
                                 recorder=rec, ring=ring)
 
-    def stage_rewrite(self, art, ring, rec, monitor=None, deadline=None):
+    def stage_rewrite(self, art, ring, rec, monitor=None, deadline=None,
+                      config=None):
         """One backward-rewriting run in ``ring``.
 
         Returns ``(engine, remainder)``; raises
@@ -344,7 +351,7 @@ class Pipeline:
         deadline is shared across escalation runs: each engine gets only
         the wall-clock time still remaining.
         """
-        config = self.config
+        config = config if config is not None else self.config
         time_budget = config.time_budget
         if deadline is not None:
             remaining = deadline - time.monotonic()
@@ -376,7 +383,7 @@ class Pipeline:
     # Ring schedule
     # ------------------------------------------------------------------
 
-    def ring_schedule(self, bound_target=None):
+    def ring_schedule(self, bound_target=None, config=None):
         """The rewrite-stage rings, in escalation order.
 
         Exact config: one exact run.  Modular config: up to ``primes``
@@ -393,18 +400,19 @@ class Pipeline:
         non-zero remainder proves it buggy, either way without
         escalation re-runs.
         """
-        base = get_ring(self.config.ring)
+        config = config if config is not None else self.config
+        base = get_ring(config.ring)
         if base.modulus is None:
             return [EXACT]
-        if self.config.prime_schedule:
-            primes = self.config.prime_schedule[:self.config.primes]
-        elif (self.config.ring == "modular" and bound_target is not None
+        if config.prime_schedule:
+            primes = config.prime_schedule[:config.primes]
+        elif (config.ring == "modular" and bound_target is not None
                 and PRIMES[0] <= bound_target):
             primes = [next_prime_above(bound_target)]
         else:
             primes = [base.modulus]
             for prime in PRIMES:
-                if len(primes) >= self.config.primes:
+                if len(primes) >= config.primes:
                     break
                 if prime != base.modulus:
                     primes.append(prime)
@@ -423,10 +431,25 @@ class Pipeline:
     # Driver
     # ------------------------------------------------------------------
 
-    def run(self, aig, recorder=None):
+    def run(self, aig, recorder=None, *, store=None, design=None,
+            use_cache=True):
         """Execute every stage and decide; the monolith's contract:
         returns a :class:`VerificationResult`, never raises on budget
-        exhaustion (``status="timeout"``)."""
+        exhaustion (``status="timeout"``).
+
+        Reentrant: all per-run state (including auto-tune overrides) is
+        local, so one :class:`Pipeline` can serve the CLI, batch workers
+        and overlapping service jobs.  The runtime collaborators are
+        injectable — ``recorder`` receives the obs event stream and
+        ``store`` (a :class:`repro.obs.store.RunStore`) plugs in the
+        certificate cache: with a store attached, the design's canonical
+        fingerprint is looked up *before any stage runs* and a cached
+        verdict is replayed in O(hash) (``stats["cache_hit"]`` True, a
+        ``cache_hit`` obs event, no rewrite phase), while fresh final
+        verdicts are persisted for the next submission.  ``use_cache``
+        False forces a full run (the verdict is still persisted);
+        ``design`` labels the cache row.
+        """
         config = self.config
         start = time.monotonic()
         rec = recorder if recorder is not None else NULL
@@ -444,19 +467,30 @@ class Pipeline:
         if rec.enabled:
             rec.event("run_begin", method=config.method, nodes=aig.num_ands,
                       width_a=width_a, width_b=width_b, signed=config.signed)
+        fingerprint = None
+        if store is not None:
+            from repro.service.fingerprint import design_fingerprint
+
+            fingerprint = design_fingerprint(aig, width_a, width_b,
+                                             signed=config.signed)
+            if use_cache:
+                cached = self._cache_stage(store, fingerprint, rec, start)
+                if cached is not None:
+                    return cached
         if config.preflight:
             self.stage_preflight(aig, width_a, rec)
         advisory = None
         if config.auto_tune:
-            advisory = self.stage_autotune(aig, width_a, rec)
-            config = self.config
+            advisory, config = self.stage_autotune(aig, width_a, rec,
+                                                   config=config)
 
-        art = self.stage_prepare(aig, width_a, width_b, rec)
+        art = self.stage_prepare(aig, width_a, width_b, rec, config=config)
         if advisory is not None:
             art.stats["autotune"] = advisory
         if rec.enabled:
             self._emit_stage_map(art, rec)
-        rings = self.ring_schedule(2 * self.crt_bound(art.aig))
+        rings = self.ring_schedule(2 * self.crt_bound(art.aig),
+                                   config=config)
         modular = rings[0].modulus is not None
         monitor = None
         if config.check_invariants:
@@ -488,11 +522,12 @@ class Pipeline:
                           run=run_index + 1)
             try:
                 engine, remainder = self.stage_rewrite(
-                    art, ring, rec, monitor=monitor, deadline=deadline)
+                    art, ring, rec, monitor=monitor, deadline=deadline,
+                    config=config)
             except BudgetExceeded as exc:
                 return self._timeout_result(art, exc, rec, start, ring,
                                             primes_tried, escalations,
-                                            modular)
+                                            modular, config=config)
             if not modular:
                 break
             primes_tried += 1
@@ -524,15 +559,73 @@ class Pipeline:
                           run=len(rings) + 1)
             try:
                 engine, remainder = self.stage_rewrite(
-                    art, ring, rec, monitor=monitor, deadline=deadline)
+                    art, ring, rec, monitor=monitor, deadline=deadline,
+                    config=config)
             except BudgetExceeded as exc:
                 return self._timeout_result(art, exc, rec, start, ring,
                                             primes_tried, escalations,
-                                            modular)
+                                            modular, config=config)
 
-        return self.stage_decide(art, engine, remainder, ring, rec, start,
-                                 monitor=monitor, primes_tried=primes_tried,
-                                 escalations=escalations, modular=modular)
+        result = self.stage_decide(art, engine, remainder, ring, rec, start,
+                                   monitor=monitor, primes_tried=primes_tried,
+                                   escalations=escalations, modular=modular,
+                                   config=config)
+        if fingerprint is not None:
+            result.stats["fingerprint"] = fingerprint
+            result.stats["cache_hit"] = False
+            self._persist_verdict(store, fingerprint, result, rec, design)
+        return result
+
+    # ------------------------------------------------------------------
+    # Certificate cache
+    # ------------------------------------------------------------------
+
+    def _cache_stage(self, store, fingerprint, rec, start):
+        """Replay a cached verdict; None on a miss.
+
+        The O(hash) fast path: no preflight, no polynomial work, no
+        rewrite phase — the replayed :class:`VerificationResult` carries
+        the originally recorded verdict/stats/trace plus the cache
+        metadata (``stats["cache_hit"]``/``fingerprint``/``cached_at``/
+        ``cache_hits``).
+        """
+        from repro.service.persistence import (cache_lookup,
+                                               result_from_record)
+
+        record = cache_lookup(store, fingerprint)
+        if record is None:
+            if rec.enabled:
+                rec.event("cache_miss", fingerprint=fingerprint)
+            return None
+        result = result_from_record(record)
+        seconds = time.monotonic() - start
+        if rec.enabled:
+            rec.event("cache_hit", fingerprint=fingerprint,
+                      status=result.status, hits=record.get("cache_hits"),
+                      cached_at=record.get("cached_at"))
+            rec.event("run_end", status=result.status,
+                      seconds=round(seconds, 6), cache_hit=True,
+                      steps=result.stats.get("steps"),
+                      max_poly_size=result.stats.get("max_poly_size"))
+        log.info("%s: cache hit (%s, fingerprint %s…) in %.4fs",
+                 result.method, result.status, fingerprint[:12], seconds)
+        return result
+
+    def _persist_verdict(self, store, fingerprint, result, rec, design):
+        """Cache a fresh final verdict (best effort — cache maintenance
+        must never turn a finished verification into a failure)."""
+        from repro.service.persistence import cache_store, verdict_record
+
+        try:
+            record = verdict_record(result, rec, fingerprint=fingerprint)
+            stored = cache_store(store, fingerprint, record, design=design)
+        except Exception as exc:  # noqa: BLE001 - cache is an optimization
+            log.warning("could not cache verdict for %s…: %s",
+                        fingerprint[:12], exc)
+            return
+        if stored and rec.enabled:
+            rec.event("cache_store", fingerprint=fingerprint,
+                      status=result.status)
 
     # ------------------------------------------------------------------
     # Decide
@@ -545,8 +638,8 @@ class Pipeline:
             stats["escalations"] = escalations
 
     def _timeout_result(self, art, exc, rec, start, ring, primes_tried,
-                        escalations, modular):
-        config = self.config
+                        escalations, modular, config=None):
+        config = config if config is not None else self.config
         seconds = time.monotonic() - start
         stats = dict(art.stats)
         engine = getattr(exc, "engine", None)
@@ -578,9 +671,9 @@ class Pipeline:
 
     def stage_decide(self, art, engine, remainder, ring, rec, start,
                      monitor=None, primes_tried=0, escalations=0,
-                     modular=False):
+                     modular=False, config=None):
         """Map the final remainder to a verdict + result record."""
-        config = self.config
+        config = config if config is not None else self.config
         seconds = time.monotonic() - start
         stats = dict(art.stats)
         stats.update(engine_stats(engine))

@@ -20,12 +20,23 @@ tables:
 * ``attribution`` — (schema v3) the cost-attribution cells of
   :mod:`repro.obs.attribution`: observed wall-time / SP_i growth /
   profiler samples per (stage region, substitution rule), the data the
-  ``repro explain`` calibration layer reads back.
+  ``repro explain`` calibration layer reads back;
+* ``certificates`` — (schema v4) the content-addressed verdict cache
+  of :mod:`repro.service`: one row per canonical design fingerprint
+  with the full JSON verdict record, so a resubmitted or isomorphic
+  design is answered in O(hash) instead of re-verified
+  (:meth:`RunStore.get_certificate` / :meth:`RunStore.put_certificate`).
 
 The ``meta`` table records the schema version; opening an older file
-upgrades it in place (v1 → v2 and v2 → v3 only add tables), while a
-file written by a *newer* schema is refused instead of being silently
-corrupted.
+upgrades it in place (every upgrade so far, v1 → ... → v4, only adds
+tables), while a file written by a *newer* schema is refused instead of
+being silently corrupted.
+
+File-backed stores run in **WAL journal mode with a busy timeout**:
+the verification service's worker processes, batch ``--jobs`` ingest
+and a dashboard reader all share one database, and WAL gives
+single-writer/many-reader concurrency without "database is locked"
+failures (writers queue on the busy handler instead).
 Unbounded growth is handled by :meth:`RunStore.prune` (``repro obs
 prune``): retention by per-series ``keep_last`` and/or a cut-off
 timestamp, followed by ``VACUUM``.
@@ -56,9 +67,13 @@ import time
 
 log = logging.getLogger("repro.obs.store")
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 DEFAULT_DB = "runs.db"
+
+#: Seconds a writer waits on a locked database before giving up; long
+#: enough that service workers checkpointing WAL frames never collide.
+DEFAULT_BUSY_TIMEOUT = 10.0
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -124,6 +139,23 @@ CREATE TABLE IF NOT EXISTS attribution (
     commits INTEGER,
     samples INTEGER
 );
+CREATE TABLE IF NOT EXISTS certificates (
+    fingerprint TEXT PRIMARY KEY,
+    design TEXT,
+    status TEXT NOT NULL,
+    method TEXT,
+    ring TEXT,
+    width_a INTEGER,
+    width_b INTEGER,
+    signed INTEGER,
+    nodes INTEGER,
+    seconds REAL,
+    created_at REAL NOT NULL,
+    run_id INTEGER,
+    hits INTEGER NOT NULL DEFAULT 0,
+    last_hit_at REAL,
+    record TEXT NOT NULL
+);
 CREATE INDEX IF NOT EXISTS idx_runs_series
     ON runs (design, optimization, method, id);
 CREATE INDEX IF NOT EXISTS idx_phases_run ON phases (run_id);
@@ -135,8 +167,10 @@ CREATE INDEX IF NOT EXISTS idx_attribution_run ON attribution (run_id);
 """
 
 #: Tables pruned (via cascade) with their runs; order is display order.
+#: ``certificates`` is listed for accounting but keyed by fingerprint,
+#: not run id — cached verdicts survive run-history pruning.
 _TABLES = ("runs", "phases", "commits", "metrics", "workers", "resources",
-           "attribution")
+           "attribution", "certificates")
 
 
 def current_git_rev(cwd=None):
@@ -156,11 +190,18 @@ def current_git_rev(cwd=None):
 class RunStore:
     """One SQLite run database; usable as a context manager."""
 
-    def __init__(self, path=":memory:"):
+    def __init__(self, path=":memory:", busy_timeout=DEFAULT_BUSY_TIMEOUT):
         self.path = str(path)
-        self._conn = sqlite3.connect(self.path)
+        self._conn = sqlite3.connect(self.path, timeout=busy_timeout)
         self._conn.row_factory = sqlite3.Row
         self._conn.execute("PRAGMA foreign_keys = ON")
+        if self.path != ":memory:":
+            # WAL lets service workers, batch ingest and readers share
+            # one file: writers queue on the busy handler instead of
+            # failing with "database is locked".  (No-op on :memory:.)
+            self._conn.execute("PRAGMA journal_mode = WAL")
+            self._conn.execute(
+                f"PRAGMA busy_timeout = {int(busy_timeout * 1000)}")
         found = self._stored_schema_version()
         if found is not None and found > SCHEMA_VERSION:
             self._conn.close()
@@ -170,9 +211,10 @@ class RunStore:
                 f"this build (v{SCHEMA_VERSION}); refusing to open")
         self._conn.executescript(_SCHEMA)
         if found is not None and found < SCHEMA_VERSION:
-            # every upgrade so far (v1 -> v2 -> v3) only adds tables;
-            # the IF NOT EXISTS script above already created them, so
-            # stamping the version completes the in-place upgrade
+            # every upgrade so far (v1 -> v2 -> v3 -> v4) only adds
+            # tables; the IF NOT EXISTS script above already created
+            # them, so stamping the version completes the in-place
+            # upgrade
             log.info("%s: upgraded run store schema v%d -> v%d",
                      self.path, found, SCHEMA_VERSION)
             self._conn.execute(
@@ -692,6 +734,82 @@ class RunStore:
         return [(row["id"], row["value"])
                 for row in self._conn.execute(sql, params)
                 if row["value"] is not None]
+
+    # ------------------------------------------------------------------
+    # Certificates (the content-addressed verdict cache)
+    # ------------------------------------------------------------------
+
+    def put_certificate(self, fingerprint, record, *, design=None,
+                        run_id=None, created_at=None):
+        """Cache one verdict record under its design fingerprint.
+
+        ``record`` is a ``result_record``-shaped dict (status, method,
+        seconds, stats, optionally certificate text / counterexample).
+        The insert is idempotent: the *first* certificate for a
+        fingerprint wins — two workers racing on the same design both
+        succeed, and later resubmissions are answered from the cache
+        before they ever verify.  Returns True when the row was newly
+        inserted, False when the fingerprint was already certified.
+        """
+        stats = record.get("stats", {}) or {}
+        cur = self._conn.execute(
+            "INSERT OR IGNORE INTO certificates (fingerprint, design, "
+            "status, method, ring, width_a, width_b, signed, nodes, "
+            "seconds, created_at, run_id, record) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (fingerprint, design, record.get("status", "unknown"),
+             record.get("method"), stats.get("ring"),
+             stats.get("width_a"), stats.get("width_b"),
+             int(bool(stats.get("signed"))), stats.get("nodes"),
+             record.get("seconds"),
+             created_at if created_at is not None else time.time(),
+             run_id, json.dumps(record, sort_keys=True)))
+        self._conn.commit()
+        return cur.rowcount > 0
+
+    def get_certificate(self, fingerprint, *, count_hit=True):
+        """The cached certificate row for a fingerprint, or None.
+
+        Returns a dict with the stored columns plus the parsed verdict
+        ``record``.  ``count_hit`` bumps the hit accounting (default) —
+        pass False for read-only inspection (``repro status``).
+        """
+        row = self._conn.execute(
+            "SELECT * FROM certificates WHERE fingerprint = ?",
+            (fingerprint,)).fetchone()
+        if row is None:
+            return None
+        entry = dict(row)
+        entry["signed"] = bool(entry["signed"])
+        entry["record"] = json.loads(entry["record"])
+        if count_hit:
+            entry["hits"] += 1
+            entry["last_hit_at"] = time.time()
+            self._conn.execute(
+                "UPDATE certificates SET hits = ?, last_hit_at = ? "
+                "WHERE fingerprint = ?",
+                (entry["hits"], entry["last_hit_at"], fingerprint))
+            self._conn.commit()
+        return entry
+
+    def certificates(self, status=None, limit=None):
+        """Cached certificate rows (newest first), without the record
+        payloads — the ``repro status``/dashboard listing."""
+        sql = ("SELECT fingerprint, design, status, method, ring, "
+               "width_a, width_b, signed, nodes, seconds, created_at, "
+               "run_id, hits, last_hit_at FROM certificates")
+        params = []
+        if status is not None:
+            sql += " WHERE status = ?"
+            params.append(status)
+        sql += " ORDER BY created_at DESC, fingerprint"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        rows = [dict(row) for row in self._conn.execute(sql, params)]
+        for row in rows:
+            row["signed"] = bool(row["signed"])
+        return rows
 
     # ------------------------------------------------------------------
     # Retention

@@ -1,0 +1,38 @@
+"""Verification-as-a-service: job server, clients, certificate cache.
+
+The staged :class:`~repro.core.pipeline.Pipeline` (PR 5) verifies one
+design per invocation; this package turns it into the internal API of a
+long-running service that never re-verifies a design it has already
+certified:
+
+* :mod:`repro.service.fingerprint` — canonical structural fingerprint
+  of a design (isomorphism/pin-permutation invariant, interface-aware),
+  the content address of the certificate cache;
+* :mod:`repro.service.persistence` — the shared persistence API over
+  the SQLite run-history store: certificate lookup/store and run-record
+  ingestion used identically by the CLI, batch verify and the service;
+* :mod:`repro.service.jobs` — priority job queue and job records;
+* :mod:`repro.service.core` — :class:`VerificationService`: submission,
+  cache consult, worker fan-out (``parallel_map``-style process pool
+  with the PR 6 event relay), per-job obs event streams;
+* :mod:`repro.service.server` — stdlib asyncio HTTP/JSON front end
+  (``repro serve``);
+* :mod:`repro.service.client` — blocking :class:`ServiceClient` over
+  ``http.client`` (``repro submit`` / ``repro status``).
+"""
+
+from repro.service.fingerprint import design_fingerprint
+
+__all__ = ["design_fingerprint", "ServiceClient", "VerificationService"]
+
+
+def __getattr__(name):  # lazy: the CLI imports repro.service cheaply
+    if name == "VerificationService":
+        from repro.service.core import VerificationService
+
+        return VerificationService
+    if name == "ServiceClient":
+        from repro.service.client import ServiceClient
+
+        return ServiceClient
+    raise AttributeError(name)

@@ -1,0 +1,362 @@
+"""The verification service core: submission, cache, worker fan-out.
+
+:class:`VerificationService` is the transport-independent engine behind
+``repro serve`` (the asyncio HTTP front end in
+:mod:`repro.service.server` is a thin JSON shim over it):
+
+* **submit** — parse and validate the AAG payload, build the
+  :class:`~repro.core.pipeline.VerifyConfig` from the job options, and
+  consult the certificate cache *before queueing*: a design whose
+  canonical fingerprint is already certified completes at submission
+  time in O(hash), never touching the queue or a worker;
+* **fan-out** — cache misses are queued by priority and dispatched to a
+  persistent ``multiprocessing.Pool`` (one dispatcher thread per pool
+  slot, so job N+1 starts the moment a worker frees up).  Workers run
+  under the PR 6 event relay: every pipeline event streams back
+  worker-tagged and is routed to its job's event stream live, keyed by
+  the ``task_begin`` bracket each worker emits.  ``use_processes=False``
+  runs jobs inline on the dispatcher thread (same code path via the
+  relay's queue-less collect) — the mode tests and one-shot scripts use;
+* **persistence** — every fresh verdict lands in the run-history store
+  (runs table via the shared persistence API, certificate cache via the
+  pipeline's own cache stage), so the next submission of an isomorphic
+  design — even to a different service instance on the same database —
+  is a cache hit.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+
+from repro.service.jobs import DEFAULT_PRIORITY, Job, JobQueue
+
+log = logging.getLogger("repro.service.core")
+
+#: VerifyConfig fields a submission may override, with the budgets
+#: capped per job by the service defaults.
+JOB_OPTION_FIELDS = ("width_a", "width_b", "signed", "method",
+                     "monomial_budget", "time_budget", "ring", "primes",
+                     "initial_threshold")
+
+
+class SubmitError(ValueError):
+    """A submission the service must refuse (HTTP 400)."""
+
+
+def config_from_options(options):
+    """Build a :class:`~repro.core.pipeline.VerifyConfig` from a job's
+    option dict; :class:`SubmitError` on unknown keys or bad values."""
+    from repro.core.pipeline import VerifyConfig
+    from repro.errors import ConfigError
+
+    unknown = set(options) - set(JOB_OPTION_FIELDS) - {"use_cache"}
+    if unknown:
+        raise SubmitError(
+            f"unknown job option(s): {', '.join(sorted(unknown))} "
+            f"(know {', '.join(JOB_OPTION_FIELDS)}, use_cache)")
+    kwargs = {key: options[key] for key in JOB_OPTION_FIELDS
+              if options.get(key) is not None}
+    try:
+        return VerifyConfig(record_trace=True, **kwargs)
+    except (ConfigError, TypeError) as exc:
+        raise SubmitError(f"bad job options: {exc}") from exc
+
+
+def service_worker(args):
+    """Module-level (picklable) service worker: verify one submitted
+    design under a worker-tagged relay recorder; returns the verdict
+    record (plain data only).
+
+    Mirrors the batch ``_verify_worker`` contract: lint failures become
+    ``invalid`` records instead of crashes, the ``task_begin`` /
+    ``task_end`` bracket is labelled with the *job id* so the parent
+    relay can route streamed events to the right job, and on the
+    queue-less inline path the tagged events ride back on the record.
+    """
+    job_id, design, source, options, db, use_cache = args
+
+    from repro.aig.aiger import read_aag
+    from repro.core.pipeline import Pipeline
+    from repro.errors import DesignLintError, ReproError
+    from repro.obs.relay import child_recorder, flush_child
+    from repro.service.persistence import verdict_record
+
+    base = child_recorder()
+    base.event("task_begin", design=job_id, input=design)
+    store = None
+    result = None
+    try:
+        try:
+            config = config_from_options(options)
+            aig = read_aag(source)
+            if db:
+                from repro.obs.store import RunStore
+
+                store = RunStore(db)
+            pipeline = Pipeline(config)
+            result = pipeline.run(aig, recorder=base, store=store,
+                                  design=design, use_cache=use_cache)
+        except DesignLintError as exc:
+            report = exc.report
+            record = {"status": "invalid", "timed_out": False,
+                      "cache_hit": False, "summary": f"invalid: {exc}",
+                      "diagnostics": report.as_dicts() if report else []}
+        except (ReproError, SubmitError, ValueError) as exc:
+            record = {"status": "invalid", "timed_out": False,
+                      "cache_hit": False, "summary": f"invalid: {exc}",
+                      "diagnostics": [exc.as_dict()]
+                      if hasattr(exc, "as_dict") else []}
+        if result is not None:
+            record = verdict_record(result, base, input_path=design)
+    finally:
+        if store is not None:
+            store.close()
+    record["input"] = design
+    record["worker_id"] = base.worker
+    base.event("task_end", design=job_id, status=record["status"],
+               cache_hit=record.get("cache_hit", False))
+    if base._queue is None:
+        record["_relay_events"] = base.events
+    flush_child(base)
+    return record
+
+
+class VerificationService:
+    """Priority-queued, cache-fronted verification jobs over one store."""
+
+    def __init__(self, db=None, workers=1, *, use_processes=True,
+                 default_options=None):
+        self.db = str(db) if db else None
+        self.workers = max(1, int(workers))
+        self.use_processes = bool(use_processes)
+        self.default_options = dict(default_options or {})
+        self.queue = JobQueue()
+        self.jobs = {}                # job id -> Job, submission order
+        self.started_at = None
+        self.cache_hits = 0
+        self._counter = 0
+        self._lock = threading.Lock()
+        self._store = None            # parent connection (submit-time cache)
+        self._relay = None
+        self._pool = None
+        self._dispatchers = []
+        self._worker_jobs = {}        # relay worker_id -> active job id
+
+    # -- life cycle ----------------------------------------------------
+
+    def start(self):
+        """Open the store, start the relay + pool + dispatchers."""
+        self.started_at = time.time()
+        if self.db:
+            from repro.obs.store import RunStore
+
+            self._store = RunStore(self.db)
+        if self.use_processes:
+            import multiprocessing
+
+            from repro.obs.recorder import Recorder
+            from repro.obs.relay import EventRelay
+
+            self._relay = EventRelay(recorder=Recorder(),
+                                     on_event=self._route_event)
+            initializer, initargs = self._relay.pool_initializer()
+            self._pool = multiprocessing.Pool(self.workers,
+                                              initializer=initializer,
+                                              initargs=initargs)
+            self._relay.start()
+        for slot in range(self.workers):
+            thread = threading.Thread(target=self._dispatch,
+                                      name=f"repro-service-{slot}",
+                                      daemon=True)
+            thread.start()
+            self._dispatchers.append(thread)
+        log.info("service up: %d worker(s), %s, db=%s",
+                 self.workers,
+                 "process pool" if self.use_processes else "inline",
+                 self.db or "none")
+        return self
+
+    def shutdown(self, wait=True):
+        """Stop accepting jobs, drain, and release every resource.
+
+        ``wait`` joins the dispatchers (every queued job still runs to
+        completion first — the pool is closed and joined, never
+        terminated, so no worker event is ever lost).
+        """
+        self.queue.close()
+        if wait:
+            for thread in self._dispatchers:
+                thread.join()
+        self._dispatchers = []
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+        if self._relay is not None:
+            self._relay.finish()
+            self._relay = None
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+        log.info("service down: %d job(s) served", len(self.jobs))
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, design, source, *, priority=DEFAULT_PRIORITY,
+               options=None, use_cache=True):
+        """Queue one design for verification; returns its :class:`Job`.
+
+        Raises :class:`SubmitError` on an unparseable AAG or bad
+        options.  When the design's canonical fingerprint is already
+        certified, the job completes here — state ``done``, verdict
+        record with ``cache_hit: true`` — in O(hash), without queueing.
+        """
+        from repro.aig.aiger import read_aag
+        from repro.errors import ReproError
+
+        merged = dict(self.default_options)
+        merged.update(options or {})
+        use_cache = bool(merged.pop("use_cache", use_cache))
+        config = config_from_options(merged)   # validates before parsing
+        # submissions are AAG *text*, never paths — the trailing newline
+        # keeps read_aag from mistaking a one-liner for a filename
+        if not source.endswith("\n"):
+            source = source + "\n"
+        try:
+            aig = read_aag(source)
+        except ReproError as exc:
+            raise SubmitError(f"unparseable AAG: {exc}") from exc
+        with self._lock:
+            self._counter += 1
+            job = Job(f"job-{self._counter:04d}", design, source,
+                      priority=priority, options=merged)
+            job.use_cache = use_cache
+            self.jobs[job.id] = job
+        job.events.append({"ev": "submitted", "job": job.id,
+                           "design": design, "priority": job.priority})
+        if use_cache and self._answer_from_cache(job, aig, config):
+            return job
+        self.queue.put(job)
+        return job
+
+    def _answer_from_cache(self, job, aig, config):
+        """Submission-time cache consult: True when the job is done."""
+        if self._store is None:
+            return False
+        from repro.service.fingerprint import design_fingerprint
+        from repro.service.persistence import cache_lookup
+
+        try:
+            fingerprint = design_fingerprint(aig, config.width_a,
+                                             config.width_b,
+                                             signed=config.signed)
+        except ValueError:
+            return False              # odd interface; let the pipeline rule
+        with self._lock:              # one sqlite connection, many threads
+            record = cache_lookup(self._store, fingerprint)
+        if record is None:
+            return False
+        record["input"] = job.design
+        job.record = record
+        job.state = "done"
+        job.finished_at = time.time()
+        job.events.append({"ev": "cache_hit", "job": job.id,
+                           "fingerprint": fingerprint,
+                           "status": record.get("status")})
+        with self._lock:
+            self.cache_hits += 1
+        log.info("%s: answered from cache (%s, fingerprint %s…)",
+                 job.id, record.get("status"), fingerprint[:12])
+        return True
+
+    # -- dispatch ------------------------------------------------------
+
+    def _dispatch(self):
+        """One dispatcher thread: claim jobs until the queue closes."""
+        while True:
+            job = self.queue.get()
+            if job is None:
+                return
+            job.state = "running"
+            job.started_at = time.time()
+            args = (job.id, job.design, job.source, job.options,
+                    self.db, job.use_cache)
+            try:
+                if self._pool is not None:
+                    record = self._pool.apply(service_worker, (args,))
+                else:
+                    record = service_worker(args)
+            except Exception as exc:  # noqa: BLE001 - job, not service, fails
+                job.state = "failed"
+                job.error = str(exc)
+                job.finished_at = time.time()
+                log.warning("%s: worker failed: %s", job.id, exc)
+                continue
+            self._finish(job, record)
+
+    def _finish(self, job, record):
+        events = record.pop("_relay_events", None)
+        if events:
+            job.events.extend(events)
+            if self._relay is not None:
+                self._relay.collect(events)
+        job.record = record
+        job.worker_id = record.get("worker_id")
+        job.state = "done"
+        job.finished_at = time.time()
+        job.source = None             # the AAG text served its purpose
+        if record.get("cache_hit"):
+            with self._lock:
+                self.cache_hits += 1
+        if self.db and not record.get("cache_hit") \
+                and record.get("status") != "invalid":
+            from repro.service.persistence import ingest_verify_records
+
+            ingest_verify_records([record], self.db)
+        log.info("%s: %s", job.id, record.get("summary", job.state))
+
+    def _route_event(self, event):
+        """Relay callback: stream each worker-tagged event to its job.
+
+        The ``task_begin`` bracket binds a relay worker slot to the job
+        id it labelled; everything the worker emits until ``task_end``
+        belongs to that job.
+        """
+        worker = event.get("worker_id", 0)
+        if event.get("ev") == "task_begin":
+            self._worker_jobs[worker] = event.get("design")
+        job = self.jobs.get(self._worker_jobs.get(worker))
+        if job is not None:
+            job.events.append(event)
+
+    # -- queries -------------------------------------------------------
+
+    def job(self, job_id):
+        return self.jobs.get(job_id)
+
+    def list_jobs(self):
+        return [job.as_dict(record=False) for job in self.jobs.values()]
+
+    def stats(self):
+        """The ``/stats`` surface: queue depth, state counts, cache."""
+        states = {state: 0 for state in ("queued", "running", "done",
+                                         "failed")}
+        for job in self.jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        info = {
+            "workers": self.workers,
+            "mode": "pool" if self.use_processes else "inline",
+            "db": self.db,
+            "uptime": (time.time() - self.started_at
+                       if self.started_at else 0.0),
+            "jobs": states,
+            "queued": len(self.queue),
+            "cache_hits": self.cache_hits,
+        }
+        if self._store is not None:
+            with self._lock:
+                certificates = self._store.certificates()
+            info["certificates"] = len(certificates)
+        return info

@@ -1,0 +1,116 @@
+"""The acceptance demo of the certificate cache, end to end.
+
+First verification of a design runs the full pipeline; resubmitting the
+same *or any isomorphic* AIG returns the identical verdict with
+``cache_hit: true`` without entering the rewrite phase (asserted on the
+obs event stream); a fault-injected variant is a cache miss and
+verifies as buggy.
+"""
+
+import pytest
+
+from repro.core.pipeline import Pipeline, VerifyConfig
+from repro.genmul.faults import FAULT_KINDS, inject_visible_fault
+from repro.genmul.multiplier import generate_multiplier
+from repro.obs.recorder import Recorder
+from repro.obs.store import RunStore
+from repro.service.persistence import verdict_record
+from tests.service.test_fingerprint import shuffled_copy
+
+
+def _run(aig, store, use_cache=True, **config_kwargs):
+    recorder = Recorder()
+    config = VerifyConfig(record_trace=True, record_certificate=True,
+                          **config_kwargs)
+    result = Pipeline(config).run(aig, recorder=recorder, store=store,
+                                  design="e2e", use_cache=use_cache)
+    return result, recorder.events
+
+
+class TestCacheEndToEnd:
+    @pytest.fixture()
+    def store(self, tmp_path):
+        with RunStore(tmp_path / "runs.db") as store:
+            yield store
+
+    def test_full_cycle(self, store):
+        aig = generate_multiplier("SP-AR-RC", 4)
+
+        # -- first run: the full pipeline, then a stored certificate
+        first, events = _run(aig, store)
+        assert first.status == "correct"
+        assert first.stats["cache_hit"] is False
+        kinds = [e["ev"] for e in events]
+        assert "cache_miss" in kinds          # consulted, empty
+        assert "cache_store" in kinds         # certified afterwards
+        assert any(e["ev"] == "span" and e.get("name") == "rewrite"
+                   for e in events)           # it really rewrote
+
+        # -- resubmit the same AIG: O(hash) replay, no rewrite phase
+        replay, replay_events = _run(aig, store)
+        assert replay.status == "correct"
+        assert replay.stats["cache_hit"] is True
+        assert [e["ev"] for e in replay_events] == \
+            ["run_begin", "cache_hit", "run_end"]
+
+        # -- the verdict is field-identical to the first run's
+        first_record = verdict_record(first)
+        replay_record = verdict_record(replay)
+        for key in ("status", "method", "seconds", "stats", "sizes",
+                    "summary", "certificate", "commits"):
+            assert replay_record[key] == first_record[key], key
+        assert first_record["cache_hit"] is False
+        assert replay_record["cache_hit"] is True
+
+        # -- any isomorphic rewrite of the design hits the same slot
+        for seed in range(2):
+            iso, iso_events = _run(shuffled_copy(aig, seed=seed), store)
+            assert iso.stats["cache_hit"] is True
+            assert iso.status == "correct"
+            assert not any(e["ev"] == "span" and
+                           e.get("name") == "rewrite"
+                           for e in iso_events)
+
+        # -- a faulty variant misses the cache and verifies as buggy
+        buggy = inject_visible_fault(aig, kind="gate-type", seed=0)
+        bad, bad_events = _run(buggy, store)
+        assert bad.status == "buggy"
+        assert bad.stats["cache_hit"] is False
+        assert any(e["ev"] == "cache_miss" for e in bad_events)
+
+        # ... and lands in its own slot: replaying it stays buggy
+        bad_again, _ = _run(buggy, store)
+        assert bad_again.stats["cache_hit"] is True
+        assert bad_again.status == "buggy"
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_every_fault_kind_is_a_cache_miss(self, store, kind):
+        aig = generate_multiplier("SP-AR-RC", 4)
+        clean, _ = _run(aig, store)
+        assert clean.status == "correct"
+        buggy = inject_visible_fault(aig, kind=kind, seed=1)
+        result, events = _run(buggy, store)
+        assert result.stats["cache_hit"] is False
+        assert result.status == "buggy"
+
+    def test_no_cache_bypasses_replay_but_still_stores(self, store):
+        aig = generate_multiplier("SP-AR-RC", 4)
+        first, _ = _run(aig, store)
+        again, events = _run(aig, store, use_cache=False)
+        assert again.stats["cache_hit"] is False
+        assert not any(e["ev"] == "cache_hit" for e in events)
+
+    def test_signed_claim_occupies_its_own_slot(self, store):
+        # SPS = signed two's-complement multiplier: correct under the
+        # signed spec, buggy under the unsigned one — the fingerprint
+        # must keep the two claims apart
+        aig = generate_multiplier("SPS-AR-RC", 4)
+        signed, _ = _run(aig, store, signed=True)
+        assert signed.status == "correct"
+        unsigned, events = _run(aig, store, signed=False)
+        assert unsigned.stats["cache_hit"] is False
+        assert unsigned.status == "buggy"
+        # both verdicts now replay from their own slots
+        assert _run(aig, store, signed=True)[0].stats["cache_hit"] \
+            is True
+        assert _run(aig, store, signed=False)[0].status == "buggy"

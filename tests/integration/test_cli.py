@@ -457,3 +457,106 @@ class TestVerifyPreflightCli:
         assert main(["verify", str(src), str(bad)]) == 3
         out = capsys.readouterr().out
         assert "correct" in out and "invalid" in out
+
+
+class TestServiceCli:
+    """The verification-as-a-service surface of the CLI."""
+
+    def _designs(self, tmp_path):
+        src = tmp_path / "m.aag"
+        bug = tmp_path / "bug.aag"
+        main(["generate", "SP-AR-RC", "4", "-o", str(src)])
+        main(["inject", str(src), "--kind", "gate-type", "-o", str(bug)])
+        return src, bug
+
+    def test_verify_db_replays_from_cache(self, tmp_path, capsys):
+        src, _ = self._designs(tmp_path)
+        db = tmp_path / "runs.db"
+        assert main(["verify", str(src), "--db", str(db)]) == 0
+        assert "[cache hit]" not in capsys.readouterr().out
+        assert main(["verify", str(src), "--db", str(db)]) == 0
+        assert "[cache hit]" in capsys.readouterr().out
+
+    def test_no_cache_forces_a_fresh_run(self, tmp_path, capsys):
+        src, _ = self._designs(tmp_path)
+        db = tmp_path / "runs.db"
+        main(["verify", str(src), "--db", str(db)])
+        capsys.readouterr()
+        assert main(["verify", str(src), "--db", str(db),
+                     "--no-cache"]) == 0
+        assert "[cache hit]" not in capsys.readouterr().out
+
+    def test_batch_consults_cache_before_spawning(self, tmp_path, capsys):
+        import json
+
+        src, bug = self._designs(tmp_path)
+        db = tmp_path / "runs.db"
+        out_json = tmp_path / "batch.json"
+        assert main(["verify", str(src), "--db", str(db)]) == 0
+        capsys.readouterr()
+        assert main(["verify", str(src), str(bug), "--db", str(db),
+                     "--json", str(out_json)]) == 1
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        assert "[cache hit]" in lines[0]      # replayed, input order kept
+        assert "[cache hit]" not in lines[1]  # the fault is a miss
+        records = json.loads(out_json.read_text())["records"]
+        assert [r["input"] for r in records] == [str(src), str(bug)]
+        assert records[0]["cache_hit"] is True
+        assert records[1]["cache_hit"] is False
+        assert records[1]["status"] == "buggy"
+
+    def test_submit_and_status_against_a_live_service(self, tmp_path,
+                                                      capsys):
+        import threading
+
+        from repro.service.client import ServiceClient
+        from repro.service.core import VerificationService
+        from repro.service.server import run_server
+
+        src, bug = self._designs(tmp_path)
+        service = VerificationService(db=str(tmp_path / "runs.db"),
+                                      workers=1, use_processes=False)
+        box = {}
+        up = threading.Event()
+
+        def on_ready(server):
+            box["port"] = server.port
+            up.set()
+
+        thread = threading.Thread(target=run_server, args=(service,),
+                                  kwargs={"port": 0, "ready": on_ready},
+                                  daemon=True)
+        thread.start()
+        assert up.wait(timeout=30)
+        port = str(box["port"])
+        capsys.readouterr()
+        try:
+            assert main(["submit", str(src), str(bug),
+                         "--port", port]) == 1
+            out = capsys.readouterr().out
+            assert "correct" in out and "buggy" in out
+            assert "counterexample" in out
+            # the resubmission replays from the cache inside the POST
+            assert main(["submit", str(src), "--port", port]) == 0
+            assert "[cache hit]" in capsys.readouterr().out
+            assert main(["status", "--port", port]) == 0
+            out = capsys.readouterr().out
+            assert "job-0001" in out and "1 hit(s)" in out
+            assert main(["status", "job-0001", "--port", port]) == 0
+            assert "done" in capsys.readouterr().out
+            assert main(["status", "job-0001", "--port", port,
+                         "--events"]) == 0
+            assert '"ev": "run_end"' in capsys.readouterr().out
+        finally:
+            ServiceClient(port=box["port"]).shutdown()
+            thread.join(timeout=30)
+        assert not thread.is_alive()
+
+    def test_submit_against_a_dead_service_fails_cleanly(self, tmp_path,
+                                                         capsys):
+        src, _ = self._designs(tmp_path)
+        assert main(["submit", str(src), "--port", "1"]) == 2
+        assert "submit:" in capsys.readouterr().err
+        assert main(["status", "--port", "1"]) == 2
+        assert "status:" in capsys.readouterr().err

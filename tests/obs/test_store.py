@@ -356,14 +356,14 @@ class TestSchemaV3:
         with RunStore(path) as store:
             assert len(store) == 2
 
-    def test_v4_file_is_refused(self, tmp_path):
+    def test_v5_file_is_refused(self, tmp_path):
         import sqlite3
 
         path = tmp_path / "future.db"
         with RunStore(path) as store:
             store.add_run("d", "dyposub", seconds=1.0)
         conn = sqlite3.connect(path)
-        conn.execute("UPDATE meta SET value = '4' "
+        conn.execute("UPDATE meta SET value = '5' "
                      "WHERE key = 'schema_version'")
         conn.commit()
         conn.close()
@@ -408,6 +408,141 @@ class TestSchemaV3:
             history = store.history(
                 "d", "none", "dyposub", "metric:attr:stage:fsa:seconds")
             assert len(history) == 1
+
+
+class TestSchemaV4:
+    RECORD = {"status": "correct", "method": "dyposub", "seconds": 1.5,
+              "summary": "dyposub: correct in 1.50s",
+              "stats": {"ring": "exact", "width_a": 4, "width_b": 4,
+                        "signed": False, "nodes": 104}}
+
+    def test_certificate_round_trip(self):
+        with RunStore() as store:
+            assert store.put_certificate("f" * 64, self.RECORD,
+                                         design="m.aag", run_id=7)
+            entry = store.get_certificate("f" * 64)
+            assert entry["record"] == self.RECORD
+            assert entry["design"] == "m.aag"
+            assert entry["run_id"] == 7
+            assert entry["status"] == "correct"
+            assert entry["width_a"] == 4 and entry["signed"] == 0
+
+    def test_hits_are_counted(self):
+        with RunStore() as store:
+            store.put_certificate("f" * 64, self.RECORD)
+            # a counted get returns the post-bump tally
+            assert store.get_certificate("f" * 64)["hits"] == 1
+            assert store.get_certificate("f" * 64)["hits"] == 2
+            peek = store.get_certificate("f" * 64, count_hit=False)
+            assert peek["hits"] == 2
+            assert store.get_certificate("f" * 64)["hits"] == 3
+
+    def test_first_writer_wins(self):
+        with RunStore() as store:
+            assert store.put_certificate("f" * 64, self.RECORD)
+            other = dict(self.RECORD, status="buggy")
+            assert not store.put_certificate("f" * 64, other)
+            assert store.get_certificate("f" * 64)["status"] == "correct"
+
+    def test_listing_filters_by_status(self):
+        with RunStore() as store:
+            store.put_certificate("a" * 64, self.RECORD)
+            store.put_certificate("b" * 64,
+                                  dict(self.RECORD, status="buggy"))
+            assert len(store.certificates()) == 2
+            buggy = store.certificates(status="buggy")
+            assert [c["fingerprint"] for c in buggy] == ["b" * 64]
+            assert "record" not in buggy[0]  # listing skips payloads
+
+    def test_certificates_survive_run_pruning(self):
+        with RunStore() as store:
+            store.add_run("d", "dyposub", seconds=1.0)
+            store.put_certificate("f" * 64, self.RECORD)
+            store.prune(keep_last=0, vacuum=False)
+            assert len(store) == 0
+            assert store.get_certificate("f" * 64) is not None
+
+    def test_v3_file_upgrades_in_place(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "old.db"
+        with RunStore(path) as store:
+            store.add_run("d", "dyposub", seconds=1.0)
+        # rewind the file to schema v3: drop the v4 table and stamp
+        conn = sqlite3.connect(path)
+        conn.executescript("DROP TABLE certificates;")
+        conn.execute("UPDATE meta SET value = '3' "
+                     "WHERE key = 'schema_version'")
+        conn.commit()
+        conn.close()
+        with RunStore(path) as store:
+            assert len(store) == 1  # v3 data survives the upgrade
+            store.put_certificate("f" * 64, self.RECORD)
+            assert store.get_certificate("f" * 64) is not None
+        conn = sqlite3.connect(path)
+        stamped = conn.execute("SELECT value FROM meta WHERE key = "
+                               "'schema_version'").fetchone()[0]
+        conn.close()
+        assert stamped == str(SCHEMA_VERSION)
+
+
+class TestConcurrentWriters:
+    def test_file_store_runs_in_wal_mode(self, tmp_path):
+        with RunStore(tmp_path / "runs.db") as store:
+            mode = store._conn.execute(
+                "PRAGMA journal_mode").fetchone()[0]
+            assert mode.lower() == "wal"
+            timeout = store._conn.execute(
+                "PRAGMA busy_timeout").fetchone()[0]
+            assert timeout >= 1000  # milliseconds
+
+    def test_memory_store_skips_wal(self):
+        with RunStore() as store:
+            mode = store._conn.execute(
+                "PRAGMA journal_mode").fetchone()[0]
+            assert mode.lower() == "memory"
+
+    def test_two_writers_interleave_without_losses(self, tmp_path):
+        """The service scenario: several worker processes (modelled as
+        threads with *separate connections* — SQLite locking is
+        per-connection) write runs and certificates into one store
+        concurrently.  WAL + busy_timeout must absorb the contention
+        without `database is locked` errors or lost rows."""
+        import threading
+
+        path = tmp_path / "runs.db"
+        rounds = 25
+        errors = []
+
+        def writer(slot):
+            try:
+                with RunStore(path, busy_timeout=30.0) as store:
+                    for index in range(rounds):
+                        store.add_run(f"w{slot}", "dyposub",
+                                      seconds=0.1 * index)
+                        store.put_certificate(
+                            f"{slot}:{index}",
+                            {"status": "correct", "seconds": 0.1},
+                            design=f"w{slot}")
+                        # both race on the same shared fingerprint
+                        store.put_certificate(
+                            "shared", {"status": "correct"})
+                        store.get_certificate("shared")
+            except Exception as exc:  # noqa: BLE001 - the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(slot,))
+                   for slot in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert errors == []
+        with RunStore(path) as store:
+            assert len(store) == 2 * rounds
+            assert len(store.certificates()) == 2 * rounds + 1
+            shared = store.get_certificate("shared", count_hit=False)
+            assert shared["hits"] == 2 * rounds  # every replay counted
 
 
 class TestPrune:

@@ -1,0 +1,73 @@
+"""Job records and the priority queue."""
+
+import threading
+
+import pytest
+
+from repro.service.jobs import DEFAULT_PRIORITY, Job, JobQueue
+
+
+def _job(job_id, priority=DEFAULT_PRIORITY):
+    return Job(job_id, f"{job_id}.aag", "aag 0 0 0 0 0\n",
+               priority=priority)
+
+
+class TestJob:
+    def test_fresh_job_shape(self):
+        job = _job("job-0001", priority=3)
+        assert job.state == "queued"
+        assert not job.finished
+        info = job.as_dict()
+        assert info["id"] == "job-0001"
+        assert info["priority"] == 3
+        assert "record" not in info and "status" not in info
+
+    def test_listing_shape_hides_record(self):
+        job = _job("job-0002")
+        job.state = "done"
+        job.record = {"status": "correct", "cache_hit": True}
+        assert job.finished
+        listing = job.as_dict(record=False)
+        assert listing["status"] == "correct"
+        assert listing["cache_hit"] is True
+        assert "record" not in listing
+        assert job.as_dict()["record"]["status"] == "correct"
+
+
+class TestJobQueue:
+    def test_priority_order_with_fifo_ties(self):
+        queue = JobQueue()
+        first = _job("a", priority=5)
+        second = _job("b", priority=5)
+        urgent = _job("c", priority=1)
+        queue.put(first)
+        queue.put(second)
+        queue.put(urgent)
+        assert [queue.get().id for _ in range(3)] == ["c", "a", "b"]
+
+    def test_get_timeout_returns_none(self):
+        assert JobQueue().get(timeout=0.01) is None
+
+    def test_close_wakes_blocked_getter(self):
+        queue = JobQueue()
+        got = []
+        thread = threading.Thread(target=lambda: got.append(queue.get()))
+        thread.start()
+        queue.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert got == [None]
+
+    def test_closed_queue_refuses_jobs(self):
+        queue = JobQueue()
+        queue.close()
+        with pytest.raises(RuntimeError):
+            queue.put(_job("x"))
+
+    def test_len_tracks_waiting_jobs(self):
+        queue = JobQueue()
+        assert len(queue) == 0
+        queue.put(_job("a"))
+        assert len(queue) == 1
+        queue.get()
+        assert len(queue) == 0

@@ -1,0 +1,126 @@
+"""The asyncio HTTP front end + blocking client, over a real socket.
+
+One module-scoped server (inline workers, ephemeral port) serves every
+test; the final test shuts it down through the API and asserts the
+thread exits — which is the clean-shutdown check itself.
+"""
+
+import threading
+
+import pytest
+
+from repro.aig.aiger import write_aag
+from repro.genmul.faults import inject_visible_fault
+from repro.genmul.multiplier import generate_multiplier
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.core import VerificationService
+from repro.service.server import run_server
+
+
+@pytest.fixture(scope="module")
+def aag_text():
+    return write_aag(generate_multiplier("SP-AR-RC", 4))
+
+
+@pytest.fixture(scope="module")
+def buggy_text():
+    aig = generate_multiplier("SP-AR-RC", 4)
+    return write_aag(inject_visible_fault(aig, kind="wrong-wire", seed=1))
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    db = str(tmp_path_factory.mktemp("server") / "runs.db")
+    service = VerificationService(db=db, workers=1, use_processes=False)
+    box = {}
+    ready = threading.Event()
+
+    def on_ready(server):
+        box["port"] = server.port
+        ready.set()
+
+    thread = threading.Thread(
+        target=run_server, args=(service,),
+        kwargs={"port": 0, "ready": on_ready}, daemon=True)
+    thread.start()
+    assert ready.wait(timeout=30), "server did not come up"
+    client = ServiceClient(port=box["port"])
+    yield client, thread
+    if thread.is_alive():
+        client.shutdown()
+        thread.join(timeout=30)
+
+
+def test_health(served):
+    client, _ = served
+    assert client.health()["ok"] is True
+
+
+def test_submit_verify_resubmit_cache_hit(served, aag_text):
+    client, _ = served
+    first = client.submit(aag_text, design="m.aag")
+    assert first["state"] in ("queued", "running", "done")
+    done = client.wait(first["id"], timeout=120)
+    assert done["record"]["status"] == "correct"
+    assert done["record"]["cache_hit"] is False
+    # the isomorphic resubmission completes inside the POST
+    again = client.submit(aag_text, design="again.aag")
+    assert again["state"] == "done"
+    assert again["record"]["cache_hit"] is True
+    assert again["record"]["fingerprint"] == \
+        done["record"]["fingerprint"]
+
+
+def test_buggy_design_returns_counterexample(served, buggy_text):
+    client, _ = served
+    job = client.wait(client.submit(buggy_text, design="buggy.aag")["id"],
+                      timeout=120)
+    assert job["record"]["status"] == "buggy"
+    cex = job["record"]["counterexample"]
+    assert cex["a"] is not None and cex["b"] is not None
+
+
+def test_job_listing_and_events(served):
+    client, _ = served
+    rows = client.jobs()
+    assert rows and all("record" not in row for row in rows)
+    events = client.events(rows[0]["id"])
+    assert events[0]["ev"] == "submitted"
+    assert any(e["ev"] == "run_end" for e in events)
+
+
+def test_stats_counts_cache_hits(served):
+    client, _ = served
+    stats = client.stats()
+    assert stats["cache_hits"] >= 1
+    assert stats["certificates"] >= 1
+    assert stats["jobs"]["failed"] == 0
+
+
+def test_error_statuses(served):
+    client, _ = served
+    with pytest.raises(ServiceError) as exc:
+        client.submit("not an aag at all", design="junk")
+    assert exc.value.status == 400
+    with pytest.raises(ServiceError) as exc:
+        client.job("job-9999")
+    assert exc.value.status == 404
+    with pytest.raises(ServiceError) as exc:
+        client.request("GET", "/nonesuch")
+    assert exc.value.status == 404
+    with pytest.raises(ServiceError) as exc:
+        client.request("PUT", "/jobs")
+    assert exc.value.status == 405
+    with pytest.raises(ServiceError) as exc:
+        client.request("POST", "/jobs", {"design": "no-aag-field"})
+    assert exc.value.status == 400
+
+
+def test_zz_shutdown_is_clean(served):
+    # named to sort last: kills the module's server
+    client, thread = served
+    assert client.shutdown()["stopping"] is True
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+    with pytest.raises(OSError):
+        client.health()
